@@ -1,0 +1,42 @@
+# MEGA reproduction — common entry points.
+
+GO ?= go
+
+.PHONY: all build vet test test-race bench fuzz experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./internal/dist/ ./internal/models/ ./internal/dynamic/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing passes over the binary decoder and the traversal.
+fuzz:
+	$(GO) test ./internal/band/ -fuzz FuzzReadRep -fuzztime 30s
+	$(GO) test ./internal/band/ -fuzz FuzzTraverseRoundTrip -fuzztime 30s
+
+# Regenerate every paper table and figure at interactive scale.
+experiments:
+	$(GO) run ./cmd/megabench -scale medium
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/molecules -train 64 -epochs 3 -dim 32
+	$(GO) run ./examples/isomorphism
+	$(GO) run ./examples/distributed
+	$(GO) run ./examples/streaming -n 1000 -updates 200
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

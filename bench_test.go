@@ -1,0 +1,177 @@
+package mega
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation section. Each benchmark runs the corresponding
+// experiment driver at Quick scale so `go test -bench=.` regenerates every
+// result; run `cmd/megabench -scale paper` for full-size reproductions.
+
+import (
+	"testing"
+
+	"mega/internal/experiments"
+	"mega/internal/gpusim"
+)
+
+// benchExperiment runs one experiment driver per iteration and reports its
+// data volume, failing the benchmark if the driver errors.
+func benchExperiment(b *testing.B, id string) {
+	run, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	scale := experiments.Quick()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report, err := run(scale)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(report.Lines) == 0 {
+			b.Fatalf("%s produced no data", id)
+		}
+	}
+}
+
+// BenchmarkFig1bAttentionRatio regenerates Figure 1b: graph-attention vs
+// global-attention completion-time ratio across sizes and feature dims.
+func BenchmarkFig1bAttentionRatio(b *testing.B) { benchExperiment(b, "fig1b") }
+
+// BenchmarkTable1ModelStats regenerates Table I: parameter volumes and
+// scatter/gather call counts per model configuration.
+func BenchmarkTable1ModelStats(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2GraphStats regenerates Table II: dataset statistics.
+func BenchmarkTable2GraphStats(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3DegreeStats regenerates Table III: degree-distribution
+// consistency statistics including the KS test column.
+func BenchmarkTable3DegreeStats(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkFig4SMEfficiency regenerates Figure 4: per-kernel SM efficiency
+// under the conventional engine.
+func BenchmarkFig4SMEfficiency(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5KernelTime regenerates Figure 5: kernel time shares across
+// batch sizes.
+func BenchmarkFig5KernelTime(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6KernelProfile regenerates Figure 6: global loads, stall
+// percentages and call counts per kernel.
+func BenchmarkFig6KernelProfile(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig8Isomorphism regenerates Figure 8: WL similarity of the path
+// representation vs global attention.
+func BenchmarkFig8Isomorphism(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9MemoryMetrics regenerates Figure 9: SM efficiency and
+// memory-stall percentage, DGL vs MEGA.
+func BenchmarkFig9MemoryMetrics(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10Runtime regenerates Figure 10: epoch runtime and sgemm
+// share by batch size.
+func BenchmarkFig10Runtime(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11AQSOL regenerates Figure 11: AQSOL convergence.
+func BenchmarkFig11AQSOL(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig12ZINC regenerates Figure 12: ZINC convergence under GT.
+func BenchmarkFig12ZINC(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkFig13CSL regenerates Figure 13: CSL convergence.
+func BenchmarkFig13CSL(b *testing.B) { benchExperiment(b, "fig13") }
+
+// BenchmarkFig14CYCLES regenerates Figure 14: CYCLES convergence under GCN.
+func BenchmarkFig14CYCLES(b *testing.B) { benchExperiment(b, "fig14") }
+
+// BenchmarkFig15EdgeDrop regenerates Figure 15: AQSOL with 20% edge
+// dropping.
+func BenchmarkFig15EdgeDrop(b *testing.B) { benchExperiment(b, "fig15") }
+
+// BenchmarkDistComm regenerates the §IV-B6 distributed-communication
+// analysis.
+func BenchmarkDistComm(b *testing.B) { benchExperiment(b, "dist") }
+
+// --- ablation benches for the design decisions called out in DESIGN.md ---
+
+// BenchmarkAblationFixedVsAdaptiveWindow compares revisit counts and path
+// expansion under a fixed ω=1 window against the adaptive policy.
+func BenchmarkAblationFixedVsAdaptiveWindow(b *testing.B) {
+	rng := NewRand(1)
+	g := BarabasiAlbert(rng, 500, 3)
+	for _, tc := range []struct {
+		name   string
+		window int
+	}{
+		{name: "fixed1", window: 1},
+		{name: "adaptive", window: 0},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var revisits int
+			for i := 0; i < b.N; i++ {
+				res, err := Traverse(g, TraverseOptions{Window: tc.window, EdgeCoverage: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				revisits = res.Revisits
+			}
+			b.ReportMetric(float64(revisits), "revisits")
+		})
+	}
+}
+
+// BenchmarkAblationCoverage compares traversal cost and path length across
+// edge-coverage targets θ.
+func BenchmarkAblationCoverage(b *testing.B) {
+	rng := NewRand(2)
+	g := ErdosRenyiM(rng, 500, 2000)
+	for _, theta := range []float64{0.5, 0.8, 1.0} {
+		b.Run(coverageName(theta), func(b *testing.B) {
+			var pathLen int
+			for i := 0; i < b.N; i++ {
+				res, err := Traverse(g, TraverseOptions{EdgeCoverage: theta})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pathLen = res.Len()
+			}
+			b.ReportMetric(float64(pathLen), "pathlen")
+		})
+	}
+}
+
+func coverageName(theta float64) string {
+	switch theta {
+	case 0.5:
+		return "theta50"
+	case 0.8:
+		return "theta80"
+	default:
+		return "theta100"
+	}
+}
+
+// BenchmarkAblationTraceVsAnalyticGather contrasts the trace-driven cache
+// simulation against a pure streaming model on identical gather work: the
+// trace-driven path is what makes locality effects observable.
+func BenchmarkAblationTraceVsAnalyticGather(b *testing.B) {
+	const rows, rowBytes = 20000, 256
+	rng := NewRand(3)
+	idx := make([]int32, rows)
+	for i := range idx {
+		idx[i] = int32(rng.Intn(rows))
+	}
+	b.Run("trace", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim := NewSim(GTX1080Config())
+			base := sim.Alloc(rows * rowBytes)
+			sim.GatherRows("g", base, idx, rowBytes)
+		}
+	})
+	b.Run("analytic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim := NewSim(GTX1080Config())
+			base := sim.Alloc(rows * rowBytes)
+			sim.Sequential("g", gpusim.KindBand, base, rows*rowBytes, false)
+		}
+	})
+}

@@ -1,0 +1,75 @@
+// Command megabench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	megabench [-scale quick|medium|paper] [experiment ...]
+//
+// With no experiment arguments, every experiment runs in the paper's order.
+// Experiment IDs: fig1b table1 table2 table3 fig4 fig5 fig6 fig8 fig9
+// fig10 fig11 fig12 fig13 fig14 fig15 dist.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mega/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "megabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("megabench", flag.ContinueOnError)
+	scaleName := fs.String("scale", "medium", "experiment scale: quick, medium, or paper")
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Println(e.ID)
+		}
+		return nil
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.Quick()
+	case "medium":
+		scale = experiments.Medium()
+	case "paper":
+		scale = experiments.Paper()
+	default:
+		return fmt.Errorf("unknown scale %q (want quick, medium, or paper)", *scaleName)
+	}
+
+	ids := fs.Args()
+	if len(ids) == 0 {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		runner, ok := experiments.ByID(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		start := time.Now()
+		report, err := runner(scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Print(report.String())
+		fmt.Printf("  (completed in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-scale", "quick", "table2"}); err != nil {
+		t.Fatalf("run table2: %v", err)
+	}
+}
+
+func TestRunRejectsUnknownScale(t *testing.T) {
+	if err := run([]string{"-scale", "giant", "table2"}); err == nil {
+		t.Error("unknown scale should error")
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-scale", "quick", "fig99"}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunAllDatasets(t *testing.T) {
+	if err := run([]string{"-train", "20", "-val", "5", "-test", "5"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunSingleDataset(t *testing.T) {
+	if err := run([]string{"-train", "20", "-val", "5", "-test", "5", "CSL"}); err != nil {
+		t.Fatalf("run CSL: %v", err)
+	}
+}
+
+func TestRunRejectsUnknownDataset(t *testing.T) {
+	if err := run([]string{"-train", "5", "-val", "2", "-test", "2", "OGB"}); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}

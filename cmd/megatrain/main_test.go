@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestRunQuickTraining(t *testing.T) {
+	err := run([]string{
+		"-dataset", "AQSOL", "-model", "GCN", "-engine", "mega",
+		"-dim", "16", "-layers", "2", "-batch", "8",
+		"-epochs", "2", "-train", "16", "-val", "8",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunClassificationDataset(t *testing.T) {
+	err := run([]string{
+		"-dataset", "CSL", "-model", "GT", "-engine", "dgl",
+		"-dim", "16", "-layers", "1", "-batch", "8",
+		"-epochs", "1", "-train", "8", "-val", "8",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsUnknownEngine(t *testing.T) {
+	if err := run([]string{"-engine", "cuda", "-train", "4", "-val", "4"}); err == nil {
+		t.Error("unknown engine should error")
+	}
+}
+
+func TestRunRejectsUnknownDataset(t *testing.T) {
+	if err := run([]string{"-dataset", "OGB"}); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}
+
+func TestRunWithEdgeDropping(t *testing.T) {
+	err := run([]string{
+		"-dataset", "ZINC", "-engine", "mega", "-drop", "0.2",
+		"-dim", "16", "-layers", "1", "-batch", "8",
+		"-epochs", "1", "-train", "8", "-val", "4",
+	})
+	if err != nil {
+		t.Fatalf("run with drop: %v", err)
+	}
+}

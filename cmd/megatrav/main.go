@@ -1,0 +1,121 @@
+// Command megatrav inspects MEGA's path traversal on synthetic graphs: it
+// prints the path, the virtual-edge markers, the band layout, coverage and
+// revisit statistics — a debugging lens on the preprocessing stage.
+//
+// Usage:
+//
+//	megatrav [-kind er|ba|cycle|star|complete|tree] [-n nodes] [-m edges]
+//	         [-window w] [-coverage t] [-drop f] [-seed s] [-verbose]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"mega/internal/band"
+	"mega/internal/graph"
+	"mega/internal/traverse"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "megatrav:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("megatrav", flag.ContinueOnError)
+	kind := fs.String("kind", "er", "graph kind: er, ba, cycle, star, complete, tree")
+	n := fs.Int("n", 16, "number of vertices")
+	m := fs.Int("m", 32, "number of edges (er only)")
+	window := fs.Int("window", 0, "traversal window ω (0 = adaptive)")
+	coverage := fs.Float64("coverage", 1.0, "edge coverage θ")
+	drop := fs.Float64("drop", 0, "edge-drop fraction")
+	seed := fs.Int64("seed", 1, "random seed")
+	verbose := fs.Bool("verbose", false, "print the full band mask")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := makeGraph(*kind, *n, *m, *seed)
+	if err != nil {
+		return err
+	}
+	opts := traverse.Options{
+		Window: *window, EdgeCoverage: *coverage,
+		DropEdges: *drop, Start: -1, Seed: *seed,
+	}
+	rep, res, err := band.FromGraph(g, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("graph: %s n=%d m=%d sparsity=%.3f mean-degree=%.2f\n",
+		*kind, g.NumNodes(), g.NumEdges(), g.Sparsity(), g.MeanDegree())
+	fmt.Printf("window ω=%d  coverage=%.1f%%  revisits=%d (lower bound %d)  virtual=%d  expansion=%.2f\n",
+		res.Window, 100*res.EdgeCoverageRatio(), res.Revisits,
+		traverse.RevisitLowerBound(res.Graph.Degrees(), res.Window),
+		res.VirtualEdges, rep.Expansion())
+	if res.DroppedEdges > 0 {
+		fmt.Printf("dropped edges: %d of %d\n", res.DroppedEdges, res.DroppedEdges+res.TotalEdges)
+	}
+	fmt.Printf("band coverage: %.1f%% (%d/%d edges inside the band)\n",
+		100*rep.BandCoverage(), rep.CoveredEdges, rep.TotalEdges)
+
+	var b strings.Builder
+	for i, v := range res.Path {
+		if i > 0 {
+			if res.Virtual[i] {
+				b.WriteString(" ~> ")
+			} else {
+				b.WriteString(" -> ")
+			}
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	fmt.Printf("path (%d steps, ~> marks virtual edges):\n  %s\n", len(res.Path), b.String())
+
+	if *verbose {
+		fmt.Println("band mask (offset rows, '#' = real edge):")
+		for o := 1; o <= rep.Window; o++ {
+			var row strings.Builder
+			for _, on := range rep.Mask[o-1] {
+				if on {
+					row.WriteByte('#')
+				} else {
+					row.WriteByte('.')
+				}
+			}
+			fmt.Printf("  +%d %s\n", o, row.String())
+		}
+	}
+	return nil
+}
+
+func makeGraph(kind string, n, m int, seed int64) (*graph.Graph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case "er":
+		return graph.ErdosRenyiM(rng, n, m), nil
+	case "ba":
+		return graph.BarabasiAlbert(rng, n, 2), nil
+	case "cycle":
+		return graph.Cycle(n), nil
+	case "star":
+		edges := make([]graph.Edge, 0, n-1)
+		for v := 1; v < n; v++ {
+			edges = append(edges, graph.Edge{Src: 0, Dst: graph.NodeID(v)})
+		}
+		return graph.New(n, edges, false)
+	case "complete":
+		return graph.Complete(n), nil
+	case "tree":
+		return graph.RandomTree(rng, n), nil
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q", kind)
+	}
+}

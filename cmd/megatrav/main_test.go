@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestRunKinds(t *testing.T) {
+	for _, kind := range []string{"er", "ba", "cycle", "star", "complete", "tree"} {
+		t.Run(kind, func(t *testing.T) {
+			if err := run([]string{"-kind", kind, "-n", "10", "-m", "15", "-verbose"}); err != nil {
+				t.Fatalf("run %s: %v", kind, err)
+			}
+		})
+	}
+}
+
+func TestRunRejectsUnknownKind(t *testing.T) {
+	if err := run([]string{"-kind", "hypercube"}); err == nil {
+		t.Error("unknown kind should error")
+	}
+}
+
+func TestRunWithDropAndCoverage(t *testing.T) {
+	if err := run([]string{"-kind", "er", "-n", "20", "-m", "40", "-drop", "0.2", "-coverage", "0.8"}); err != nil {
+		t.Fatalf("run with drop: %v", err)
+	}
+}

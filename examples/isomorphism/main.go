@@ -1,0 +1,92 @@
+// Isomorphism: sweep graph families through the traversal and quantify how
+// well the path representation preserves graph structure with the
+// Weisfeiler-Lehman test, versus the fully connected graph that global
+// attention implies — the paper's Figure 8 protocol as a standalone tool.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mega"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "isomorphism:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("isomorphism", flag.ContinueOnError)
+	seed := fs.Int64("seed", 4, "random seed")
+	maxHops := fs.Int("hops", 4, "maximum WL refinement hops")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := mega.NewRand(*seed)
+
+	families := []struct {
+		name string
+		g    *mega.Graph
+	}{
+		{name: "cycle-32", g: mega.CycleGraph(32)},
+		{name: "tree-32", g: mega.RandomTree(rng, 32)},
+		{name: "er-64-sparse", g: mega.ErdosRenyiM(rng, 64, 100)},
+		{name: "er-64-dense", g: mega.ErdosRenyiM(rng, 64, 600)},
+		{name: "ba-64", g: mega.BarabasiAlbert(rng, 64, 2)},
+	}
+
+	fmt.Printf("%-14s %6s %10s %10s %10s %10s\n",
+		"graph", "hops", "path", "path75", "path50", "global")
+	for _, fam := range families {
+		full, fullRes, err := mega.Reorganize(fam.g, mega.DefaultTraverseOptions())
+		if err != nil {
+			return err
+		}
+		part75, part75Res, err := mega.Reorganize(fam.g, mega.TraverseOptions{EdgeCoverage: 0.75, Start: -1})
+		if err != nil {
+			return err
+		}
+		part50, part50Res, err := mega.Reorganize(fam.g, mega.TraverseOptions{EdgeCoverage: 0.5, Start: -1})
+		if err != nil {
+			return err
+		}
+		global := mega.CompleteGraph(fam.g.NumNodes())
+		for hops := 1; hops <= *maxHops; hops++ {
+			pFull, err := inducedSim(fam.g, full, fullRes, hops)
+			if err != nil {
+				return err
+			}
+			p75, err := inducedSim(fam.g, part75, part75Res, hops)
+			if err != nil {
+				return err
+			}
+			p50, err := inducedSim(fam.g, part50, part50Res, hops)
+			if err != nil {
+				return err
+			}
+			gSim := mega.WLSimilarity(fam.g, global, hops)
+			fmt.Printf("%-14s %6d %10.3f %10.3f %10.3f %10.3f\n",
+				fam.name, hops, pFull, p75, p50, gSim)
+		}
+		fmt.Printf("  (θ=1 expansion %.2fx, revisits %d; θ=0.5 covers %.0f%% of edges)\n",
+			full.Expansion(), fullRes.Revisits, 100*part50Res.EdgeCoverageRatio())
+	}
+	fmt.Println("\nreading: full-coverage paths preserve structure exactly; partial")
+	fmt.Println("coverage trades similarity for shorter paths; global attention's")
+	fmt.Println("fully connected view shares almost no WL structure with sparse graphs.")
+	return nil
+}
+
+// inducedSim computes the WL similarity between g and the band-induced
+// aggregation graph of a representation.
+func inducedSim(g *mega.Graph, rep *mega.BandRep, res *mega.TraverseResult, hops int) (float64, error) {
+	induced, err := rep.InducedGraph(res, false)
+	if err != nil {
+		return 0, err
+	}
+	return mega.WLSimilarity(g, induced, hops), nil
+}

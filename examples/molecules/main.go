@@ -1,0 +1,74 @@
+// Molecules: train the Gated Graph ConvNet on the ZINC-like molecular
+// regression workload under both attention engines and compare convergence
+// on the simulated GPU clock — a miniature of the paper's Figure 12
+// protocol runnable in under a minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mega"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "molecules:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("molecules", flag.ContinueOnError)
+	trainN := fs.Int("train", 128, "training instances")
+	epochs := fs.Int("epochs", 5, "training epochs")
+	dim := fs.Int("dim", 32, "hidden dimension")
+	model := fs.String("model", "GCN", "model: GCN or GT")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ds, err := mega.GenerateDataset("ZINC", mega.DatasetConfig{
+		TrainSize: *trainN, ValSize: *trainN / 4, TestSize: *trainN / 4, Seed: 11,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ZINC-like dataset: %d train / %d val molecules, task %s\n",
+		len(ds.Train), len(ds.Val), ds.Task)
+
+	type outcome struct {
+		name string
+		res  *mega.TrainResult
+	}
+	var outcomes []outcome
+	for _, engine := range []mega.EngineKind{mega.EngineDGL, mega.EngineMega} {
+		res, err := mega.Train(ds, mega.TrainOptions{
+			Model: *model, Engine: engine,
+			Dim: *dim, Layers: 4, Heads: 4,
+			BatchSize: 32, LR: 1e-3, Epochs: *epochs, Seed: 1,
+			Profile: true,
+		})
+		if err != nil {
+			return err
+		}
+		outcomes = append(outcomes, outcome{name: engine.String(), res: res})
+		fmt.Printf("\n%s engine (%d params):\n", engine, res.Params)
+		fmt.Printf("  %6s %14s %12s %12s\n", "epoch", "simTime(ms)", "trainLoss", "valMAE")
+		for _, s := range res.Stats {
+			fmt.Printf("  %6d %14.3f %12.4f %12.4f\n",
+				s.Epoch, s.SimTime.Seconds()*1e3, s.TrainLoss, s.ValMetric)
+		}
+	}
+
+	dgl, megaRes := outcomes[0].res, outcomes[1].res
+	dglFinal := dgl.Stats[len(dgl.Stats)-1]
+	megaFinal := megaRes.Stats[len(megaRes.Stats)-1]
+	fmt.Printf("\nsimulated epoch-time speedup: %.2fx (dgl %v vs mega %v)\n",
+		float64(dglFinal.SimTime)/float64(megaFinal.SimTime),
+		dglFinal.SimTime.Round(1e5), megaFinal.SimTime.Round(1e5))
+	fmt.Printf("final val MAE: dgl %.4f vs mega %.4f (paper: comparable accuracy)\n",
+		dglFinal.ValMetric, megaFinal.ValMetric)
+	return nil
+}

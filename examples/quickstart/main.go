@@ -1,0 +1,89 @@
+// Quickstart: build a graph, reorganise it into MEGA's path representation,
+// inspect the band, and compare the simulated memory cost of conventional
+// graph attention against banded diagonal attention.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mega"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. The demonstration graph of the paper's Figure 3a: seven vertices
+	// with an irregular degree distribution.
+	g, err := mega.NewGraph(7, []mega.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 5}, {Src: 1, Dst: 2}, {Src: 1, Dst: 3},
+		{Src: 2, Dst: 3}, {Src: 3, Dst: 4}, {Src: 3, Dst: 6}, {Src: 5, Dst: 6},
+		{Src: 4, Dst: 6},
+	}, false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %d vertices, %d edges, mean degree %.2f\n",
+		g.NumNodes(), g.NumEdges(), g.MeanDegree())
+
+	// 2. Reorganise: one CPU preprocessing pass derives the traversal
+	// schedule and the banded layout (paper Algorithm 1 + Figure 7).
+	rep, res, err := mega.Reorganize(g, mega.DefaultTraverseOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("path: %v\n", res.Path)
+	fmt.Printf("window ω=%d, revisits=%d (lower bound %d), virtual edges=%d\n",
+		res.Window, res.Revisits,
+		mega.RevisitLowerBound(g.Degrees(), res.Window), res.VirtualEdges)
+	fmt.Printf("band captures %d/%d edges (coverage %.0f%%), expansion %.2fx\n",
+		rep.CoveredEdges, rep.TotalEdges, 100*rep.BandCoverage(), rep.Expansion())
+
+	// 3. Structure check: the graph diagonal attention aggregates over is
+	// WL-identical to the original at one hop.
+	induced, err := rep.InducedGraph(res, false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("WL similarity (1 hop): %.3f\n", mega.WLSimilarity(g, induced, 1))
+
+	// 4. Memory behaviour: replay both access patterns on the simulated
+	// GTX 1080 over a realistic training batch (64 molecule-like graphs).
+	// The conventional engine gathers rows by node ID; MEGA sweeps the
+	// band sequentially.
+	ds, err := mega.GenerateDataset("ZINC", mega.DatasetConfig{TrainSize: 64, ValSize: 1, TestSize: 1, Seed: 3})
+	if err != nil {
+		return err
+	}
+	for _, engine := range []struct {
+		name string
+		kind mega.EngineKind
+	}{
+		{name: "conventional (dgl)", kind: mega.EngineDGL},
+		{name: "mega (band)", kind: mega.EngineMega},
+	} {
+		sim := mega.NewSim(mega.GTX1080Config())
+		var ctx *mega.Context
+		if engine.kind == mega.EngineMega {
+			ctx, err = mega.NewMegaContext(ds.Train, mega.MegaOptions{}, sim, 64)
+		} else {
+			ctx, err = mega.NewDGLContext(ds.Train, sim, 64)
+		}
+		if err != nil {
+			return err
+		}
+		model := mega.NewGatedGCN(mega.ModelConfig{
+			Dim: 64, Layers: 4,
+			NodeTypes: ds.NumNodeTypes, EdgeTypes: ds.NumEdgeTypes, OutDim: 1,
+		})
+		_ = model.Forward(ctx)
+		fmt.Printf("%-20s %8.0f simulated cycles, SM efficiency %.2f, stalls %.2f\n",
+			engine.name, sim.TotalCycles(), sim.WeightedSMEfficiency(), sim.WeightedStallPct())
+	}
+	return nil
+}

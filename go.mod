@@ -1,0 +1,3 @@
+module mega
+
+go 1.22

@@ -1,0 +1,169 @@
+package band
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary serialisation for path representations. MEGA's preprocessing is a
+// one-time CPU pass whose output is reused across every training epoch and
+// every restart; persisting it avoids re-traversing large graphs. The
+// format is versioned little-endian with an explicit magic, so corrupt or
+// foreign files fail fast.
+
+const (
+	repMagic   = uint32(0x4D454741) // "MEGA"
+	repVersion = uint32(1)
+)
+
+// Encoding errors.
+var (
+	ErrBadMagic    = errors.New("band: not a MEGA representation file")
+	ErrBadVersion  = errors.New("band: unsupported representation version")
+	ErrCorruptFile = errors.New("band: corrupt representation")
+)
+
+// WriteTo serialises the representation. It implements io.WriterTo.
+func (r *Rep) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	put := func(vs ...uint32) error {
+		for _, v := range vs {
+			if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	putI32s := func(xs []int32) error {
+		if err := put(uint32(len(xs))); err != nil {
+			return err
+		}
+		return binary.Write(cw, binary.LittleEndian, xs)
+	}
+
+	if err := put(repMagic, repVersion); err != nil {
+		return cw.n, err
+	}
+	if err := put(uint32(len(r.Path)), uint32(r.Window), uint32(r.NumNodes),
+		uint32(r.CoveredEdges), uint32(r.TotalEdges)); err != nil {
+		return cw.n, err
+	}
+	path := make([]int32, len(r.Path))
+	for i, v := range r.Path {
+		path[i] = int32(v)
+	}
+	if err := binary.Write(cw, binary.LittleEndian, path); err != nil {
+		return cw.n, err
+	}
+	// Masks are stored as the edge-ID arrays only; the mask is EdgeID>=0.
+	for o := 0; o < r.Window; o++ {
+		if err := putI32s(r.EdgeID[o]); err != nil {
+			return cw.n, err
+		}
+	}
+	if bw, ok := cw.w.(*bufio.Writer); ok {
+		if err := bw.Flush(); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// ReadRep deserialises a representation written by WriteTo.
+func ReadRep(r io.Reader) (*Rep, error) {
+	br := bufio.NewReader(r)
+	var magic, version uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptFile, err)
+	}
+	if magic != repMagic {
+		return nil, ErrBadMagic
+	}
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptFile, err)
+	}
+	if version != repVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, version)
+	}
+	var hdr [5]uint32
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("%w: header: %v", ErrCorruptFile, err)
+		}
+	}
+	pathLen, window, numNodes := int(hdr[0]), int(hdr[1]), int(hdr[2])
+	// A window larger than the path is legitimate for tiny graphs (the
+	// adaptive window comes from the degree, not the path length), so the
+	// sanity bounds only reject sizes that would make allocation unsafe.
+	const sanityCap = 1 << 28
+	if pathLen > sanityCap || window > sanityCap || numNodes > sanityCap {
+		return nil, fmt.Errorf("%w: implausible header %v", ErrCorruptFile, hdr)
+	}
+	rep := &Rep{
+		Window:       window,
+		NumNodes:     numNodes,
+		CoveredEdges: int(hdr[3]),
+		TotalEdges:   int(hdr[4]),
+	}
+	path := make([]int32, pathLen)
+	if err := binary.Read(br, binary.LittleEndian, path); err != nil {
+		return nil, fmt.Errorf("%w: path: %v", ErrCorruptFile, err)
+	}
+	rep.Path = make([]int32, pathLen)
+	copy(rep.Path, path)
+	rep.Mask = make([][]bool, window)
+	rep.EdgeID = make([][]int32, window)
+	for o := 0; o < window; o++ {
+		var size uint32
+		if err := binary.Read(br, binary.LittleEndian, &size); err != nil {
+			return nil, fmt.Errorf("%w: offset %d: %v", ErrCorruptFile, o+1, err)
+		}
+		if int(size) != max(0, pathLen-(o+1)) {
+			return nil, fmt.Errorf("%w: offset %d size %d", ErrCorruptFile, o+1, size)
+		}
+		eids := make([]int32, size)
+		if err := binary.Read(br, binary.LittleEndian, eids); err != nil {
+			return nil, fmt.Errorf("%w: offset %d data: %v", ErrCorruptFile, o+1, err)
+		}
+		mask := make([]bool, size)
+		for i, e := range eids {
+			if int(e) >= rep.TotalEdges {
+				return nil, fmt.Errorf("%w: edge id %d out of %d", ErrCorruptFile, e, rep.TotalEdges)
+			}
+			mask[i] = e >= 0
+		}
+		rep.EdgeID[o] = eids
+		rep.Mask[o] = mask
+	}
+	// Rebuild the positions index and covered-edge count.
+	rep.Positions = make([][]int32, numNodes)
+	for i, v := range rep.Path {
+		if int(v) < 0 || int(v) >= numNodes {
+			return nil, fmt.Errorf("%w: path vertex %d out of %d", ErrCorruptFile, v, numNodes)
+		}
+		rep.Positions[v] = append(rep.Positions[v], int32(i))
+	}
+	return rep, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// countingWriter tracks bytes written.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

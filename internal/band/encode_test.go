@@ -1,0 +1,186 @@
+package band
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mega/internal/graph"
+	"mega/internal/traverse"
+)
+
+func roundTrip(t *testing.T, rep *Rep) *Rep {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := rep.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadRep(&buf)
+	if err != nil {
+		t.Fatalf("ReadRep: %v", err)
+	}
+	return got
+}
+
+func repsEqual(t *testing.T, want, got *Rep) {
+	t.Helper()
+	if got.Window != want.Window || got.NumNodes != want.NumNodes ||
+		got.CoveredEdges != want.CoveredEdges || got.TotalEdges != want.TotalEdges {
+		t.Fatalf("header mismatch: got %+v", got)
+	}
+	if len(got.Path) != len(want.Path) {
+		t.Fatalf("path length %d, want %d", len(got.Path), len(want.Path))
+	}
+	for i := range want.Path {
+		if got.Path[i] != want.Path[i] {
+			t.Fatalf("path[%d] = %d, want %d", i, got.Path[i], want.Path[i])
+		}
+	}
+	for o := 0; o < want.Window; o++ {
+		for i := range want.EdgeID[o] {
+			if got.EdgeID[o][i] != want.EdgeID[o][i] {
+				t.Fatalf("edge id [%d][%d] mismatch", o, i)
+			}
+			if got.Mask[o][i] != want.Mask[o][i] {
+				t.Fatalf("mask [%d][%d] mismatch", o, i)
+			}
+		}
+	}
+	for v := range want.Positions {
+		if len(got.Positions[v]) != len(want.Positions[v]) {
+			t.Fatalf("positions[%d] length mismatch", v)
+		}
+		for i := range want.Positions[v] {
+			if got.Positions[v][i] != want.Positions[v][i] {
+				t.Fatalf("positions[%d][%d] mismatch", v, i)
+			}
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.ErdosRenyiM(rng, 30, 80)
+	rep, _, err := FromGraph(g, traverse.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	repsEqual(t, rep, roundTrip(t, rep))
+}
+
+func TestRoundTripEdgelessGraph(t *testing.T) {
+	g := graph.MustNew(3, nil, false)
+	rep, _, err := FromGraph(g, traverse.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	repsEqual(t, rep, roundTrip(t, rep))
+}
+
+func TestReadRepRejectsGarbage(t *testing.T) {
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{name: "empty", data: nil},
+		{name: "short", data: []byte{1, 2}},
+		{name: "wrong magic", data: []byte{0, 0, 0, 0, 1, 0, 0, 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadRep(bytes.NewReader(tt.data)); err == nil {
+				t.Error("garbage should not parse")
+			}
+		})
+	}
+}
+
+func TestReadRepRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	g := graph.Cycle(5)
+	rep, _, err := FromGraph(g, traverse.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 0xFF // corrupt version field
+	if _, err := ReadRep(bytes.NewReader(data)); err == nil {
+		t.Error("wrong version should be rejected")
+	}
+}
+
+func TestReadRepRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	rng := rand.New(rand.NewSource(2))
+	g := graph.ErdosRenyiM(rng, 20, 50)
+	rep, _, err := FromGraph(g, traverse.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{9, len(full) / 2, len(full) - 3} {
+		if _, err := ReadRep(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d should be rejected", cut)
+		}
+	}
+}
+
+// Property: round trips are lossless for arbitrary traversals.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.ErdosRenyi(rng, n, 0.3)
+		rep, _, err := FromGraph(g, traverse.DefaultOptions())
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if _, err := rep.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadRep(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Window != rep.Window || len(got.Path) != len(rep.Path) {
+			return false
+		}
+		for i := range rep.Path {
+			if got.Path[i] != rep.Path[i] {
+				return false
+			}
+		}
+		return got.BandCoverage() == rep.BandCoverage()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWriteTo(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.BarabasiAlbert(rng, 1000, 3)
+	rep, _, err := FromGraph(g, traverse.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := rep.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,438 @@
+// Package datasets generates the four evaluation workloads of the paper —
+// ZINC, AQSOL, CSL and CYCLES — as seeded synthetic equivalents.
+//
+// The real ZINC/AQSOL molecular datasets are not available offline, so the
+// molecular generators sample graphs matched to the published statistics
+// (Table II: node/edge counts and sparsity; Table III: degree-distribution
+// shape) and attach *synthetic but learnable* targets computed from local
+// graph structure, so that convergence experiments (Figs 11–15) exercise
+// real learning. CSL and CYCLES are themselves synthetic datasets; their
+// constructions follow the source papers (circulant skip-link graphs;
+// planted fixed-length cycles).
+package datasets
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"mega/internal/graph"
+)
+
+// Task distinguishes the two downstream graph-prediction task families the
+// paper evaluates (§III-2: graph regression and graph classification).
+type Task int
+
+const (
+	// TaskRegression predicts one scalar per graph (ZINC, AQSOL).
+	TaskRegression Task = iota + 1
+	// TaskClassification predicts one class per graph (CSL, CYCLES).
+	TaskClassification
+)
+
+// String implements fmt.Stringer.
+func (t Task) String() string {
+	switch t {
+	case TaskRegression:
+		return "regression"
+	case TaskClassification:
+		return "classification"
+	default:
+		return fmt.Sprintf("Task(%d)", int(t))
+	}
+}
+
+// Instance is a single graph sample with categorical node and edge features
+// and either a regression target or a class label.
+type Instance struct {
+	G *graph.Graph
+	// NodeFeat[v] is the categorical node type of vertex v (atom type for
+	// molecular sets, positional bucket for CSL, cycle-distance bucket for
+	// CYCLES).
+	NodeFeat []int32
+	// EdgeFeat[e] is the categorical type of stored (undirected) edge e.
+	EdgeFeat []int32
+	// Target is the regression target (regression tasks only).
+	Target float64
+	// Label is the class label (classification tasks only).
+	Label int
+}
+
+// Dataset is a named collection of instances with fixed train/val/test
+// splits, mirroring the splits in Table II.
+type Dataset struct {
+	Name         string
+	Task         Task
+	NumNodeTypes int
+	NumEdgeTypes int
+	NumClasses   int // classification only
+
+	Train []Instance
+	Val   []Instance
+	Test  []Instance
+}
+
+// All returns every instance across splits in train, val, test order.
+func (d *Dataset) All() []Instance {
+	out := make([]Instance, 0, len(d.Train)+len(d.Val)+len(d.Test))
+	out = append(out, d.Train...)
+	out = append(out, d.Val...)
+	out = append(out, d.Test...)
+	return out
+}
+
+// Config controls the size of a generated dataset. Zero sizes select the
+// paper's split sizes (Table II), which are large; experiments that only
+// need the memory-behaviour shape use scaled-down configs.
+type Config struct {
+	TrainSize int
+	ValSize   int
+	TestSize  int
+	Seed      int64
+}
+
+// ErrUnknownDataset is returned by Generate for unrecognised names.
+var ErrUnknownDataset = errors.New("datasets: unknown dataset name")
+
+// Generate builds a dataset by its paper name: "ZINC", "AQSOL", "CSL" or
+// "CYCLES".
+func Generate(name string, cfg Config) (*Dataset, error) {
+	switch name {
+	case "ZINC":
+		return ZINC(cfg), nil
+	case "AQSOL":
+		return AQSOL(cfg), nil
+	case "CSL":
+		return CSL(cfg), nil
+	case "CYCLES":
+		return CYCLES(cfg), nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+}
+
+// Names lists the four evaluation datasets in the paper's order.
+func Names() []string { return []string{"ZINC", "AQSOL", "CSL", "CYCLES"} }
+
+func (c Config) withDefaults(train, val, test int) Config {
+	if c.TrainSize == 0 {
+		c.TrainSize = train
+	}
+	if c.ValSize == 0 {
+		c.ValSize = val
+	}
+	if c.TestSize == 0 {
+		c.TestSize = test
+	}
+	return c
+}
+
+// molecularParams tunes the molecule-like generator toward the Table II/III
+// statistics of a dataset.
+type molecularParams struct {
+	meanNodes   int // μ(n): 23 for ZINC, 18 for AQSOL
+	nodesJitter int // uniform ±jitter
+	extraEdges  int // ring closures beyond the spanning tree
+	edgesJitter int
+	numAtoms    int // node-type vocabulary
+	numBonds    int // edge-type vocabulary
+	maxDegree   int
+}
+
+// moleculeLike samples one molecule-like graph: a random spanning tree with
+// bounded degree plus a few ring-closing edges, the structure that yields
+// the low, consistent degree variance reported in Table III.
+func moleculeLike(rng *rand.Rand, p molecularParams) Instance {
+	n := p.meanNodes
+	if p.nodesJitter > 0 {
+		n += rng.Intn(2*p.nodesJitter+1) - p.nodesJitter
+	}
+	if n < 3 {
+		n = 3
+	}
+	deg := make([]int, n)
+	edges := make([]graph.Edge, 0, n+p.extraEdges)
+	// Degree-capped random tree: each vertex attaches to a random earlier
+	// vertex that still has capacity.
+	for v := 1; v < n; v++ {
+		u := rng.Intn(v)
+		for tries := 0; deg[u] >= p.maxDegree && tries < 4*v; tries++ {
+			u = rng.Intn(v)
+		}
+		edges = append(edges, graph.Edge{Src: graph.NodeID(u), Dst: graph.NodeID(v)})
+		deg[u]++
+		deg[v]++
+	}
+	// Ring closures between non-adjacent capacity-remaining vertices.
+	extra := p.extraEdges
+	if p.edgesJitter > 0 {
+		extra += rng.Intn(2*p.edgesJitter+1) - p.edgesJitter
+	}
+	have := make(map[[2]graph.NodeID]bool, len(edges)+extra)
+	for _, e := range edges {
+		a, b := e.Src, e.Dst
+		if a > b {
+			a, b = b, a
+		}
+		have[[2]graph.NodeID{a, b}] = true
+	}
+	for added, tries := 0, 0; added < extra && tries < 50*extra+50; tries++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v || deg[u] >= p.maxDegree || deg[v] >= p.maxDegree {
+			continue
+		}
+		a, b := u, v
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]graph.NodeID{a, b}
+		if have[key] {
+			continue
+		}
+		have[key] = true
+		edges = append(edges, graph.Edge{Src: a, Dst: b})
+		deg[u]++
+		deg[v]++
+		added++
+	}
+	g := graph.MustNew(n, edges, false)
+	nodeFeat := make([]int32, n)
+	for v := range nodeFeat {
+		nodeFeat[v] = int32(rng.Intn(p.numAtoms))
+	}
+	edgeFeat := make([]int32, g.NumEdges())
+	for e := range edgeFeat {
+		edgeFeat[e] = int32(rng.Intn(p.numBonds))
+	}
+	return Instance{G: g, NodeFeat: nodeFeat, EdgeFeat: edgeFeat}
+}
+
+// molecularTarget computes a synthetic but structurally grounded regression
+// target: a weighted sum of atom-type contributions scaled by local degree,
+// a ring-count term (edges beyond a spanning forest), and small noise. A
+// message-passing GNN can fit it because every term is a 1–2 hop local
+// statistic.
+func molecularTarget(rng *rand.Rand, inst Instance, atomWeight []float64, ringWeight, noise float64) float64 {
+	g := inst.G
+	t := 0.0
+	for v := 0; v < g.NumNodes(); v++ {
+		w := atomWeight[int(inst.NodeFeat[v])%len(atomWeight)]
+		t += w * (1 + 0.15*float64(g.Degree(graph.NodeID(v))))
+	}
+	_, comps := g.ConnectedComponents()
+	rings := g.NumEdges() - (g.NumNodes() - comps)
+	t += ringWeight * float64(rings)
+	t -= 0.02 * float64(g.NumNodes())
+	t += noise * rng.NormFloat64()
+	return t
+}
+
+// zincAtomWeights is the fixed per-atom-type contribution used by the ZINC
+// surrogate target; values are arbitrary but fixed so runs are reproducible.
+var zincAtomWeights = []float64{
+	0.31, -0.22, 0.10, 0.45, -0.37, 0.05, 0.27, -0.12, 0.33, -0.28,
+	0.18, -0.05, 0.41, -0.33, 0.07, 0.22, -0.17, 0.38, -0.25, 0.12,
+	0.29, -0.08, 0.16, -0.42, 0.35, -0.14, 0.09, 0.24,
+}
+
+// aqsolAtomWeights is the AQSOL surrogate's per-atom contribution table.
+var aqsolAtomWeights = []float64{
+	-0.51, 0.12, -0.30, 0.25, 0.47, -0.07, 0.15, -0.22, 0.38, -0.45,
+	0.03, 0.28, -0.18, 0.33, -0.11, 0.41, -0.36, 0.06, 0.19, -0.27,
+	0.30, -0.02, 0.23, -0.39, 0.44, -0.16, 0.08, 0.35, -0.20, 0.13,
+	0.26, -0.09, 0.17, -0.32, 0.40, -0.13, 0.04, 0.21, -0.24, 0.37,
+	-0.41, 0.11, 0.29, -0.06, 0.14, -0.34, 0.46, -0.19, 0.02, 0.32,
+	-0.26, 0.09, 0.20, -0.15, 0.43, -0.29, 0.07, 0.24, -0.38, 0.16,
+	0.34, -0.03, 0.27, -0.10, 0.39,
+}
+
+// ZINC generates the ZINC-like molecular regression dataset:
+// Table II: 10000/1000/1000 splits, ~23 nodes, ~50 directed edges,
+// sparsity ~0.096. Node vocabulary: 28 atom types; edges: 4 bond types.
+func ZINC(cfg Config) *Dataset {
+	cfg = cfg.withDefaults(10000, 1000, 1000)
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x21AC))
+	p := molecularParams{
+		meanNodes: 23, nodesJitter: 6,
+		extraEdges: 3, edgesJitter: 1,
+		numAtoms: 28, numBonds: 4, maxDegree: 4,
+	}
+	gen := func() Instance {
+		inst := moleculeLike(rng, p)
+		inst.Target = molecularTarget(rng, inst, zincAtomWeights, 0.5, 0.05)
+		return inst
+	}
+	return assemble("ZINC", TaskRegression, p.numAtoms, p.numBonds, 0, cfg, gen)
+}
+
+// AQSOL generates the AQSOL-like solubility regression dataset:
+// Table II: 7985/996/996 splits, ~18 nodes, ~36 directed edges,
+// sparsity ~0.148. Node vocabulary: 65 atom types; edges: 5 bond types.
+func AQSOL(cfg Config) *Dataset {
+	cfg = cfg.withDefaults(7985, 996, 996)
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0xA9501))
+	p := molecularParams{
+		meanNodes: 18, nodesJitter: 5,
+		extraEdges: 1, edgesJitter: 1,
+		numAtoms: 65, numBonds: 5, maxDegree: 4,
+	}
+	gen := func() Instance {
+		inst := moleculeLike(rng, p)
+		inst.Target = molecularTarget(rng, inst, aqsolAtomWeights, 0.4, 0.05)
+		return inst
+	}
+	return assemble("AQSOL", TaskRegression, p.numAtoms, p.numBonds, 0, cfg, gen)
+}
+
+// cslSkips are the four circulant skip lengths realising the paper's "4
+// types of regular graphs" (Table II: 41 nodes, 164 directed edges — i.e.
+// degree-4 circulants CSL(41, R)).
+var cslSkips = []int{2, 3, 5, 7}
+
+// cslPositionBuckets is the positional-feature vocabulary for CSL. Real CSL
+// training uses positional encodings (the graphs are vertex-transitive, so
+// constant features carry no class signal); we bucket the pre-rotation ring
+// position, the discrete analogue of the benchmark suite's Laplacian
+// positional encodings.
+const cslPositionBuckets = 8
+
+// CSL generates the circular-skip-link classification dataset:
+// Table II: 90/30/30 splits over 4 classes, 41 nodes, 164 directed edges.
+func CSL(cfg Config) *Dataset {
+	cfg = cfg.withDefaults(90, 30, 30)
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0xC51))
+	const n = 41
+	class := 0
+	gen := func() Instance {
+		skip := cslSkips[class%len(cslSkips)]
+		label := class % len(cslSkips)
+		class++
+		base, err := graph.Circulant(n, []int{1, skip})
+		if err != nil {
+			panic(err) // unreachable: constants validated by construction
+		}
+		// Rotate the labelling: circulants are vertex-transitive, so a
+		// rotation gives a different instance of the same class.
+		rot := rng.Intn(n)
+		perm := make([]graph.NodeID, n)
+		for i := range perm {
+			perm[i] = graph.NodeID((i + rot) % n)
+		}
+		g, err := graph.PermuteNodes(base, perm)
+		if err != nil {
+			panic(err)
+		}
+		nodeFeat := make([]int32, n)
+		for i := 0; i < n; i++ {
+			nodeFeat[perm[i]] = int32(i % cslPositionBuckets)
+		}
+		edgeFeat := make([]int32, g.NumEdges())
+		return Instance{G: g, NodeFeat: nodeFeat, EdgeFeat: edgeFeat, Label: label}
+	}
+	return assemble("CSL", TaskClassification, cslPositionBuckets, 1, len(cslSkips), cfg, gen)
+}
+
+// CYCLES plants a fixed-length cycle (positive class, length 6) or a
+// different-length cycle (negative class, length 10) inside a random tree:
+// Table II: 9000/1000/10000 splits, ~49 nodes, ~88 directed edges.
+// Node features bucket the hop distance to the planted cycle (0, 1, 2, 3+),
+// so cycle membership is observable to a message-passing model.
+const (
+	cyclesPositiveLen = 6
+	cyclesNegativeLen = 10
+	cyclesDistBuckets = 4
+)
+
+// CYCLES generates the fixed-length-cycle detection dataset.
+func CYCLES(cfg Config) *Dataset {
+	cfg = cfg.withDefaults(9000, 1000, 10000)
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0xCCC1E5))
+	flip := false
+	gen := func() Instance {
+		positive := flip
+		flip = !flip
+		cycLen := cyclesNegativeLen
+		label := 0
+		if positive {
+			cycLen = cyclesPositiveLen
+			label = 1
+		}
+		n := 49 + rng.Intn(7) - 3
+		if n < cycLen+2 {
+			n = cycLen + 2
+		}
+		edges := make([]graph.Edge, 0, n)
+		// Planted cycle on vertices [0, cycLen).
+		for v := 0; v < cycLen; v++ {
+			edges = append(edges, graph.Edge{Src: graph.NodeID(v), Dst: graph.NodeID((v + 1) % cycLen)})
+		}
+		// Random tree hanging off the cycle.
+		for v := cycLen; v < n; v++ {
+			u := rng.Intn(v)
+			edges = append(edges, graph.Edge{Src: graph.NodeID(u), Dst: graph.NodeID(v)})
+		}
+		g := graph.MustNew(n, edges, false)
+		nodeFeat := cycleDistanceFeatures(g, cycLen)
+		edgeFeat := make([]int32, g.NumEdges())
+		return Instance{G: g, NodeFeat: nodeFeat, EdgeFeat: edgeFeat, Label: label}
+	}
+	return assemble("CYCLES", TaskClassification, cyclesDistBuckets, 1, 2, cfg, gen)
+}
+
+// cycleDistanceFeatures BFSes from the planted cycle vertices [0, cycLen)
+// and buckets each vertex's hop distance into {0, 1, 2, 3+}.
+func cycleDistanceFeatures(g *graph.Graph, cycLen int) []int32 {
+	n := g.NumNodes()
+	dist := make([]int, n)
+	for v := range dist {
+		dist[v] = -1
+	}
+	queue := make([]graph.NodeID, 0, n)
+	for v := 0; v < cycLen; v++ {
+		dist[v] = 0
+		queue = append(queue, graph.NodeID(v))
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	feat := make([]int32, n)
+	for v, d := range dist {
+		if d < 0 || d >= cyclesDistBuckets {
+			d = cyclesDistBuckets - 1
+		}
+		feat[v] = int32(d)
+	}
+	return feat
+}
+
+// assemble fills the three splits by repeatedly calling gen.
+func assemble(name string, task Task, nodeTypes, edgeTypes, classes int, cfg Config, gen func() Instance) *Dataset {
+	d := &Dataset{
+		Name:         name,
+		Task:         task,
+		NumNodeTypes: nodeTypes,
+		NumEdgeTypes: edgeTypes,
+		NumClasses:   classes,
+	}
+	d.Train = make([]Instance, cfg.TrainSize)
+	for i := range d.Train {
+		d.Train[i] = gen()
+	}
+	d.Val = make([]Instance, cfg.ValSize)
+	for i := range d.Val {
+		d.Val[i] = gen()
+	}
+	d.Test = make([]Instance, cfg.TestSize)
+	for i := range d.Test {
+		d.Test[i] = gen()
+	}
+	return d
+}

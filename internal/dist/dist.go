@@ -1,0 +1,319 @@
+// Package dist implements the distributed-learning communication analysis
+// of §IV-B6: the conventional edge/vertex partition of a graph requires
+// communication proportional to the cut (with all-to-all message patterns),
+// while partitioning MEGA's path representation into contiguous chunks
+// needs only a fixed-size halo exchange between adjacent chunks — O(k)
+// messages of ω·d embeddings each.
+//
+// Two levels are provided: closed-form analyzers that count messages and
+// bytes for each strategy, and a real goroutine-based halo-exchange harness
+// that moves embedding data through channels and verifies the analytical
+// counts against observed traffic.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mega/internal/band"
+	"mega/internal/graph"
+)
+
+// CommStats summarises one layer's communication for a partitioned graph.
+type CommStats struct {
+	// Workers is the partition count k.
+	Workers int
+	// Messages is the number of point-to-point messages per layer.
+	Messages int
+	// Bytes is the total payload per layer (float64 embeddings).
+	Bytes int64
+	// MaxFanout is the largest number of distinct peers any worker
+	// exchanges with: k-1 for all-to-all patterns, <= 2 for path chunks.
+	MaxFanout int
+	// ReplicatedRows counts embedding rows that exist on more than one
+	// worker (boundary replicas / halos).
+	ReplicatedRows int
+}
+
+// ErrBadWorkers is returned for non-positive or oversized worker counts.
+var ErrBadWorkers = errors.New("dist: invalid worker count")
+
+// AnalyzeEdgePartition computes per-layer communication for the baseline:
+// vertices are range-partitioned into k parts and every cut edge forces the
+// two endpoint embeddings to cross the cut each layer (one message per
+// ordered pair of communicating parts, batching all rows between that pair).
+func AnalyzeEdgePartition(g *graph.Graph, k, dim int) (CommStats, error) {
+	if k <= 0 || k > g.NumNodes() {
+		return CommStats{}, fmt.Errorf("%w: %d for %d nodes", ErrBadWorkers, k, g.NumNodes())
+	}
+	part := func(v graph.NodeID) int {
+		return int(v) * k / g.NumNodes()
+	}
+	// rows[pair] = set of rows moving from part a to part b.
+	type pair struct{ from, to int }
+	moved := make(map[pair]map[graph.NodeID]bool)
+	record := func(from, to int, v graph.NodeID) {
+		p := pair{from, to}
+		if moved[p] == nil {
+			moved[p] = make(map[graph.NodeID]bool)
+		}
+		moved[p][v] = true
+	}
+	for _, e := range g.Edges() {
+		pu, pv := part(e.Src), part(e.Dst)
+		if pu == pv {
+			continue
+		}
+		record(pu, pv, e.Src) // u's embedding must reach v's part
+		record(pv, pu, e.Dst)
+	}
+	stats := CommStats{Workers: k}
+	fanout := make([]map[int]bool, k)
+	for i := range fanout {
+		fanout[i] = make(map[int]bool)
+	}
+	replicated := make(map[graph.NodeID]bool)
+	for p, rows := range moved {
+		stats.Messages++
+		stats.Bytes += int64(len(rows)) * int64(dim) * 8
+		fanout[p.from][p.to] = true
+		for v := range rows {
+			replicated[v] = true
+		}
+	}
+	for _, f := range fanout {
+		if len(f) > stats.MaxFanout {
+			stats.MaxFanout = len(f)
+		}
+	}
+	stats.ReplicatedRows = len(replicated)
+	return stats, nil
+}
+
+// AnalyzePathPartition computes per-layer communication for MEGA: the path
+// is split into k contiguous chunks; each chunk sends its trailing ω rows
+// to its successor and its leading ω rows to its predecessor — "only two
+// communications for adjacent path partitions" (§IV-B6) — plus one
+// message pair per duplicate group spanning chunks (synchronisation).
+func AnalyzePathPartition(rep *band.Rep, k, dim int) (CommStats, error) {
+	L := rep.Len()
+	if k <= 0 || k > L {
+		return CommStats{}, fmt.Errorf("%w: %d for path length %d", ErrBadWorkers, k, L)
+	}
+	stats := CommStats{Workers: k}
+	omega := rep.Window
+	// Halo exchange: 2 messages per internal boundary.
+	stats.Messages = 2 * (k - 1)
+	stats.Bytes = int64(2*(k-1)*omega*dim) * 8
+	if k > 1 {
+		stats.MaxFanout = 2
+	}
+	stats.ReplicatedRows = 2 * (k - 1) * omega
+	// Cross-chunk duplicate synchronisation: each group spanning c > 1
+	// chunks costs (c-1) gather + (c-1) broadcast messages to its owner.
+	chunkOf := func(pos int32) int {
+		return int(pos) * k / L
+	}
+	for _, group := range rep.SyncGroups() {
+		chunks := make(map[int]bool, 2)
+		for _, p := range group {
+			chunks[chunkOf(p)] = true
+		}
+		if len(chunks) > 1 {
+			extra := len(chunks) - 1
+			stats.Messages += 2 * extra
+			stats.Bytes += int64(2*extra*dim) * 8
+		}
+	}
+	return stats, nil
+}
+
+// HaloResult is the observed traffic of a real halo-exchange run.
+type HaloResult struct {
+	CommStats
+	// Layers is how many exchange rounds ran.
+	Layers int
+	// RowsOut is each worker's final first-row checksum, for determinism
+	// tests.
+	Checksums []float64
+}
+
+// RunHaloExchange launches k goroutine workers over contiguous chunks of
+// the path representation and performs `layers` rounds of: exchange ω-row
+// halos with neighbours, then apply a banded mean-aggregation over the
+// local rows (including halos). Every message is counted; returned stats
+// cover all layers.
+//
+// The computation is a fixed smoothing kernel rather than a trained model:
+// the experiment measures communication structure, not accuracy.
+func RunHaloExchange(rep *band.Rep, k, dim, layers int) (*HaloResult, error) {
+	L := rep.Len()
+	if k <= 0 || k > L {
+		return nil, fmt.Errorf("%w: %d for path length %d", ErrBadWorkers, k, L)
+	}
+	omega := rep.Window
+
+	// Chunk boundaries.
+	bounds := make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		bounds[i] = i * L / k
+	}
+
+	// Initial embeddings: deterministic function of position.
+	init := func(pos, j int) float64 {
+		return float64(pos%17) + float64(j)*0.25
+	}
+
+	type halo struct {
+		rows [][]float64
+	}
+	// Channels between adjacent workers, one per direction per boundary.
+	right := make([]chan halo, k) // worker i sends to i+1 on right[i]
+	left := make([]chan halo, k)  // worker i sends to i-1 on left[i]
+	for i := 0; i < k; i++ {
+		right[i] = make(chan halo, 1)
+		left[i] = make(chan halo, 1)
+	}
+
+	var mu sync.Mutex
+	var messages int
+	var bytes int64
+	send := func(ch chan halo, h halo) {
+		mu.Lock()
+		messages++
+		for _, r := range h.rows {
+			bytes += int64(len(r)) * 8
+		}
+		mu.Unlock()
+		ch <- h
+	}
+
+	checksums := make([]float64, k)
+	var wg sync.WaitGroup
+	for w := 0; w < k; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := bounds[w], bounds[w+1]
+			local := make([][]float64, hi-lo)
+			for i := range local {
+				row := make([]float64, dim)
+				for j := range row {
+					row[j] = init(lo+i, j)
+				}
+				local[i] = row
+			}
+			for layer := 0; layer < layers; layer++ {
+				// Send halos outward.
+				if w+1 < k {
+					send(right[w], halo{rows: copyRows(tail(local, omega))})
+				}
+				if w > 0 {
+					send(left[w], halo{rows: copyRows(head(local, omega))})
+				}
+				// Receive halos.
+				var pre, post [][]float64
+				if w > 0 {
+					pre = (<-right[w-1]).rows
+				}
+				if w+1 < k {
+					post = (<-left[w+1]).rows
+				}
+				local = bandSmooth(pre, local, post, omega)
+			}
+			if len(local) > 0 {
+				s := 0.0
+				for _, v := range local[0] {
+					s += v
+				}
+				checksums[w] = s
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := &HaloResult{Layers: layers, Checksums: checksums}
+	res.Workers = k
+	res.Messages = messages
+	res.Bytes = bytes
+	if k > 1 {
+		res.MaxFanout = 2
+	}
+	res.ReplicatedRows = 2 * (k - 1) * omega
+	return res, nil
+}
+
+// bandSmooth computes, for each local row, the mean of all rows within ω
+// positions (using neighbour halos at the chunk edges).
+func bandSmooth(pre, local, post [][]float64, omega int) [][]float64 {
+	n := len(local)
+	if n == 0 {
+		return local
+	}
+	dim := len(local[0])
+	// Virtual concatenation: pre ++ local ++ post.
+	row := func(i int) []float64 {
+		switch {
+		case i < 0:
+			pi := len(pre) + i
+			if pi >= 0 {
+				return pre[pi]
+			}
+			return nil
+		case i < n:
+			return local[i]
+		default:
+			pi := i - n
+			if pi < len(post) {
+				return post[pi]
+			}
+			return nil
+		}
+	}
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		acc := make([]float64, dim)
+		count := 0.0
+		for o := -omega; o <= omega; o++ {
+			r := row(i + o)
+			if r == nil {
+				continue
+			}
+			for j := range acc {
+				acc[j] += r[j]
+			}
+			count++
+		}
+		inv := 1 / count
+		for j := range acc {
+			acc[j] *= inv
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+func head(rows [][]float64, n int) [][]float64 {
+	if n > len(rows) {
+		n = len(rows)
+	}
+	return rows[:n]
+}
+
+func tail(rows [][]float64, n int) [][]float64 {
+	if n > len(rows) {
+		n = len(rows)
+	}
+	return rows[len(rows)-n:]
+}
+
+func copyRows(rows [][]float64) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		c := make([]float64, len(r))
+		copy(c, r)
+		out[i] = c
+	}
+	return out
+}

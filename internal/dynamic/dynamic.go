@@ -1,0 +1,307 @@
+// Package dynamic maintains a MEGA path representation under streaming
+// edge insertions and deletions — the latency-constrained scenario of the
+// paper's discussion (§IV-B8: "MEGA can be applied with DYGAT, facilitates
+// real-time stroke classification"). A full re-traversal costs O(m·ω);
+// online updates must be cheap, so the Maintainer repairs incrementally:
+//
+//   - an inserted edge whose endpoints already sit within ω path positions
+//     of each other is an *in-band* repair: flip one mask bit;
+//   - otherwise a two-position *patch* [u, v] is appended to the path, a
+//     consecutive (offset-1) pair that captures the new edge at the cost of
+//     two duplicate appearances;
+//   - deletions clear every band entry of the edge;
+//   - once patches have grown the path beyond a configurable expansion
+//     budget, the Maintainer performs a full rebuild to restore a tight
+//     layout.
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+
+	"mega/internal/band"
+	"mega/internal/graph"
+	"mega/internal/traverse"
+)
+
+// RepairKind classifies how an update was absorbed.
+type RepairKind int
+
+// Repair kinds.
+const (
+	// RepairInBand flipped an existing band slot.
+	RepairInBand RepairKind = iota + 1
+	// RepairPatch appended a patch segment to the path.
+	RepairPatch
+	// RepairRebuild re-traversed the whole graph.
+	RepairRebuild
+	// RepairClear removed band entries (deletions).
+	RepairClear
+)
+
+// String implements fmt.Stringer.
+func (k RepairKind) String() string {
+	switch k {
+	case RepairInBand:
+		return "in-band"
+	case RepairPatch:
+		return "patch"
+	case RepairRebuild:
+		return "rebuild"
+	case RepairClear:
+		return "clear"
+	default:
+		return fmt.Sprintf("RepairKind(%d)", int(k))
+	}
+}
+
+// Repair describes how one update was applied.
+type Repair struct {
+	Kind RepairKind
+	// TouchedSlots counts band entries written.
+	TouchedSlots int
+}
+
+// Errors returned by the Maintainer.
+var (
+	ErrVertexRange = errors.New("dynamic: vertex out of range")
+	ErrSelfLoop    = errors.New("dynamic: self loops not supported")
+	ErrEdgeExists  = errors.New("dynamic: edge already present")
+	ErrEdgeMissing = errors.New("dynamic: edge not present")
+)
+
+// Maintainer keeps a graph and its path representation in sync under
+// updates.
+type Maintainer struct {
+	opts traverse.Options
+	// ExpansionBudget is the allowed growth factor of the path relative
+	// to its length right after the last full rebuild; exceeding it
+	// triggers the next rebuild (default 1.25). A relative budget avoids
+	// rebuild storms on graphs whose natural expansion is already high
+	// (power-law graphs traverse to ~3x even when fresh).
+	ExpansionBudget float64
+
+	numNodes  int
+	edges     []graph.Edge
+	edgeSet   map[[2]graph.NodeID]int32 // canonical pair -> COO id, -1 = deleted
+	liveEdges int
+
+	rep      *band.Rep
+	baseLen  int // path length right after the last rebuild
+	rebuilds int
+	patches  int
+}
+
+// NewMaintainer traverses g once and starts maintaining it.
+func NewMaintainer(g *graph.Graph, opts traverse.Options) (*Maintainer, error) {
+	m := &Maintainer{
+		opts:            opts,
+		ExpansionBudget: 1.25,
+		numNodes:        g.NumNodes(),
+		edges:           g.Edges(),
+	}
+	m.edgeSet = make(map[[2]graph.NodeID]int32, len(m.edges))
+	for i, e := range m.edges {
+		m.edgeSet[canon(e.Src, e.Dst)] = int32(i)
+	}
+	m.liveEdges = len(m.edges)
+	if err := m.rebuild(); err != nil {
+		return nil, err
+	}
+	m.rebuilds = 0 // the initial build is not a repair
+	return m, nil
+}
+
+// Rep returns the current representation. The returned value is live: it
+// changes with subsequent updates.
+func (m *Maintainer) Rep() *band.Rep { return m.rep }
+
+// NumEdges returns the live edge count.
+func (m *Maintainer) NumEdges() int { return m.liveEdges }
+
+// Rebuilds returns how many full re-traversals updates have triggered.
+func (m *Maintainer) Rebuilds() int { return m.rebuilds }
+
+// Patches returns how many patch segments are currently appended.
+func (m *Maintainer) Patches() int { return m.patches }
+
+func canon(u, v graph.NodeID) [2]graph.NodeID {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]graph.NodeID{u, v}
+}
+
+// AddEdge inserts edge {u, v} and repairs the representation.
+func (m *Maintainer) AddEdge(u, v graph.NodeID) (Repair, error) {
+	if err := m.checkVertices(u, v); err != nil {
+		return Repair{}, err
+	}
+	key := canon(u, v)
+	if id, ok := m.edgeSet[key]; ok && id >= 0 {
+		return Repair{}, fmt.Errorf("%w: (%d,%d)", ErrEdgeExists, u, v)
+	}
+	eid := int32(len(m.edges))
+	m.edges = append(m.edges, graph.Edge{Src: key[0], Dst: key[1]})
+	m.edgeSet[key] = eid
+	m.liveEdges++
+	m.rep.TotalEdges = len(m.edges)
+
+	// In-band: any appearance pair within ω positions?
+	if slot, ok := m.findBandSlot(u, v); ok {
+		m.rep.Mask[slot.offset-1][slot.pos] = true
+		m.rep.EdgeID[slot.offset-1][slot.pos] = eid
+		m.rep.CoveredEdges++
+		return Repair{Kind: RepairInBand, TouchedSlots: 1}, nil
+	}
+
+	// Patch: append [u, v] to the path; the offset-1 slot between them
+	// carries the new edge.
+	m.appendPatch(u, v, eid)
+	m.patches++
+	m.rep.CoveredEdges++
+
+	// Expansion budget check, relative to the post-rebuild baseline.
+	if float64(m.rep.Len()) > m.ExpansionBudget*float64(m.baseLen) {
+		if err := m.rebuild(); err != nil {
+			return Repair{}, err
+		}
+		return Repair{Kind: RepairRebuild, TouchedSlots: m.rep.Len()}, nil
+	}
+	return Repair{Kind: RepairPatch, TouchedSlots: 2}, nil
+}
+
+// RemoveEdge deletes edge {u, v}, clearing its band entries.
+func (m *Maintainer) RemoveEdge(u, v graph.NodeID) (Repair, error) {
+	if err := m.checkVertices(u, v); err != nil {
+		return Repair{}, err
+	}
+	key := canon(u, v)
+	eid, ok := m.edgeSet[key]
+	if !ok || eid < 0 {
+		return Repair{}, fmt.Errorf("%w: (%d,%d)", ErrEdgeMissing, u, v)
+	}
+	m.edgeSet[key] = -1
+	m.liveEdges--
+
+	touched := 0
+	for o := 1; o <= m.rep.Window; o++ {
+		eids := m.rep.EdgeID[o-1]
+		for i, id := range eids {
+			if id == eid {
+				eids[i] = -1
+				m.rep.Mask[o-1][i] = false
+				touched++
+			}
+		}
+	}
+	if touched > 0 {
+		m.rep.CoveredEdges--
+	}
+	return Repair{Kind: RepairClear, TouchedSlots: touched}, nil
+}
+
+// bandSlot addresses one band entry.
+type bandSlot struct {
+	offset int
+	pos    int
+}
+
+// findBandSlot looks for an unoccupied band entry connecting appearances
+// of u and v within ω positions.
+func (m *Maintainer) findBandSlot(u, v graph.NodeID) (bandSlot, bool) {
+	for _, pu := range m.rep.Positions[u] {
+		for _, pv := range m.rep.Positions[v] {
+			lo, hi := int(pu), int(pv)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			o := hi - lo
+			if o >= 1 && o <= m.rep.Window && !m.rep.Mask[o-1][lo] {
+				return bandSlot{offset: o, pos: lo}, true
+			}
+		}
+	}
+	return bandSlot{}, false
+}
+
+// appendPatch extends the path with positions for u and v and grows every
+// offset's band arrays accordingly.
+func (m *Maintainer) appendPatch(u, v graph.NodeID, eid int32) {
+	base := len(m.rep.Path)
+	m.rep.Path = append(m.rep.Path, u, v)
+	m.rep.Positions[u] = append(m.rep.Positions[u], int32(base))
+	m.rep.Positions[v] = append(m.rep.Positions[v], int32(base+1))
+	newLen := len(m.rep.Path)
+	for o := 1; o <= m.rep.Window; o++ {
+		want := newLen - o
+		if want < 0 {
+			want = 0
+		}
+		for len(m.rep.Mask[o-1]) < want {
+			m.rep.Mask[o-1] = append(m.rep.Mask[o-1], false)
+			m.rep.EdgeID[o-1] = append(m.rep.EdgeID[o-1], -1)
+		}
+	}
+	// The consecutive pair carries the new edge.
+	m.rep.Mask[0][base] = true
+	m.rep.EdgeID[0][base] = eid
+}
+
+// Rebuild re-traverses the live graph from scratch, compacting patches and
+// deleted edges.
+func (m *Maintainer) Rebuild() error {
+	if err := m.rebuild(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (m *Maintainer) rebuild() error {
+	live := make([]graph.Edge, 0, m.liveEdges)
+	for _, e := range m.edges {
+		if id, ok := m.edgeSet[canon(e.Src, e.Dst)]; ok && id >= 0 {
+			live = append(live, e)
+		}
+	}
+	// Compact edge IDs.
+	m.edges = live
+	m.edgeSet = make(map[[2]graph.NodeID]int32, len(live))
+	for i, e := range live {
+		m.edgeSet[canon(e.Src, e.Dst)] = int32(i)
+	}
+	g, err := graph.New(m.numNodes, live, false)
+	if err != nil {
+		return err
+	}
+	rep, _, err := band.FromGraph(g, m.opts)
+	if err != nil {
+		return err
+	}
+	m.rep = rep
+	m.baseLen = rep.Len()
+	m.patches = 0
+	m.rebuilds++
+	return nil
+}
+
+// Graph materialises the current live graph.
+func (m *Maintainer) Graph() (*graph.Graph, error) {
+	live := make([]graph.Edge, 0, m.liveEdges)
+	for _, e := range m.edges {
+		if id, ok := m.edgeSet[canon(e.Src, e.Dst)]; ok && id >= 0 {
+			live = append(live, e)
+		}
+	}
+	return graph.New(m.numNodes, live, false)
+}
+
+func (m *Maintainer) checkVertices(u, v graph.NodeID) error {
+	if u < 0 || int(u) >= m.numNodes || v < 0 || int(v) >= m.numNodes {
+		return fmt.Errorf("%w: (%d,%d) with n=%d", ErrVertexRange, u, v, m.numNodes)
+	}
+	if u == v {
+		return ErrSelfLoop
+	}
+	return nil
+}

@@ -1,0 +1,323 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mega/internal/band"
+	"mega/internal/graph"
+	"mega/internal/traverse"
+)
+
+func newMaintainer(t *testing.T, g *graph.Graph) *Maintainer {
+	t.Helper()
+	m, err := NewMaintainer(g, traverse.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// checkRepConsistency validates that the live representation's band exactly
+// matches the live graph's edges.
+func checkRepConsistency(t *testing.T, m *Maintainer) {
+	t.Helper()
+	g, err := m.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Rep()
+	covered := make(map[[2]graph.NodeID]bool)
+	for o := 1; o <= rep.Window; o++ {
+		for i, on := range rep.Mask[o-1] {
+			if !on {
+				continue
+			}
+			u, v := rep.Path[i], rep.Path[i+o]
+			if !g.HasEdge(u, v) {
+				t.Fatalf("band contains non-edge (%d,%d)", u, v)
+			}
+			covered[canon(u, v)] = true
+		}
+	}
+	for _, e := range g.Edges() {
+		if !covered[canon(e.Src, e.Dst)] {
+			t.Fatalf("live edge (%d,%d) missing from band", e.Src, e.Dst)
+		}
+	}
+	// Positions index must be consistent.
+	for v := range rep.Positions {
+		for _, p := range rep.Positions[v] {
+			if rep.Path[p] != graph.NodeID(v) {
+				t.Fatalf("positions index corrupt at vertex %d", v)
+			}
+		}
+	}
+}
+
+func TestAddEdgeInBand(t *testing.T) {
+	// Path graph 0-1-2-3: vertices 0 and 2 sit two positions apart; with
+	// window >= 2 the new edge (0,2) lands in band.
+	g := graph.Path(4)
+	m, err := NewMaintainer(g, traverse.Options{Window: 2, EdgeCoverage: 1, Start: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.AddEdge(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != RepairInBand {
+		t.Errorf("repair kind = %v, want in-band", rep.Kind)
+	}
+	if m.Rep().Expansion() != 1 {
+		t.Errorf("in-band repair should not grow the path")
+	}
+	checkRepConsistency(t, m)
+}
+
+func TestAddEdgePatch(t *testing.T) {
+	// Long path graph: connecting the two ends is far outside the band.
+	g := graph.Path(20)
+	m, err := NewMaintainer(g, traverse.Options{Window: 1, EdgeCoverage: 1, Start: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.AddEdge(0, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != RepairPatch {
+		t.Errorf("repair kind = %v, want patch", rep.Kind)
+	}
+	if m.Patches() != 1 {
+		t.Errorf("patches = %d, want 1", m.Patches())
+	}
+	checkRepConsistency(t, m)
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := graph.Path(4)
+	m := newMaintainer(t, g)
+	if _, err := m.AddEdge(0, 9); err == nil {
+		t.Error("out-of-range vertex should error")
+	}
+	if _, err := m.AddEdge(2, 2); err == nil {
+		t.Error("self loop should error")
+	}
+	if _, err := m.AddEdge(0, 1); err == nil {
+		t.Error("duplicate edge should error")
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := graph.Cycle(6)
+	m := newMaintainer(t, g)
+	before := m.NumEdges()
+	rep, err := m.RemoveEdge(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != RepairClear || rep.TouchedSlots == 0 {
+		t.Errorf("repair = %+v, want clear with touched slots", rep)
+	}
+	if m.NumEdges() != before-1 {
+		t.Errorf("edges = %d, want %d", m.NumEdges(), before-1)
+	}
+	checkRepConsistency(t, m)
+	if _, err := m.RemoveEdge(0, 1); err == nil {
+		t.Error("double removal should error")
+	}
+}
+
+func TestReAddRemovedEdge(t *testing.T) {
+	g := graph.Cycle(6)
+	m := newMaintainer(t, g)
+	if _, err := m.RemoveEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddEdge(2, 3); err != nil {
+		t.Fatalf("re-adding removed edge: %v", err)
+	}
+	checkRepConsistency(t, m)
+}
+
+func TestExpansionBudgetTriggersRebuild(t *testing.T) {
+	g := graph.Path(10)
+	m, err := NewMaintainer(g, traverse.Options{Window: 1, EdgeCoverage: 1, Start: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ExpansionBudget = 1.3
+	sawRebuild := false
+	// Far-apart insertions force patches until the budget trips.
+	adds := [][2]graph.NodeID{{0, 9}, {0, 8}, {1, 9}, {0, 7}, {2, 9}, {1, 7}}
+	for _, e := range adds {
+		rep, err := m.AddEdge(e[0], e[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Kind == RepairRebuild {
+			sawRebuild = true
+			break
+		}
+	}
+	if !sawRebuild {
+		t.Error("expansion budget never triggered a rebuild")
+	}
+	if m.Rebuilds() == 0 {
+		t.Error("rebuild counter not incremented")
+	}
+	checkRepConsistency(t, m)
+}
+
+func TestManualRebuildCompacts(t *testing.T) {
+	g := graph.Path(12)
+	m, err := NewMaintainer(g, traverse.Options{Window: 1, EdgeCoverage: 1, Start: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ExpansionBudget = 100 // never auto-rebuild
+	if _, err := m.AddEdge(0, 11); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddEdge(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	grown := m.Rep().Len()
+	if err := m.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Rep().Len() >= grown {
+		t.Errorf("rebuild should compact: %d -> %d", grown, m.Rep().Len())
+	}
+	if m.Patches() != 0 {
+		t.Error("rebuild should clear patch counter")
+	}
+	checkRepConsistency(t, m)
+}
+
+func TestMaintainerRepUsableDownstream(t *testing.T) {
+	// The maintained representation must stay loadable by band consumers:
+	// coverage accounting, sync groups, gather index.
+	rng := rand.New(rand.NewSource(3))
+	g := graph.ErdosRenyiM(rng, 25, 40)
+	m := newMaintainer(t, g)
+	for i := 0; i < 10; i++ {
+		u := graph.NodeID(rng.Intn(25))
+		v := graph.NodeID(rng.Intn(25))
+		if u == v {
+			continue
+		}
+		if _, err := m.AddEdge(u, v); err != nil {
+			continue // duplicates are fine to skip
+		}
+	}
+	rep := m.Rep()
+	if rep.BandCoverage() <= 0 {
+		t.Error("band coverage collapsed")
+	}
+	if got := len(rep.GatherIndex()); got != rep.Len() {
+		t.Errorf("gather index len %d != path len %d", got, rep.Len())
+	}
+	checkRepConsistency(t, m)
+}
+
+// Property: after arbitrary interleaved adds/removes, the band exactly
+// matches the live edge set.
+func TestMaintainerConsistencyProperty(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.ErdosRenyiM(rng, 12, 18)
+		m, err := NewMaintainer(g, traverse.DefaultOptions())
+		if err != nil {
+			return false
+		}
+		ops := int(opsRaw%20) + 5
+		for i := 0; i < ops; i++ {
+			u := graph.NodeID(rng.Intn(12))
+			v := graph.NodeID(rng.Intn(12))
+			if u == v {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				_, _ = m.AddEdge(u, v)
+			} else {
+				_, _ = m.RemoveEdge(u, v)
+			}
+		}
+		lg, err := m.Graph()
+		if err != nil {
+			return false
+		}
+		rep := m.Rep()
+		covered := make(map[[2]graph.NodeID]bool)
+		for o := 1; o <= rep.Window; o++ {
+			for i, on := range rep.Mask[o-1] {
+				if !on {
+					continue
+				}
+				u, v := rep.Path[i], rep.Path[i+o]
+				if !lg.HasEdge(u, v) {
+					return false
+				}
+				covered[canon(u, v)] = true
+			}
+		}
+		for _, e := range lg.Edges() {
+			if !covered[canon(e.Src, e.Dst)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRepairKindStrings(t *testing.T) {
+	want := map[RepairKind]string{
+		RepairInBand: "in-band", RepairPatch: "patch",
+		RepairRebuild: "rebuild", RepairClear: "clear",
+		RepairKind(0): "RepairKind(0)",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+// BenchmarkIncrementalVsRebuild quantifies the latency win of incremental
+// repair over full re-traversal — the reason this package exists.
+func BenchmarkIncrementalVsRebuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.BarabasiAlbert(rng, 2000, 3)
+	b.Run("incremental", func(b *testing.B) {
+		m, err := NewMaintainer(g, traverse.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.ExpansionBudget = 1e9
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			u := graph.NodeID(rng.Intn(2000))
+			v := graph.NodeID(rng.Intn(2000))
+			if u == v {
+				continue
+			}
+			if _, err := m.AddEdge(u, v); err != nil {
+				continue
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := band.FromGraph(g, traverse.DefaultOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

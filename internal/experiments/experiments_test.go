@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runQuick executes one experiment at Quick scale and sanity-checks the
+// report.
+func runQuick(t *testing.T, id string) *Report {
+	t.Helper()
+	run, ok := ByID(id)
+	if !ok {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	r, err := run(Quick())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if r.ID != id {
+		t.Errorf("report ID %q, want %q", r.ID, id)
+	}
+	if len(r.Lines) == 0 {
+		t.Errorf("%s produced no data lines", id)
+	}
+	if !strings.Contains(r.String(), r.Title) {
+		t.Errorf("%s String() missing title", id)
+	}
+	return r
+}
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	want := []string{
+		"fig1b", "table1", "table2", "table3", "fig4", "fig5", "fig6",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig15", "dist",
+		"ext-reorder", "ext-hetero", "ext-dynamic", "ext-drop", "ext-imbalance",
+	}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("registered %d experiments, want %d", len(got), len(want))
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Errorf("experiment %d = %q, want %q", i, got[i].ID, id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID should reject unknown ids")
+	}
+}
+
+func TestFig1bShape(t *testing.T) {
+	r := runQuick(t, "fig1b")
+	// 5 sizes x 3 dims data rows + header.
+	if len(r.Lines) != 16 {
+		t.Errorf("fig1b lines = %d, want 16", len(r.Lines))
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r := runQuick(t, "table1")
+	joined := strings.Join(r.Lines, "\n")
+	for _, want := range []string{"GCN", "GT", "Scatter", "Gather"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("table1 missing %q", want)
+		}
+	}
+}
+
+func TestTable2CoversAllDatasets(t *testing.T) {
+	r := runQuick(t, "table2")
+	joined := strings.Join(r.Lines, "\n")
+	for _, ds := range []string{"ZINC", "AQSOL", "CSL", "CYCLES"} {
+		if !strings.Contains(joined, ds) {
+			t.Errorf("table2 missing dataset %s", ds)
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	r := runQuick(t, "table3")
+	if len(r.Lines) != 5 { // header + 4 datasets
+		t.Errorf("table3 lines = %d, want 5", len(r.Lines))
+	}
+}
+
+func TestFig4SgemmBeatsGraphKernels(t *testing.T) {
+	r := runQuick(t, "fig4")
+	// The shape note records min(sgemm) vs max(graph kernels); verify the
+	// underlying claim by parsing the note.
+	found := false
+	for _, n := range r.Notes {
+		var a, b float64
+		if _, err := parseTwoFloats(n, &a, &b); err == nil {
+			found = true
+			if a <= b {
+				t.Errorf("sgemm efficiency %v should exceed graph kernels %v", a, b)
+			}
+		}
+	}
+	if !found {
+		t.Error("fig4 missing measured note")
+	}
+}
+
+func TestFig8PathBeatsGlobal(t *testing.T) {
+	r := runQuick(t, "fig8")
+	found := false
+	for _, n := range r.Notes {
+		if strings.HasPrefix(n, "measured:") {
+			found = true
+			var oneHop, posMin, globalMax float64
+			if _, err := parseThreeFloats(n, &oneHop, &posMin, &globalMax); err != nil {
+				t.Fatalf("cannot parse note %q: %v", n, err)
+			}
+			if oneHop != 1.0 {
+				t.Errorf("path 1-hop similarity = %v, want 1.0 (Fig 8 claim)", oneHop)
+			}
+			if posMin <= globalMax {
+				t.Errorf("position-level min similarity %v should exceed global max %v", posMin, globalMax)
+			}
+		}
+	}
+	if !found {
+		t.Error("fig8 missing measured note")
+	}
+}
+
+func TestFig9MegaBeatsDGL(t *testing.T) {
+	r := runQuick(t, "fig9")
+	for _, n := range r.Notes {
+		if strings.HasPrefix(n, "measured:") {
+			var worstMega, bestDGL float64
+			if _, err := parseTwoFloats(n, &worstMega, &bestDGL); err != nil {
+				t.Fatalf("cannot parse note %q: %v", n, err)
+			}
+			if worstMega <= bestDGL {
+				t.Errorf("worst MEGA SM efficiency %v should exceed best DGL %v", worstMega, bestDGL)
+			}
+			return
+		}
+	}
+	t.Error("fig9 missing measured note")
+}
+
+func TestFig10AllSpeedupsAboveOne(t *testing.T) {
+	r := runQuick(t, "fig10")
+	for _, line := range r.Lines[1:] {
+		if !strings.Contains(line, "x") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Columns: dataset model batch dgl mega speedup dglSgemm megaSgemm.
+		if len(fields) < 8 || !strings.HasSuffix(fields[5], "x") {
+			continue
+		}
+		var sp float64
+		if _, err := parseOneFloat(strings.TrimSuffix(fields[5], "x"), &sp); err != nil {
+			continue
+		}
+		if sp <= 1 {
+			t.Errorf("speedup %.2f <= 1 in row %q", sp, line)
+		}
+	}
+}
+
+func TestConvergenceExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convergence runs are slow")
+	}
+	for _, id := range []string{"fig11", "fig12", "fig13", "fig14", "fig15"} {
+		t.Run(id, func(t *testing.T) {
+			r := runQuick(t, id)
+			joined := strings.Join(r.Lines, "\n")
+			if !strings.Contains(joined, "dgl") || !strings.Contains(joined, "mega") {
+				t.Errorf("%s missing engine rows", id)
+			}
+		})
+	}
+}
+
+func TestDistExperiment(t *testing.T) {
+	r := runQuick(t, "dist")
+	if len(r.Lines) < 5 {
+		t.Errorf("dist lines = %d", len(r.Lines))
+	}
+}
+
+func TestScales(t *testing.T) {
+	q, m, p := Quick(), Medium(), Paper()
+	if q.Train >= m.Train {
+		t.Error("Quick should be smaller than Medium")
+	}
+	if p.Train != 0 {
+		t.Error("Paper should use full splits (0)")
+	}
+	if q.Epochs <= 0 || m.Epochs <= 0 || p.Epochs <= 0 {
+		t.Error("all scales need positive epochs")
+	}
+}
+
+// parseOneFloat/TwoFloats/ThreeFloats extract trailing floats from a
+// formatted note line.
+func parseOneFloat(s string, a *float64) (int, error) {
+	return fscanFloats(s, a)
+}
+
+func parseTwoFloats(s string, a, b *float64) (int, error) {
+	return fscanFloats(s, a, b)
+}
+
+func parseThreeFloats(s string, a, b, c *float64) (int, error) {
+	return fscanFloats(s, a, b, c)
+}
+
+// fscanFloats pulls the first len(dst) float literals containing a decimal
+// point out of s (skipping integer tokens like counts).
+func fscanFloats(s string, dst ...*float64) (int, error) {
+	count := 0
+	for _, tok := range strings.Fields(s) {
+		tok = strings.Trim(tok, "(),x%")
+		if !strings.Contains(tok, ".") {
+			continue
+		}
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			continue
+		}
+		*dst[count] = v
+		count++
+		if count == len(dst) {
+			return count, nil
+		}
+	}
+	return count, errNotEnoughFloats
+}
+
+var errNotEnoughFloats = strErr("not enough float literals")
+
+type strErr string
+
+func (e strErr) Error() string { return string(e) }
+
+func TestExtensionExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension experiments are slow")
+	}
+	for _, id := range []string{"ext-reorder", "ext-hetero", "ext-dynamic", "ext-drop", "ext-imbalance"} {
+		t.Run(id, func(t *testing.T) {
+			runQuick(t, id)
+		})
+	}
+}

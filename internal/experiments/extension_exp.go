@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"mega/internal/band"
+	"mega/internal/dynamic"
+	"mega/internal/gpusim"
+	"mega/internal/graph"
+	"mega/internal/hetero"
+	"mega/internal/models"
+	"mega/internal/reorder"
+	"mega/internal/train"
+	"mega/internal/traverse"
+)
+
+// Extension experiments: not figures in the paper, but quantitative support
+// for its related-work positioning (§II-B2 reordering) and discussion
+// items (§IV-B8 SparseGAT-style dropping, HAN-style heterogeneity, DYGAT
+// dynamic graphs).
+
+// ExtReorder compares GNNAdvisor-style node reorderings against MEGA's
+// restructuring on the same aggregation workload — the quantitative form
+// of the paper's "a universal reordering solution is not adept" argument.
+func ExtReorder(s Scale) (*Report, error) {
+	r := &Report{ID: "ext-reorder", Title: "reordering baselines vs MEGA restructuring (extension)"}
+	rng := rand.New(rand.NewSource(s.Seed))
+	// 60k vertices at 64 B rows = 3.75 MB, exceeding the 2 MiB L2 so that
+	// ordering actually determines hit rates.
+	base := graph.BarabasiAlbert(rng, 60000, 3)
+	scramble := graph.RandomPermutation(rng, base.NumNodes())
+	g, err := graph.PermuteNodes(base, scramble)
+	if err != nil {
+		return nil, err
+	}
+	const dim = 16
+	scrambledCost := reorder.GatherCost(g, dim)
+	r.Add("%-12s %14s %10s %12s", "layout", "cycles", "speedup", "bandwidth")
+	r.Add("%-12s %14.0f %9.2fx %12d", "scrambled", scrambledCost, 1.0, reorder.Bandwidth(g))
+	for _, p := range []reorder.Policy{reorder.DegreeSort, reorder.BFSOrder, reorder.RCM} {
+		rg, _, err := reorder.Apply(g, p)
+		if err != nil {
+			return nil, err
+		}
+		cost := reorder.GatherCost(rg, dim)
+		r.Add("%-12s %14.0f %9.2fx %12d", p.String(), cost, scrambledCost/cost, reorder.Bandwidth(rg))
+	}
+	// MEGA restructuring on the same workload.
+	rep, _, err := band.FromGraph(g, traverse.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	megaCost := bandCost(rep, dim)
+	r.Add("%-12s %14.0f %9.2fx %12s", "mega-band", megaCost, scrambledCost/megaCost, "-")
+	r.Note("paper §II-B2: reordering helps locality but cannot regularise the access pattern; MEGA restructures it")
+	return r, nil
+}
+
+// bandCost replays one band sweep for the representation.
+func bandCost(rep *band.Rep, dim int) float64 {
+	sim := gpusim.New(gpusim.GTX1080())
+	rowBytes := int64(dim) * 4
+	base := sim.Alloc(int64(rep.Len()) * rowBytes)
+	sim.BandSweep("band", base, rep.Len(), 2*rep.Window, rowBytes)
+	return sim.TotalCycles()
+}
+
+// ExtHetero compares layout strategies for heterogeneous graphs.
+func ExtHetero(s Scale) (*Report, error) {
+	r := &Report{ID: "ext-hetero", Title: "heterogeneous multi-path layouts (extension, §IV-B8)"}
+	rng := rand.New(rand.NewSource(s.Seed))
+	// Two-type structure: dense intra-type rings with sparse bridges.
+	const perType = 600
+	var edges []graph.Edge
+	for t := 0; t < 2; t++ {
+		off := graph.NodeID(t * perType)
+		for v := 0; v < perType; v++ {
+			edges = append(edges,
+				graph.Edge{Src: off + graph.NodeID(v), Dst: off + graph.NodeID((v+1)%perType)},
+				graph.Edge{Src: off + graph.NodeID(v), Dst: off + graph.NodeID((v+7)%perType)})
+		}
+	}
+	for i := 0; i < perType/4; i++ {
+		edges = append(edges, graph.Edge{
+			Src: graph.NodeID(rng.Intn(perType)),
+			Dst: graph.NodeID(perType + rng.Intn(perType)),
+		})
+	}
+	g, err := graph.New(2*perType, edges, false)
+	if err != nil {
+		return nil, err
+	}
+	types := make([]int32, 2*perType)
+	for v := perType; v < 2*perType; v++ {
+		types[v] = 1
+	}
+	tg, err := hetero.NewTypedGraph(g, types, 2)
+	if err != nil {
+		return nil, err
+	}
+	costs, err := hetero.CompareCost(tg, traverse.DefaultOptions(), s.Dim)
+	if err != nil {
+		return nil, err
+	}
+	mr, err := hetero.BuildMultiPath(tg, traverse.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	r.Add("%-16s %14s %10s", "strategy", "cycles", "speedup")
+	r.Add("%-16s %14.0f %9.2fx", "gather/scatter", costs.Baseline, 1.0)
+	r.Add("%-16s %14.0f %9.2fx", "flat path", costs.Flat, costs.Baseline/costs.Flat)
+	r.Add("%-16s %14.0f %9.2fx", "multi-path", costs.MultiPath, costs.Baseline/costs.MultiPath)
+	r.Add("multi-path coverage: %.1f%% (%d intra + %d bridge edges), total path %d",
+		100*mr.Coverage(), mr.IntraEdges, mr.InterEdges, mr.TotalPathLen())
+	r.Note("per-type paths keep type semantics (HAN) while retaining banded efficiency")
+	return r, nil
+}
+
+// ExtDynamic measures incremental repair latency against full re-traversal.
+func ExtDynamic(s Scale) (*Report, error) {
+	r := &Report{ID: "ext-dynamic", Title: "dynamic graph maintenance latency (extension, §IV-B8)"}
+	rng := rand.New(rand.NewSource(s.Seed))
+	g := graph.BarabasiAlbert(rng, 3000, 3)
+	m, err := dynamic.NewMaintainer(g, traverse.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	m.ExpansionBudget = 10
+
+	const updates = 200
+	var inBand, patch int
+	start := time.Now()
+	for i := 0; i < updates; {
+		u := graph.NodeID(rng.Intn(3000))
+		v := graph.NodeID(rng.Intn(3000))
+		if u == v {
+			continue
+		}
+		rep, err := m.AddEdge(u, v)
+		if err != nil {
+			continue
+		}
+		switch rep.Kind {
+		case dynamic.RepairInBand:
+			inBand++
+		case dynamic.RepairPatch:
+			patch++
+		}
+		i++
+	}
+	incTotal := time.Since(start)
+
+	start = time.Now()
+	lg, err := m.Graph()
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := band.FromGraph(lg, traverse.DefaultOptions()); err != nil {
+		return nil, err
+	}
+	rebuildOnce := time.Since(start)
+
+	perUpdate := incTotal / updates
+	r.Add("%d updates: %d in-band, %d patches, expansion %.2fx", updates, inBand, patch, m.Rep().Expansion())
+	r.Add("incremental: %v/update;  full re-traversal: %v", perUpdate, rebuildOnce)
+	if perUpdate > 0 {
+		r.Add("latency ratio: one rebuild costs %.0fx one incremental update",
+			float64(rebuildOnce)/float64(perUpdate))
+	}
+	r.Note("incremental maintenance keeps per-update latency far below re-traversal (DYGAT-style online use)")
+	return r, nil
+}
+
+// ExtDropStrategy compares random against redundancy-targeted edge dropping
+// end to end on AQSOL — extending the Figure 15 experiment with the
+// SparseGAT-inspired policy.
+func ExtDropStrategy(s Scale) (*Report, error) {
+	r := &Report{ID: "ext-drop", Title: "edge-drop strategies: random vs redundancy-targeted (extension)"}
+	ds, err := loadDataset("AQSOL", s)
+	if err != nil {
+		return nil, err
+	}
+	run := func(strategy traverse.DropStrategy) (*train.Result, error) {
+		return train.Run(ds, train.Options{
+			Model: "GCN", Engine: models.EngineMega,
+			Dim: s.Dim, Layers: 4, BatchSize: s.Batch, LR: 1e-3,
+			Epochs: s.Epochs, Seed: s.Seed, Profile: true,
+			Mega: models.MegaOptions{Traverse: traverse.Options{
+				EdgeCoverage: 1, DropEdges: 0.2, DropStrategy: strategy,
+				Start: -1, Seed: s.Seed,
+			}},
+		})
+	}
+	randomRes, err := run(traverse.DropRandom)
+	if err != nil {
+		return nil, err
+	}
+	redundantRes, err := run(traverse.DropRedundant)
+	if err != nil {
+		return nil, err
+	}
+	r.Add("%-10s %14s %12s", "strategy", "simTime(ms)", "final MAE")
+	for _, row := range []struct {
+		name string
+		res  *train.Result
+	}{
+		{name: "random", res: randomRes},
+		{name: "redundant", res: redundantRes},
+	} {
+		last := row.res.Stats[len(row.res.Stats)-1]
+		r.Add("%-10s %14.3f %12.4f", row.name, last.SimTime.Seconds()*1e3, last.ValMetric)
+	}
+	r.Note("redundancy-targeted dropping trims hub edges, shortening paths at similar accuracy")
+	return r, nil
+}
+
+// ExtImbalance quantifies §II-B2's workload-imbalance bottleneck: naive
+// destination-major aggregation on a power-law graph vs GNNAdvisor-style
+// neighbor grouping vs MEGA's band sweep (which has no per-destination
+// segments at all).
+func ExtImbalance(s Scale) (*Report, error) {
+	r := &Report{ID: "ext-imbalance", Title: "workload imbalance: naive vs neighbor grouping vs MEGA (extension)"}
+	rng := rand.New(rand.NewSource(s.Seed))
+	g := graph.BarabasiAlbert(rng, 5000, 3)
+	degs := g.Degrees()
+	segs := make([]int32, len(degs))
+	maxDeg := 0
+	for i, d := range degs {
+		segs[i] = int32(d)
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	const rowBytes = 256
+	run := func(grouped bool) float64 {
+		sim := gpusim.New(gpusim.GTX1080())
+		base := sim.Alloc(int64(len(segs)) * rowBytes)
+		sim.ScatterSegments("agg", base, segs, rowBytes, grouped)
+		return sim.TotalCycles()
+	}
+	naive := run(false)
+	grouped := run(true)
+	rep, _, err := band.FromGraph(g, traverse.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	mega := bandCost(rep, rowBytes/4)
+	r.Add("graph: %d vertices, mean degree %.1f, max degree %d", g.NumNodes(), g.MeanDegree(), maxDeg)
+	r.Add("%-20s %14s %10s", "strategy", "cycles", "speedup")
+	r.Add("%-20s %14.0f %10s", "naive scatter", naive, "1.00x")
+	r.Add("%-20s %14.0f %9.2fx", "neighbor grouping", grouped, naive/grouped)
+	r.Add("%-20s %14.0f %9.2fx", "mega band", mega, naive/mega)
+	r.Note("grouping fixes the tail; MEGA removes per-destination segments entirely")
+	return r, nil
+}

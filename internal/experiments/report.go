@@ -1,0 +1,140 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md for the experiment index). Each driver returns
+// a Report — a titled block of formatted rows — so the same code serves the
+// megabench CLI, the benchmark harness, and EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is one regenerated table or figure.
+type Report struct {
+	// ID is the experiment identifier ("fig1b", "table2", ...).
+	ID string
+	// Title describes what the paper shows there.
+	Title string
+	// Lines are the formatted data rows.
+	Lines []string
+	// Notes records shape observations (who wins, by what factor).
+	Notes []string
+}
+
+// Add appends a formatted line.
+func (r *Report) Add(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// Note appends a formatted note.
+func (r *Report) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the report as indented text.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString("  ")
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		b.WriteString("  # ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Scale sizes an experiment run: Quick for tests/benches, Paper for the
+// full-size reproduction.
+type Scale struct {
+	// Train/Val/Test size generated datasets (0 = the paper's split
+	// sizes).
+	Train, Val, Test int
+	// Epochs bounds convergence runs.
+	Epochs int
+	// Dim is the hidden dimension for profile experiments.
+	Dim int
+	// Batch is the default batch size.
+	Batch int
+	// MaxBatches caps how many batches profile experiments run (0 = 1).
+	MaxBatches int
+	// Seed seeds everything.
+	Seed int64
+}
+
+// Quick returns the scaled-down configuration used by tests and the
+// benchmark harness: small datasets, few epochs, one profiled batch.
+func Quick() Scale {
+	return Scale{
+		Train: 64, Val: 16, Test: 16,
+		Epochs: 3, Dim: 32, Batch: 16, MaxBatches: 1, Seed: 7,
+	}
+}
+
+// Paper returns the full-size configuration matching the paper's setup
+// (batch 64, hidden 128, full dataset splits). Expect long runtimes.
+func Paper() Scale {
+	return Scale{
+		Train: 0, Val: 0, Test: 0,
+		Epochs: 30, Dim: 128, Batch: 64, MaxBatches: 4, Seed: 7,
+	}
+}
+
+// Medium sits between Quick and Paper: big enough for stable shapes,
+// small enough for interactive runs.
+func Medium() Scale {
+	return Scale{
+		Train: 512, Val: 128, Test: 128,
+		Epochs: 10, Dim: 64, Batch: 64, MaxBatches: 2, Seed: 7,
+	}
+}
+
+// Runner maps experiment IDs to drivers.
+type Runner func(Scale) (*Report, error)
+
+// All returns every experiment keyed by ID, in the paper's order.
+func All() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{ID: "fig1b", Run: Fig1b},
+		{ID: "table1", Run: Table1},
+		{ID: "table2", Run: Table2},
+		{ID: "table3", Run: Table3},
+		{ID: "fig4", Run: Fig4},
+		{ID: "fig5", Run: Fig5},
+		{ID: "fig6", Run: Fig6},
+		{ID: "fig8", Run: Fig8},
+		{ID: "fig9", Run: Fig9},
+		{ID: "fig10", Run: Fig10},
+		{ID: "fig11", Run: Fig11},
+		{ID: "fig12", Run: Fig12},
+		{ID: "fig13", Run: Fig13},
+		{ID: "fig14", Run: Fig14},
+		{ID: "fig15", Run: Fig15},
+		{ID: "dist", Run: Dist},
+		{ID: "ext-reorder", Run: ExtReorder},
+		{ID: "ext-hetero", Run: ExtHetero},
+		{ID: "ext-dynamic", Run: ExtDynamic},
+		{ID: "ext-drop", Run: ExtDropStrategy},
+		{ID: "ext-imbalance", Run: ExtImbalance},
+	}
+}
+
+// ByID returns the driver for one experiment ID.
+func ByID(id string) (Runner, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e.Run, true
+		}
+	}
+	return nil, false
+}

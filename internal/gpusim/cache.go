@@ -1,0 +1,95 @@
+package gpusim
+
+// cache is a set-associative LRU cache over line addresses, standing in for
+// the GTX 1080's 2 MiB L2 (§IV-A: "The L2 cache capacity of GTX 1080 GPUs
+// is 2048 KB, which proves inadequate for caching node and edge
+// embeddings").
+type cache struct {
+	lineBytes uint64
+	numSets   uint64
+	ways      int
+	// sets[s] holds up to ways line tags in LRU order: index 0 is the
+	// least recently used entry.
+	sets [][]uint64
+
+	hits   int64
+	misses int64
+}
+
+// newCache builds a cache of totalBytes capacity with the given line size
+// and associativity. The set count is rounded down to a power of two so the
+// index can be computed with a mask.
+func newCache(totalBytes, lineBytes int64, ways int) *cache {
+	if lineBytes <= 0 {
+		lineBytes = 128
+	}
+	if ways <= 0 {
+		ways = 16
+	}
+	numLines := totalBytes / lineBytes
+	numSets := numLines / int64(ways)
+	if numSets < 1 {
+		numSets = 1
+	}
+	// Round down to a power of two.
+	p := uint64(1)
+	for p*2 <= uint64(numSets) {
+		p *= 2
+	}
+	c := &cache{
+		lineBytes: uint64(lineBytes),
+		numSets:   p,
+		ways:      ways,
+		sets:      make([][]uint64, p),
+	}
+	return c
+}
+
+// access touches one line address, returning true on hit. Misses install
+// the line, evicting the LRU way if the set is full.
+func (c *cache) access(lineAddr uint64) bool {
+	set := lineAddr & (c.numSets - 1)
+	entries := c.sets[set]
+	for i, tag := range entries {
+		if tag == lineAddr {
+			// Move to MRU position.
+			copy(entries[i:], entries[i+1:])
+			entries[len(entries)-1] = lineAddr
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	if len(entries) < c.ways {
+		c.sets[set] = append(entries, lineAddr)
+		return false
+	}
+	copy(entries, entries[1:])
+	entries[len(entries)-1] = lineAddr
+	return false
+}
+
+// accessBytes touches every line in [addr, addr+bytes) and returns the
+// number of lines touched and how many missed.
+func (c *cache) accessBytes(addr, bytes uint64) (lines, misses int64) {
+	if bytes == 0 {
+		return 0, 0
+	}
+	first := addr / c.lineBytes
+	last := (addr + bytes - 1) / c.lineBytes
+	for l := first; l <= last; l++ {
+		lines++
+		if !c.access(l) {
+			misses++
+		}
+	}
+	return lines, misses
+}
+
+// reset clears contents and counters.
+func (c *cache) reset() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+	c.hits, c.misses = 0, 0
+}

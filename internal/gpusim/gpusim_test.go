@@ -1,0 +1,495 @@
+package gpusim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheBasicLRU(t *testing.T) {
+	c := newCache(4*128, 128, 2) // 4 lines, 2 ways, 2 sets
+	if c.access(0) {
+		t.Error("cold access should miss")
+	}
+	if !c.access(0) {
+		t.Error("second access should hit")
+	}
+	// Set 0 holds even lines: fill ways with 0, 2; then 4 evicts 0 (LRU).
+	c.access(2)
+	c.access(4)
+	if c.access(0) {
+		t.Error("line 0 should have been evicted by LRU")
+	}
+	if !c.access(4) {
+		t.Error("line 4 should be resident")
+	}
+}
+
+func TestCacheLRUOrderRefreshedOnHit(t *testing.T) {
+	c := newCache(4*128, 128, 2)
+	c.access(0)
+	c.access(2)
+	c.access(0) // refresh 0 to MRU
+	c.access(4) // evicts 2, not 0
+	if !c.access(0) {
+		t.Error("refreshed line 0 should survive")
+	}
+	if c.access(2) {
+		t.Error("line 2 should have been evicted")
+	}
+}
+
+func TestCacheAccessBytesSpansLines(t *testing.T) {
+	c := newCache(1<<20, 128, 16)
+	lines, misses := c.accessBytes(100, 100) // crosses the 128 boundary
+	if lines != 2 || misses != 2 {
+		t.Errorf("lines=%d misses=%d, want 2,2", lines, misses)
+	}
+	lines, misses = c.accessBytes(100, 100)
+	if lines != 2 || misses != 0 {
+		t.Errorf("warm lines=%d misses=%d, want 2,0", lines, misses)
+	}
+	if lines, misses := c.accessBytes(0, 0); lines != 0 || misses != 0 {
+		t.Errorf("zero bytes should touch nothing, got %d,%d", lines, misses)
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := newCache(1<<20, 128, 16)
+	c.access(1)
+	c.reset()
+	if c.hits != 0 || c.misses != 0 {
+		t.Error("reset should clear counters")
+	}
+	if c.access(1) {
+		t.Error("reset should clear contents")
+	}
+}
+
+func TestAllocAlignedAndDisjoint(t *testing.T) {
+	s := New(GTX1080())
+	a := s.Alloc(1000)
+	b := s.Alloc(1000)
+	if a%256 != 0 || b%256 != 0 {
+		t.Errorf("allocations not 256-aligned: %d %d", a, b)
+	}
+	if b < a+1000 {
+		t.Errorf("allocations overlap: a=%d b=%d", a, b)
+	}
+}
+
+func TestGatherRandomVsSequentialIndices(t *testing.T) {
+	// The core premise: gathering rows at random indices costs more
+	// simulated time than gathering the same rows sequentially.
+	const rows, rowBytes = 20000, 256
+	rng := rand.New(rand.NewSource(1))
+
+	randIdx := make([]int32, rows)
+	for i := range randIdx {
+		randIdx[i] = int32(rng.Intn(rows))
+	}
+	seqIdx := make([]int32, rows)
+	for i := range seqIdx {
+		seqIdx[i] = int32(i)
+	}
+
+	sRand := New(GTX1080())
+	base := sRand.Alloc(rows * rowBytes)
+	sRand.GatherRows("dgl", base, randIdx, rowBytes)
+
+	sSeq := New(GTX1080())
+	base2 := sSeq.Alloc(rows * rowBytes)
+	sSeq.Sequential("mega", KindBand, base2, rows*rowBytes, false)
+
+	if sRand.TotalCycles() <= sSeq.TotalCycles() {
+		t.Errorf("random gather (%v cycles) should exceed sequential scan (%v cycles)",
+			sRand.TotalCycles(), sSeq.TotalCycles())
+	}
+	kRand, _ := sRand.Kernel("dgl")
+	kSeq, _ := sSeq.Kernel("mega")
+	if kRand.StallPct() <= kSeq.StallPct() {
+		t.Errorf("gather stall %v should exceed sequential stall %v", kRand.StallPct(), kSeq.StallPct())
+	}
+	if kRand.SMEfficiency() >= kSeq.SMEfficiency() {
+		t.Errorf("gather SM eff %v should be below sequential %v", kRand.SMEfficiency(), kSeq.SMEfficiency())
+	}
+}
+
+func TestSgemmHighEfficiency(t *testing.T) {
+	s := New(GTX1080())
+	s.Sgemm(2048, 128, 128)
+	k, ok := s.Kernel("sgemm")
+	if !ok {
+		t.Fatal("sgemm stats missing")
+	}
+	if eff := k.SMEfficiency(); eff < 0.8 {
+		t.Errorf("sgemm SM efficiency = %v, want >= 0.8 (paper Fig 4)", eff)
+	}
+	if st := k.StallPct(); st > 0.2 {
+		t.Errorf("sgemm stall = %v, want <= 0.2", st)
+	}
+}
+
+func TestSortLowEfficiency(t *testing.T) {
+	s := New(GTX1080())
+	s.Sort("cub", 50000, 4)
+	k, ok := s.Kernel("cub")
+	if !ok {
+		t.Fatal("cub stats missing")
+	}
+	if eff := k.SMEfficiency(); eff > 0.6 {
+		t.Errorf("cub SM efficiency = %v, want < 0.6 (paper Fig 4)", eff)
+	}
+}
+
+func TestGatherCacheLocalityMatters(t *testing.T) {
+	// Gathering a working set that fits in L2 twice: the second pass hits
+	// and should be cheaper.
+	const rows, rowBytes = 2000, 256 // 512 KB < 2 MiB
+	idx := make([]int32, rows)
+	for i := range idx {
+		idx[i] = int32((i * 7) % rows)
+	}
+	s := New(GTX1080())
+	base := s.Alloc(rows * rowBytes)
+	s.GatherRows("first", base, idx, rowBytes)
+	s.GatherRows("second", base, idx, rowBytes)
+	k1, _ := s.Kernel("first")
+	k2, _ := s.Kernel("second")
+	if k2.L2Misses >= k1.L2Misses {
+		t.Errorf("warm pass misses %d should be below cold %d", k2.L2Misses, k1.L2Misses)
+	}
+	if k2.Cycles >= k1.Cycles {
+		t.Errorf("warm pass cycles %v should be below cold %v", k2.Cycles, k1.Cycles)
+	}
+}
+
+func TestScatterCountsLoadAndStore(t *testing.T) {
+	s := New(GTX1080())
+	base := s.Alloc(1 << 20)
+	idx := []int32{0, 10, 20, 30}
+	s.ScatterRows("scatter", base, idx, 128)
+	k, _ := s.Kernel("scatter")
+	if k.LoadTransactions != 4 || k.StoreTransactions != 4 {
+		t.Errorf("scatter tx = %d load / %d store, want 4/4 (atomics RMW)", k.LoadTransactions, k.StoreTransactions)
+	}
+}
+
+func TestBandSweepBeatsGatherOnSameWork(t *testing.T) {
+	// MEGA's claim, reduced to its kernel essence: banded sequential
+	// attention over an expanded path beats per-edge gathering at equal
+	// logical work.
+	const nodes, dim = 30000, 64
+	const rowBytes = dim * 4
+	const meanDeg = 4
+	edges := nodes * meanDeg / 2
+
+	// DGL-style: two gathers + one scatter per edge (src emb, dst emb,
+	// accumulate), random order.
+	rng := rand.New(rand.NewSource(2))
+	srcIdx := make([]int32, edges)
+	dstIdx := make([]int32, edges)
+	for i := range srcIdx {
+		srcIdx[i] = int32(rng.Intn(nodes))
+		dstIdx[i] = int32(rng.Intn(nodes))
+	}
+	dgl := New(GTX1080())
+	nodeBuf := dgl.Alloc(nodes * rowBytes)
+	dgl.GatherRows("dgl-gather", nodeBuf, srcIdx, rowBytes)
+	dgl.GatherRows("dgl-gather", nodeBuf, dstIdx, rowBytes)
+	dgl.ScatterRows("dgl-scatter", nodeBuf, dstIdx, rowBytes)
+
+	// MEGA: banded sweep over a path ~1.4x nodes with window meanDeg.
+	mega := New(GTX1080())
+	pathBuf := mega.Alloc(int64(float64(nodes)*1.4) * rowBytes)
+	mega.BandSweep("mega-band", pathBuf, int(float64(nodes)*1.4), meanDeg, rowBytes)
+
+	if mega.TotalCycles() >= dgl.TotalCycles() {
+		t.Errorf("mega band (%v cycles) should beat dgl gather/scatter (%v cycles)",
+			mega.TotalCycles(), dgl.TotalCycles())
+	}
+}
+
+func TestWeightedMetrics(t *testing.T) {
+	s := New(GTX1080())
+	if s.WeightedSMEfficiency() != 0 || s.WeightedStallPct() != 0 {
+		t.Error("empty sim should report zero metrics")
+	}
+	s.Sgemm(512, 64, 64)
+	idx := make([]int32, 10000)
+	rng := rand.New(rand.NewSource(3))
+	for i := range idx {
+		idx[i] = int32(rng.Intn(100000))
+	}
+	base := s.Alloc(100000 * 256)
+	s.GatherRows("dgl", base, idx, 256)
+	eff := s.WeightedSMEfficiency()
+	if eff <= 0 || eff >= 1 {
+		t.Errorf("weighted SM efficiency = %v, want in (0,1)", eff)
+	}
+	stall := s.WeightedStallPct()
+	if stall <= 0 || stall >= 1 {
+		t.Errorf("weighted stall = %v, want in (0,1)", stall)
+	}
+	share := s.KernelTimeShare()
+	total := 0.0
+	for _, v := range share {
+		total += v
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("kernel time shares sum to %v, want 1", total)
+	}
+}
+
+func TestStatsSortedByCycles(t *testing.T) {
+	s := New(GTX1080())
+	s.Sgemm(64, 64, 64)
+	s.Memcpy(1 << 20)
+	s.Elementwise("relu", 100000, 4)
+	stats := s.Stats()
+	if len(stats) != 3 {
+		t.Fatalf("got %d kernels, want 3", len(stats))
+	}
+	for i := 1; i < len(stats); i++ {
+		if stats[i].Cycles > stats[i-1].Cycles {
+			t.Errorf("stats not sorted: %v then %v", stats[i-1].Cycles, stats[i].Cycles)
+		}
+	}
+}
+
+func TestKernelAccumulatesAcrossCalls(t *testing.T) {
+	s := New(GTX1080())
+	s.Sgemm(64, 64, 64)
+	s.Sgemm(64, 64, 64)
+	k, _ := s.Kernel("sgemm")
+	if k.Calls != 2 {
+		t.Errorf("calls = %d, want 2", k.Calls)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(GTX1080())
+	s.Sgemm(64, 64, 64)
+	s.Reset()
+	if s.TotalCycles() != 0 || len(s.Stats()) != 0 {
+		t.Error("reset should clear stats")
+	}
+	if _, ok := s.Kernel("sgemm"); ok {
+		t.Error("reset should drop kernels")
+	}
+}
+
+func TestTotalTimePositive(t *testing.T) {
+	s := New(GTX1080())
+	s.Sgemm(512, 64, 64)
+	if s.TotalTime() <= 0 {
+		t.Errorf("TotalTime = %v, want > 0", s.TotalTime())
+	}
+}
+
+func TestMemcpyAndElementwiseAccounted(t *testing.T) {
+	s := New(GTX1080())
+	s.Memcpy(1 << 20)
+	s.Elementwise("sigmoid", 1<<18, 4)
+	s.SyncRows("sync", s.Alloc(1<<20), []int32{1, 2, 3, 100, 101}, 256)
+	for _, name := range []string{"memcpy", "sigmoid", "sync"} {
+		k, ok := s.Kernel(name)
+		if !ok || k.Cycles <= 0 {
+			t.Errorf("kernel %q missing or zero cycles", name)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{
+		KindSgemm: "sgemm", KindGather: "gather", KindScatter: "scatter",
+		KindSort: "sort", KindElementwise: "elementwise", KindMemcpy: "memcpy",
+		KindBand: "band", KindSync: "sync", Kind(0): "Kind(0)",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestNewZeroConfigDefaults(t *testing.T) {
+	s := New(Config{})
+	if s.Config().ClockHz != GTX1080().ClockHz {
+		t.Error("zero config should default to GTX1080")
+	}
+}
+
+// Property: cache hit+miss counts always equal total accesses, and hit rate
+// of an immediately repeated access pattern is 1 when it fits.
+func TestCacheCountsProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := newCache(1<<18, 128, 8) // 2048 lines
+		n := int(nRaw)%500 + 1
+		addrs := make([]uint64, n)
+		for i := range addrs {
+			addrs[i] = uint64(rng.Intn(1000))
+		}
+		for _, a := range addrs {
+			c.access(a)
+		}
+		if c.hits+c.misses != int64(n) {
+			return false
+		}
+		if c.misses < 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: simulated cycles are monotone in work size for gathers.
+func TestGatherMonotoneProperty(t *testing.T) {
+	f := func(seed int64, small uint8) bool {
+		nSmall := int(small)%1000 + 10
+		nLarge := nSmall * 2
+		rng := rand.New(rand.NewSource(seed))
+		mk := func(n int) []int32 {
+			idx := make([]int32, n)
+			for i := range idx {
+				idx[i] = int32(rng.Intn(100000))
+			}
+			return idx
+		}
+		s1 := New(GTX1080())
+		s1.GatherRows("g", s1.Alloc(100000*128), mk(nSmall), 128)
+		s2 := New(GTX1080())
+		s2.GatherRows("g", s2.Alloc(100000*128), mk(nLarge), 128)
+		return s2.TotalCycles() > s1.TotalCycles()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGatherRows(b *testing.B) {
+	s := New(GTX1080())
+	base := s.Alloc(100000 * 256)
+	rng := rand.New(rand.NewSource(1))
+	idx := make([]int32, 10000)
+	for i := range idx {
+		idx[i] = int32(rng.Intn(100000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.GatherRows("bench", base, idx, 256)
+	}
+}
+
+func BenchmarkBandSweep(b *testing.B) {
+	s := New(GTX1080())
+	base := s.Alloc(1 << 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.BandSweep("bench", base, 30000, 4, 256)
+	}
+}
+
+// BenchmarkAblationL2Sweep sweeps the L2 capacity to find where the
+// gather-based baseline stops being latency-crippled: even when the whole
+// working set fits in a huge L2, index-dependent loads still pay hit
+// latency with low MLP, so MEGA's advantage shrinks but does not vanish.
+func BenchmarkAblationL2Sweep(b *testing.B) {
+	const rows, rowBytes = 50000, 256 // 12.8 MB working set
+	rng := rand.New(rand.NewSource(7))
+	idx := make([]int32, rows)
+	for i := range idx {
+		idx[i] = int32(rng.Intn(rows))
+	}
+	for _, l2MB := range []int64{1, 2, 8, 32} {
+		cfg := GTX1080()
+		cfg.L2Bytes = l2MB << 20
+		b.Run(fmtMB(l2MB), func(b *testing.B) {
+			var gather, band float64
+			for i := 0; i < b.N; i++ {
+				sg := New(cfg)
+				base := sg.Alloc(rows * rowBytes)
+				sg.GatherRows("g", base, idx, rowBytes)
+				gather = sg.TotalCycles()
+
+				sb := New(cfg)
+				base2 := sb.Alloc(rows * rowBytes)
+				sb.BandSweep("b", base2, rows, 4, rowBytes)
+				band = sb.TotalCycles()
+			}
+			b.ReportMetric(gather/band, "gather/band")
+		})
+	}
+}
+
+func fmtMB(mb int64) string {
+	switch mb {
+	case 1:
+		return "L2_1MB"
+	case 2:
+		return "L2_2MB"
+	case 8:
+		return "L2_8MB"
+	default:
+		return "L2_32MB"
+	}
+}
+
+func TestL2SizeShrinksGatherAdvantageGap(t *testing.T) {
+	// Larger L2 must reduce gather cost (more hits) but never below the
+	// banded sweep at equal work.
+	const rows, rowBytes = 50000, 256
+	rng := rand.New(rand.NewSource(8))
+	idx := make([]int32, rows)
+	for i := range idx {
+		idx[i] = int32(rng.Intn(rows))
+	}
+	cost := func(l2 int64) float64 {
+		cfg := GTX1080()
+		cfg.L2Bytes = l2
+		s := New(cfg)
+		base := s.Alloc(rows * rowBytes)
+		s.GatherRows("g", base, idx, rowBytes)
+		return s.TotalCycles()
+	}
+	small := cost(1 << 20)
+	big := cost(64 << 20)
+	if big >= small {
+		t.Errorf("64MB L2 gather cost %v should be below 1MB cost %v", big, small)
+	}
+}
+
+func TestModernDeviceWidensGatherGap(t *testing.T) {
+	// Across GPU generations, bandwidth and compute scale far faster than
+	// memory latency. The band sweep is bandwidth-bound so it rides the
+	// scaling; the gather stays latency-bound — the gap between them
+	// *widens* on a modern device, which is exactly why the paper's
+	// conclusion ties MEGA to "the ongoing trend of expanding model
+	// sizes".
+	const rows, rowBytes = 100000, 256
+	rng := rand.New(rand.NewSource(11))
+	idx := make([]int32, rows)
+	for i := range idx {
+		idx[i] = int32(rng.Intn(rows))
+	}
+	gap := func(cfg Config) float64 {
+		g := New(cfg)
+		g.GatherRows("g", g.Alloc(rows*rowBytes), idx, rowBytes)
+		b := New(cfg)
+		b.BandSweep("b", b.Alloc(rows*rowBytes), rows, 4, rowBytes)
+		return g.TotalCycles() / b.TotalCycles()
+	}
+	old := gap(GTX1080())
+	modern := gap(A100Class())
+	if old <= 1 || modern <= 1 {
+		t.Errorf("gather/band gap must exceed 1 on both devices: %v, %v", old, modern)
+	}
+	if modern <= old {
+		t.Errorf("modern gap %v should exceed GTX 1080 gap %v (bandwidth scales, latency does not)", modern, old)
+	}
+	t.Logf("gather/band cycle ratio: GTX1080 %.2f, A100-class %.2f", old, modern)
+}

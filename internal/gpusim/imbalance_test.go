@@ -1,0 +1,89 @@
+package gpusim
+
+import "testing"
+
+func TestAnalyzeSegments(t *testing.T) {
+	st := AnalyzeSegments([]int32{1, 3, 8})
+	if st.Segments != 3 || st.Total != 12 || st.Max != 8 || st.Mean != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	empty := AnalyzeSegments(nil)
+	if empty.Segments != 0 || empty.Mean != 0 {
+		t.Errorf("empty stats = %+v", empty)
+	}
+}
+
+// skewedSegments builds a power-law-ish workload: one huge hub segment and
+// many unit segments.
+func skewedSegments(n int, hub int32) []int32 {
+	segs := make([]int32, n)
+	for i := range segs {
+		segs[i] = 1
+	}
+	segs[0] = hub
+	return segs
+}
+
+func TestImbalanceTailPenalty(t *testing.T) {
+	const rowBytes = 128
+	skewed := skewedSegments(1000, 2000)
+	uniform := make([]int32, 1000)
+	total := int32(0)
+	for _, l := range skewed {
+		total += l
+	}
+	for i := range uniform {
+		uniform[i] = total / 1000
+	}
+	// pad remainder into the first segment to equalise totals
+	uniform[0] += total - (total/1000)*1000
+
+	sSkew := New(GTX1080())
+	sSkew.ScatterSegments("agg", sSkew.Alloc(1<<22), skewed, rowBytes, false)
+	sUni := New(GTX1080())
+	sUni.ScatterSegments("agg", sUni.Alloc(1<<22), uniform, rowBytes, false)
+
+	if sSkew.TotalCycles() <= sUni.TotalCycles() {
+		t.Errorf("skewed workload %v should cost more than uniform %v",
+			sSkew.TotalCycles(), sUni.TotalCycles())
+	}
+}
+
+func TestNeighborGroupingRemovesTail(t *testing.T) {
+	const rowBytes = 128
+	skewed := skewedSegments(1000, 2000)
+
+	naive := New(GTX1080())
+	naive.ScatterSegments("agg", naive.Alloc(1<<22), skewed, rowBytes, false)
+	grouped := New(GTX1080())
+	grouped.ScatterSegments("agg", grouped.Alloc(1<<22), skewed, rowBytes, true)
+
+	if grouped.TotalCycles() >= naive.TotalCycles() {
+		t.Errorf("neighbor grouping %v should beat naive %v on skewed input",
+			grouped.TotalCycles(), naive.TotalCycles())
+	}
+	// Grouping pays extra atomic traffic.
+	kg, _ := grouped.Kernel("agg")
+	kn, _ := naive.Kernel("agg")
+	if kg.StoreTransactions <= kn.StoreTransactions {
+		t.Errorf("grouping stores %d should exceed naive %d (atomic merges)",
+			kg.StoreTransactions, kn.StoreTransactions)
+	}
+}
+
+func TestGroupingNeutralOnUniformWork(t *testing.T) {
+	// With no skew there is no tail; grouping only adds (tiny) overhead.
+	const rowBytes = 128
+	uniform := make([]int32, 500)
+	for i := range uniform {
+		uniform[i] = 4
+	}
+	naive := New(GTX1080())
+	naive.ScatterSegments("agg", naive.Alloc(1<<22), uniform, rowBytes, false)
+	grouped := New(GTX1080())
+	grouped.ScatterSegments("agg", grouped.Alloc(1<<22), uniform, rowBytes, true)
+	ratio := grouped.TotalCycles() / naive.TotalCycles()
+	if ratio > 1.5 {
+		t.Errorf("grouping overhead on uniform work too high: %.2fx", ratio)
+	}
+}

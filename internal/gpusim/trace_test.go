@@ -1,0 +1,81 @@
+package gpusim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	s := New(GTX1080())
+	s.Sgemm(64, 64, 64)
+	if s.TraceLen() != 0 {
+		t.Errorf("trace recorded %d events without EnableTrace", s.TraceLen())
+	}
+}
+
+func TestTraceRecordsLaunches(t *testing.T) {
+	s := New(GTX1080())
+	s.EnableTrace()
+	s.Sgemm(64, 64, 64)
+	s.Memcpy(1 << 16)
+	s.Elementwise("relu", 1000, 4)
+	if s.TraceLen() != 3 {
+		t.Fatalf("trace events = %d, want 3", s.TraceLen())
+	}
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	s := New(GTX1080())
+	s.EnableTrace()
+	s.Sgemm(64, 64, 64)
+	idx := []int32{1, 5, 9}
+	s.GatherRows("dgl", s.Alloc(1<<16), idx, 128)
+
+	var buf bytes.Buffer
+	if err := s.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 2 {
+		t.Fatalf("events = %d, want 2", len(parsed.TraceEvents))
+	}
+	// Events are complete-phase, sequential, and non-negative.
+	prevEnd := 0.0
+	for _, e := range parsed.TraceEvents {
+		if e.Ph != "X" {
+			t.Errorf("phase = %q, want X", e.Ph)
+		}
+		if e.Ts < prevEnd-1e-9 {
+			t.Errorf("event %q starts at %v before previous end %v", e.Name, e.Ts, prevEnd)
+		}
+		if e.Dur <= 0 {
+			t.Errorf("event %q has non-positive duration", e.Name)
+		}
+		prevEnd = e.Ts + e.Dur
+	}
+	if parsed.TraceEvents[0].Name != "sgemm" || parsed.TraceEvents[1].Name != "dgl" {
+		t.Errorf("event order wrong: %v", parsed.TraceEvents)
+	}
+}
+
+func TestResetClearsTrace(t *testing.T) {
+	s := New(GTX1080())
+	s.EnableTrace()
+	s.Sgemm(32, 32, 32)
+	s.Reset()
+	if s.TraceLen() != 0 {
+		t.Error("reset should clear the trace")
+	}
+}

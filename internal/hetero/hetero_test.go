@@ -1,0 +1,215 @@
+package hetero
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mega/internal/graph"
+	"mega/internal/traverse"
+)
+
+// bipartiteish builds a typed graph with two types: type-0 vertices form a
+// ring among themselves, type-1 vertices a second ring, with some random
+// bridges — a paper-style heterogeneous structure (e.g. users and items).
+func bipartiteish(t *testing.T, rng *rand.Rand, perType, bridges int) *TypedGraph {
+	t.Helper()
+	n := 2 * perType
+	var edges []graph.Edge
+	for v := 0; v < perType; v++ {
+		edges = append(edges, graph.Edge{Src: graph.NodeID(v), Dst: graph.NodeID((v + 1) % perType)})
+	}
+	for v := 0; v < perType; v++ {
+		a := graph.NodeID(perType + v)
+		b := graph.NodeID(perType + (v+1)%perType)
+		edges = append(edges, graph.Edge{Src: a, Dst: b})
+	}
+	seen := make(map[[2]graph.NodeID]bool)
+	for len(seen) < bridges {
+		u := graph.NodeID(rng.Intn(perType))
+		v := graph.NodeID(perType + rng.Intn(perType))
+		key := [2]graph.NodeID{u, v}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		edges = append(edges, graph.Edge{Src: u, Dst: v})
+	}
+	g := graph.MustNew(n, edges, false)
+	types := make([]int32, n)
+	for v := perType; v < n; v++ {
+		types[v] = 1
+	}
+	tg, err := NewTypedGraph(g, types, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+func TestNewTypedGraphValidation(t *testing.T) {
+	g := graph.Cycle(4)
+	if _, err := NewTypedGraph(g, []int32{0, 1}, 2); err == nil {
+		t.Error("wrong type-slice length should error")
+	}
+	if _, err := NewTypedGraph(g, []int32{0, 1, 2, 0}, 2); err == nil {
+		t.Error("out-of-range type should error")
+	}
+	if _, err := NewTypedGraph(g, []int32{0, 1, 1, 0}, 2); err != nil {
+		t.Errorf("valid typed graph rejected: %v", err)
+	}
+}
+
+func TestSplitPartitionsEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tg := bipartiteish(t, rng, 10, 5)
+	subs, bridges, err := Split(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 2 {
+		t.Fatalf("subgraphs = %d, want 2", len(subs))
+	}
+	if subs[0].G.NumNodes() != 10 || subs[1].G.NumNodes() != 10 {
+		t.Errorf("subgraph sizes %d/%d, want 10/10", subs[0].G.NumNodes(), subs[1].G.NumNodes())
+	}
+	intra := subs[0].G.NumEdges() + subs[1].G.NumEdges()
+	if intra+len(bridges) != tg.G.NumEdges() {
+		t.Errorf("edge partition %d + %d != %d", intra, len(bridges), tg.G.NumEdges())
+	}
+	if len(bridges) != 5 {
+		t.Errorf("bridges = %d, want 5", len(bridges))
+	}
+	// Every bridge really is cross-type; every subgraph edge really maps
+	// to a same-type original edge.
+	for _, b := range bridges {
+		if tg.NodeType[b.U] == tg.NodeType[b.V] {
+			t.Errorf("bridge (%d,%d) is intra-type", b.U, b.V)
+		}
+	}
+	for _, sub := range subs {
+		for _, e := range sub.G.Edges() {
+			gu, gv := sub.ToGlobal[e.Src], sub.ToGlobal[e.Dst]
+			if !tg.G.HasEdge(gu, gv) {
+				t.Errorf("subgraph edge (%d,%d) not in original", gu, gv)
+			}
+			if tg.NodeType[gu] != int32(sub.Type) || tg.NodeType[gv] != int32(sub.Type) {
+				t.Errorf("subgraph %d contains foreign-type edge", sub.Type)
+			}
+		}
+	}
+}
+
+func TestSplitEmptyType(t *testing.T) {
+	g := graph.Cycle(4)
+	tg, err := NewTypedGraph(g, []int32{0, 0, 0, 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, bridges, err := Split(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bridges) != 0 {
+		t.Errorf("homogeneous graph should have no bridges")
+	}
+	if subs[1].G.NumNodes() != 0 || subs[2].G.NumNodes() != 0 {
+		t.Error("empty types should produce empty subgraphs")
+	}
+}
+
+func TestBuildMultiPathCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tg := bipartiteish(t, rng, 12, 6)
+	mr, err := BuildMultiPath(tg, traverse.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Coverage() != 1 {
+		t.Errorf("hierarchical coverage = %v, want 1 (θ=1 per type + all bridges)", mr.Coverage())
+	}
+	if mr.InterEdges != 6 {
+		t.Errorf("inter edges = %d, want 6", mr.InterEdges)
+	}
+	if mr.TotalPathLen() < 24 {
+		t.Errorf("total path length %d too small for 24 vertices", mr.TotalPathLen())
+	}
+	// Per-type paths must be type-pure.
+	for _, tr := range mr.PerType {
+		if tr.Rep == nil {
+			continue
+		}
+		for _, local := range tr.Rep.Path {
+			global := tr.Sub.ToGlobal[local]
+			if tg.NodeType[global] != int32(tr.Sub.Type) {
+				t.Fatalf("type-%d path contains type-%d vertex", tr.Sub.Type, tg.NodeType[global])
+			}
+		}
+	}
+}
+
+func TestCompareCostShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tg := bipartiteish(t, rng, 400, 60)
+	costs, err := CompareCost(tg, traverse.DefaultOptions(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costs.MultiPath >= costs.Baseline {
+		t.Errorf("multi-path %v should beat the gather/scatter baseline %v", costs.MultiPath, costs.Baseline)
+	}
+	if costs.Flat >= costs.Baseline {
+		t.Errorf("flat path %v should beat the baseline %v", costs.Flat, costs.Baseline)
+	}
+	t.Logf("baseline %.3g, flat %.3g, multipath %.3g", costs.Baseline, costs.Flat, costs.MultiPath)
+}
+
+// Property: splitting always conserves vertices and edges.
+func TestSplitConservationProperty(t *testing.T) {
+	f := func(seed int64, nRaw, tRaw uint8) bool {
+		n := int(nRaw%20) + 4
+		numTypes := int(tRaw%3) + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.ErdosRenyiM(rng, n, n*2)
+		types := make([]int32, n)
+		for v := range types {
+			types[v] = int32(rng.Intn(numTypes))
+		}
+		tg, err := NewTypedGraph(g, types, numTypes)
+		if err != nil {
+			return false
+		}
+		subs, bridges, err := Split(tg)
+		if err != nil {
+			return false
+		}
+		nodes, intra := 0, 0
+		for _, s := range subs {
+			nodes += s.G.NumNodes()
+			intra += s.G.NumEdges()
+		}
+		return nodes == n && intra+len(bridges) == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBuildMultiPath(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.BarabasiAlbert(rng, 1000, 3)
+	types := make([]int32, 1000)
+	for v := range types {
+		types[v] = int32(rng.Intn(3))
+	}
+	tg, err := NewTypedGraph(g, types, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildMultiPath(tg, traverse.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package models implements the two GNN configurations the paper evaluates
+// — Gated Graph ConvNet (GCN, Bresson & Laurent) and Graph Transformer (GT,
+// Dwivedi & Bresson) — over two interchangeable attention engines:
+//
+//   - the DGL-style baseline (engine_dgl.go): per-directed-edge
+//     gather/scatter aggregation over node IDs, profiled as irregular
+//     gather/scatter/cub kernels;
+//   - MEGA (engine_mega.go): the same mathematical aggregation expressed
+//     over the band representation's pair list, profiled as sequential
+//     banded sweeps plus a duplicate-synchronisation kernel.
+//
+// Both engines drive the identical layer code through a Context: a list of
+// directed attention pairs (receiver row, sender row, undirected edge ID)
+// over a working embedding matrix. The engines therefore share parameters
+// exactly — the paper's "identical parameter counts" requirement — and
+// differ only in row layout, pair order, duplicate handling, and the
+// simulated memory behaviour reported to gpusim.
+package models
+
+import (
+	"math"
+
+	"mega/internal/nn"
+	"mega/internal/tensor"
+)
+
+// Context carries everything one forward pass needs: the pair list, row
+// metadata, readout segments, and the profiler that accounts simulated GPU
+// cost.
+type Context struct {
+	// NumRows is the number of working embedding rows: total nodes for
+	// the DGL engine, total path positions for MEGA.
+	NumRows int
+	// RecvIdx/SendIdx/EdgeIdx describe the directed attention pairs:
+	// pair p aggregates row SendIdx[p] into row RecvIdx[p] using
+	// undirected edge EdgeIdx[p]'s features.
+	RecvIdx []int32
+	SendIdx []int32
+	EdgeIdx []int32
+	// NumEdges is the undirected edge count (edge-embedding rows).
+	NumEdges int
+	// NodeTypeIDs[r] is the categorical node feature for working row r.
+	NodeTypeIDs []int32
+	// EdgeTypeIDs[e] is the categorical edge feature for edge e.
+	EdgeTypeIDs []int32
+	// GraphSeg[r] is the member-graph index of working row r; readout
+	// pools rows by this segmentation.
+	GraphSeg []int32
+	// NumGraphs is the batch size for readout.
+	NumGraphs int
+
+	// Sync merges duplicate rows after each layer (MEGA's path revisits);
+	// nil means rows are unique (DGL engine).
+	Sync func(h *tensor.Tensor) *tensor.Tensor
+
+	// ReadoutFn overrides the default per-graph mean pooling; the MEGA
+	// engine uses it to pool nodes rather than path positions so that
+	// revisited nodes are not over-weighted.
+	ReadoutFn func(h *tensor.Tensor) *tensor.Tensor
+
+	// Prof receives simulated-kernel notifications; nil disables
+	// profiling entirely.
+	Prof *Prof
+
+	// Targets for training: exactly one of the two is used depending on
+	// the dataset task.
+	Targets *tensor.Tensor // [NumGraphs,1] regression targets
+	Labels  []int          // classification labels
+
+	// counter tallies abstract op calls for Table I; nil outside
+	// CountOps probes.
+	counter *opCounter
+}
+
+// NumPairs returns the directed pair count.
+func (c *Context) NumPairs() int { return len(c.RecvIdx) }
+
+// GatherRecv gathers h rows at each pair's receiver.
+func (c *Context) GatherRecv(h *tensor.Tensor) *tensor.Tensor {
+	if c.counter != nil {
+		c.counter.gathers++
+	}
+	c.Prof.pairGatherNodes(c, c.RecvIdx, h.Cols())
+	return tensor.GatherRows(h, c.RecvIdx)
+}
+
+// GatherSend gathers h rows at each pair's sender.
+func (c *Context) GatherSend(h *tensor.Tensor) *tensor.Tensor {
+	if c.counter != nil {
+		c.counter.gathers++
+	}
+	c.Prof.pairGatherNodes(c, c.SendIdx, h.Cols())
+	return tensor.GatherRows(h, c.SendIdx)
+}
+
+// GatherEdges gathers the undirected edge embedding behind each pair.
+func (c *Context) GatherEdges(e *tensor.Tensor) *tensor.Tensor {
+	if c.counter != nil {
+		c.counter.gathers++
+	}
+	c.Prof.pairGatherEdges(c, e.Cols())
+	return tensor.GatherRows(e, c.EdgeIdx)
+}
+
+// AggregateByRecv sums pair values into their receiver rows.
+func (c *Context) AggregateByRecv(x *tensor.Tensor) *tensor.Tensor {
+	if c.counter != nil {
+		c.counter.scatters++
+	}
+	c.Prof.pairScatter(c, x.Cols())
+	return tensor.ScatterAddRows(x, c.RecvIdx, c.NumRows)
+}
+
+// EdgeMean averages pair values back onto their undirected edges (both
+// directions of an edge contribute), producing the updated edge embedding.
+func (c *Context) EdgeMean(x *tensor.Tensor) *tensor.Tensor {
+	if c.counter != nil {
+		c.counter.scatters++
+	}
+	c.Prof.edgeReduce(c, x.Cols())
+	return tensor.SegmentMean(x, c.EdgeIdx, c.NumEdges)
+}
+
+// Linear applies a linear layer with sgemm profiling and op counting.
+func (c *Context) Linear(l *nn.Linear, x *tensor.Tensor) *tensor.Tensor {
+	if c.counter != nil {
+		c.counter.linears++
+	}
+	c.Prof.Linear(x.Rows(), x.Cols(), l.W.Cols())
+	return l.Forward(x)
+}
+
+// Act applies an elementwise activation with profiling.
+func (c *Context) Act(f func(*tensor.Tensor) *tensor.Tensor, x *tensor.Tensor) *tensor.Tensor {
+	c.Prof.Elementwise(x.Size())
+	return f(x)
+}
+
+// Norm applies a normalisation layer with profiling.
+func (c *Context) Norm(n *nn.Norm, x *tensor.Tensor) *tensor.Tensor {
+	c.Prof.Elementwise(2 * x.Size())
+	return n.Forward(x)
+}
+
+// SegmentSoftmaxByRecv computes a numerically stable softmax of per-pair
+// scores ([P,1]) grouped by receiver, the attention normalisation of GT.
+func (c *Context) SegmentSoftmaxByRecv(score *tensor.Tensor) *tensor.Tensor {
+	// Per-receiver max as a constant shift (no gradient contribution).
+	maxPer := make([]float64, c.NumRows)
+	for i := range maxPer {
+		maxPer[i] = math.Inf(-1)
+	}
+	for p, r := range c.RecvIdx {
+		if v := score.Data[p]; v > maxPer[r] {
+			maxPer[r] = v
+		}
+	}
+	shift := tensor.Zeros(len(c.RecvIdx), 1)
+	for p, r := range c.RecvIdx {
+		shift.Data[p] = maxPer[r]
+	}
+	ex := tensor.Exp(tensor.Sub(score, shift))
+	denom := c.AggregateByRecv(ex)
+	denomPer := c.GatherRecv(tensor.AddScalar(denom, 1e-9))
+	return tensor.Div(ex, denomPer)
+}
+
+// NormalizeByRecvSum divides per-pair gate values ([P,d]) by the sum of the
+// gates over each receiver (plus eps), GatedGCN's η normalisation.
+func (c *Context) NormalizeByRecvSum(gate *tensor.Tensor, eps float64) *tensor.Tensor {
+	denom := c.AggregateByRecv(gate)
+	denomPer := c.GatherRecv(tensor.AddScalar(denom, eps))
+	return tensor.Div(gate, denomPer)
+}
+
+// SyncDuplicates applies the engine's duplicate-row synchronisation.
+func (c *Context) SyncDuplicates(h *tensor.Tensor) *tensor.Tensor {
+	if c.Sync == nil {
+		return h
+	}
+	return c.Sync(h)
+}
+
+// Readout mean-pools working rows per member graph (or applies the
+// engine's override).
+func (c *Context) Readout(h *tensor.Tensor) *tensor.Tensor {
+	c.Prof.elementwise(h.Size())
+	if c.ReadoutFn != nil {
+		return c.ReadoutFn(h)
+	}
+	return tensor.SegmentMean(h, c.GraphSeg, c.NumGraphs)
+}

@@ -1,0 +1,69 @@
+package models
+
+import (
+	"mega/internal/datasets"
+	"mega/internal/gpusim"
+	"mega/internal/graph"
+)
+
+// NewDGLContext builds the conventional gather/scatter context over a batch
+// of instances: working rows are the batched node IDs, and the pair list is
+// the directed edge list (each undirected edge contributes both
+// directions), the layout DGL's message-passing kernels consume.
+//
+// sim may be nil to skip all profiling. dim sizes the simulated buffers.
+func NewDGLContext(insts []datasets.Instance, sim *gpusim.Sim, dim int) (*Context, error) {
+	members := make([]*graph.Graph, len(insts))
+	for i, inst := range insts {
+		members[i] = inst.G
+	}
+	b, err := graph.NewBatch(members)
+	if err != nil {
+		return nil, err
+	}
+	n := b.Merged.NumNodes()
+	m := b.Merged.NumEdges()
+
+	ctx := &Context{
+		NumRows:   n,
+		NumEdges:  m,
+		NumGraphs: len(insts),
+		GraphSeg:  b.GraphOf,
+	}
+	ctx.RecvIdx = make([]int32, 0, 2*m)
+	ctx.SendIdx = make([]int32, 0, 2*m)
+	ctx.EdgeIdx = make([]int32, 0, 2*m)
+	for ei, e := range b.Merged.Edges() {
+		ctx.RecvIdx = append(ctx.RecvIdx, e.Dst, e.Src)
+		ctx.SendIdx = append(ctx.SendIdx, e.Src, e.Dst)
+		ctx.EdgeIdx = append(ctx.EdgeIdx, int32(ei), int32(ei))
+	}
+
+	ctx.NodeTypeIDs = make([]int32, 0, n)
+	ctx.EdgeTypeIDs = make([]int32, 0, m)
+	for _, inst := range insts {
+		ctx.NodeTypeIDs = append(ctx.NodeTypeIDs, inst.NodeFeat...)
+		ctx.EdgeTypeIDs = append(ctx.EdgeTypeIDs, inst.EdgeFeat...)
+	}
+
+	if sim != nil {
+		prof := NewProf(sim, EngineDGL, n, m, dim)
+		prof.SetDGLSortKeys(2 * m)
+		ctx.Prof = prof
+	}
+	attachTargets(ctx, insts)
+	return ctx, nil
+}
+
+// attachTargets fills regression targets and classification labels from
+// the instances.
+func attachTargets(ctx *Context, insts []datasets.Instance) {
+	targets := make([]float64, len(insts))
+	labels := make([]int, len(insts))
+	for i, inst := range insts {
+		targets[i] = inst.Target
+		labels[i] = inst.Label
+	}
+	ctx.Targets = newColumn(targets)
+	ctx.Labels = labels
+}

@@ -1,0 +1,216 @@
+package models
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mega/internal/band"
+	"mega/internal/datasets"
+	"mega/internal/gpusim"
+	"mega/internal/tensor"
+	"mega/internal/traverse"
+)
+
+// MegaOptions configures the MEGA engine's preprocessing.
+type MegaOptions struct {
+	// Traverse controls the path construction (window, coverage, edge
+	// dropping). The zero value selects traverse.DefaultOptions.
+	Traverse traverse.Options
+}
+
+// NewMegaContext builds the banded-attention context: each instance is
+// traversed into a path representation on the CPU ("the preprocessing
+// occurs on the CPU and is decoupled from the interleaved graph and neural
+// operations on the GPU", §I); the paths are concatenated and the pair list
+// enumerates masked band entries in offset-major order — the order a GPU
+// would sweep them sequentially.
+//
+// sim may be nil to skip profiling. dim sizes the simulated buffers.
+func NewMegaContext(insts []datasets.Instance, opts MegaOptions, sim *gpusim.Sim, dim int) (*Context, error) {
+	topts := opts.Traverse
+	if topts.EdgeCoverage == 0 && topts.Window == 0 && topts.Start == 0 {
+		topts = traverse.DefaultOptions()
+	}
+
+	type memberRep struct {
+		rep *band.Rep
+		res *traverse.Result
+	}
+	// Per-instance traversals are independent: fan the preprocessing out
+	// across CPU cores (the paper decouples this stage from the GPU
+	// precisely so it can run ahead on the host).
+	reps := make([]memberRep, len(insts))
+	errs := make([]error, len(insts))
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(insts) {
+		workers = len(insts)
+	}
+	next := int64(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(insts) {
+					return
+				}
+				rep, res, err := band.FromGraph(insts[i].G, topts)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				reps[i] = memberRep{rep: rep, res: res}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	totalRows, totalEdges, maxWindow := 0, 0, 1
+	for _, mr := range reps {
+		totalRows += mr.rep.Len()
+		totalEdges += mr.res.Graph.NumEdges()
+		if mr.rep.Window > maxWindow {
+			maxWindow = mr.rep.Window
+		}
+	}
+
+	ctx := &Context{
+		NumRows:   totalRows,
+		NumEdges:  totalEdges,
+		NumGraphs: len(insts),
+	}
+	ctx.NodeTypeIDs = make([]int32, 0, totalRows)
+	ctx.EdgeTypeIDs = make([]int32, 0, totalEdges)
+	ctx.GraphSeg = make([]int32, 0, totalRows)
+
+	// posToNode maps every working row to a globally unique node slot so
+	// duplicate rows of the same node synchronise together.
+	posToNode := make([]int32, 0, totalRows)
+	var syncPositions []int32
+	rowOff, nodeOff := int32(0), int32(0)
+
+	// Offset-major pair enumeration: all offset-1 pairs of every member,
+	// then offset-2, etc. — the sweep order of the banded kernel.
+	for o := 1; o <= maxWindow; o++ {
+		ro := int32(0)
+		eo := int32(0)
+		for _, mr := range reps {
+			if o <= mr.rep.Window {
+				mask := mr.rep.Mask[o-1]
+				eids := mr.rep.EdgeID[o-1]
+				for i, on := range mask {
+					if !on {
+						continue
+					}
+					lo := ro + int32(i)
+					hi := ro + int32(i+o)
+					eid := eo + eids[i]
+					// Both directions share the pair's edge features —
+					// the §III-C symmetric-diagonal reuse.
+					ctx.RecvIdx = append(ctx.RecvIdx, lo, hi)
+					ctx.SendIdx = append(ctx.SendIdx, hi, lo)
+					ctx.EdgeIdx = append(ctx.EdgeIdx, eid, eid)
+				}
+			}
+			ro += int32(mr.rep.Len())
+			eo += int32(mr.res.Graph.NumEdges())
+		}
+	}
+
+	for gi, mr := range reps {
+		inst := insts[gi]
+		for _, v := range mr.rep.Path {
+			ctx.NodeTypeIDs = append(ctx.NodeTypeIDs, inst.NodeFeat[v])
+			ctx.GraphSeg = append(ctx.GraphSeg, int32(gi))
+			posToNode = append(posToNode, nodeOff+v)
+		}
+		for _, positions := range mr.rep.SyncGroups() {
+			for _, p := range positions {
+				syncPositions = append(syncPositions, rowOff+p)
+			}
+		}
+		// Edge features follow the (possibly edge-dropped) walked graph:
+		// map its edges back to the instance's feature list by identity
+		// of edge order when nothing is dropped, or by lookup otherwise.
+		walked := mr.res.Graph
+		if walked.NumEdges() == inst.G.NumEdges() {
+			ctx.EdgeTypeIDs = append(ctx.EdgeTypeIDs, inst.EdgeFeat...)
+		} else {
+			feat := edgeFeatureLookup(inst)
+			for _, e := range walked.Edges() {
+				ctx.EdgeTypeIDs = append(ctx.EdgeTypeIDs, feat[edgeKey(e.Src, e.Dst)])
+			}
+		}
+		rowOff += int32(mr.rep.Len())
+		nodeOff += int32(inst.G.NumNodes())
+	}
+
+	// Duplicate synchronisation: average rows per node slot, then gather
+	// back — one segment reduction per layer, charged as a sync kernel.
+	numNodes := int(nodeOff)
+	ctx.Sync = func(h *tensor.Tensor) *tensor.Tensor {
+		if len(syncPositions) == 0 {
+			return h
+		}
+		if ctx.Prof != nil {
+			ctx.Prof.SyncCost(h.Cols())
+		}
+		return tensor.GatherRows(tensor.SegmentMean(h, posToNode, numNodes), posToNode)
+	}
+
+	// Exact node-level readout: pool positions to node slots first, then
+	// nodes to graphs, so revisited nodes carry the same weight as in the
+	// DGL engine.
+	nodeGraph := make([]int32, numNodes)
+	off := int32(0)
+	for gi, inst := range insts {
+		for v := 0; v < inst.G.NumNodes(); v++ {
+			nodeGraph[off+int32(v)] = int32(gi)
+		}
+		off += int32(inst.G.NumNodes())
+	}
+	numGraphs := len(insts)
+	ctx.ReadoutFn = func(h *tensor.Tensor) *tensor.Tensor {
+		nodes := tensor.SegmentMean(h, posToNode, numNodes)
+		return tensor.SegmentMean(nodes, nodeGraph, numGraphs)
+	}
+
+	if sim != nil {
+		prof := NewProf(sim, EngineMega, totalRows, totalEdges, dim)
+		prof.SetMegaBand(maxWindow, syncPositions)
+		ctx.Prof = prof
+	}
+	attachTargets(ctx, insts)
+	return ctx, nil
+}
+
+// edgeKey canonicalises an undirected vertex pair.
+func edgeKey(a, b int32) [2]int32 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int32{a, b}
+}
+
+// edgeFeatureLookup indexes an instance's edge features by vertex pair.
+func edgeFeatureLookup(inst datasets.Instance) map[[2]int32]int32 {
+	out := make(map[[2]int32]int32, inst.G.NumEdges())
+	for i, e := range inst.G.Edges() {
+		out[edgeKey(e.Src, e.Dst)] = inst.EdgeFeat[i]
+	}
+	return out
+}
+
+// newColumn builds an n×1 tensor from a slice.
+func newColumn(xs []float64) *tensor.Tensor {
+	t := tensor.Zeros(len(xs), 1)
+	copy(t.Data, xs)
+	return t
+}

@@ -1,0 +1,132 @@
+package models
+
+import (
+	"math/rand"
+
+	"mega/internal/nn"
+	"mega/internal/tensor"
+)
+
+// GAT is the Graph Attention Network of Veličković et al. — the paper's
+// reference [14] and the canonical graph-attention formulation MEGA
+// accelerates. Each head computes per-pair scores
+//
+//	s_ij = LeakyReLU( a_l · W h_i + a_r · W h_j )
+//
+// normalised by softmax over each receiver's neighbours, aggregates
+// α_ij · W h_j, and concatenates heads followed by an ELU-style
+// nonlinearity (ReLU here). Edge features are not part of the original
+// formulation; the shared edge-embedding stream passes through untouched.
+//
+// GAT is lighter than GT (one projection + two attention vectors per
+// layer) but issues the same irregular per-edge operations, so it slots
+// directly into the DGL-vs-MEGA comparison.
+type GAT struct {
+	cfg     Config
+	enc     *encoder
+	layers  []*gatLayer
+	readout *nn.MLP
+}
+
+var _ Model = (*GAT)(nil)
+
+type gatLayer struct {
+	w *nn.Linear
+	// aL/aR are the left/right attention vectors, one dk-column block per
+	// head (stored as 1×d rows for broadcasting).
+	aL *tensor.Tensor
+	aR *tensor.Tensor
+	bn *nn.Norm
+}
+
+// NewGAT constructs the model.
+func NewGAT(cfg Config) *GAT {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x6A7))
+	m := &GAT{
+		cfg:     cfg,
+		enc:     newEncoder(rng, cfg),
+		readout: nn.NewMLP(rng, cfg.Dim, cfg.Dim/2, cfg.OutDim),
+	}
+	for i := 0; i < cfg.Layers; i++ {
+		m.layers = append(m.layers, &gatLayer{
+			w:  nn.NewLinear(rng, cfg.Dim, cfg.Dim),
+			aL: tensor.Randn(rng, 1, cfg.Dim, 0.1).RequireGrad(),
+			aR: tensor.Randn(rng, 1, cfg.Dim, 0.1).RequireGrad(),
+			bn: nn.NewNorm(nn.BatchNorm, cfg.Dim),
+		})
+	}
+	return m
+}
+
+// Name implements Model.
+func (m *GAT) Name() string { return "GAT" }
+
+// Config returns the model configuration.
+func (m *GAT) Config() Config { return m.cfg }
+
+// Params implements Model.
+func (m *GAT) Params() []*tensor.Tensor {
+	out := m.enc.params()
+	for _, l := range m.layers {
+		out = append(out, l.w.Params()...)
+		out = append(out, l.aL, l.aR, l.bn.Gamma, l.bn.Beta)
+	}
+	return append(out, m.readout.Params()...)
+}
+
+// Forward implements Model.
+func (m *GAT) Forward(ctx *Context) *tensor.Tensor {
+	h, _ := m.enc.forward(ctx)
+	for _, l := range m.layers {
+		h = l.forward(ctx, h, m.cfg.Heads)
+	}
+	pooled := ctx.Readout(h)
+	ctx.Prof.Linear(pooled.Rows(), pooled.Cols(), m.cfg.OutDim)
+	return m.readout.Forward(pooled)
+}
+
+// leakyReLU applies max(x, 0.2x), GAT's score nonlinearity.
+func leakyReLU(x *tensor.Tensor) *tensor.Tensor {
+	return tensor.Add(tensor.ReLU(x), tensor.Scale(tensor.Sub(x, tensor.ReLU(x)), 0.2))
+}
+
+// forward runs one GAT block.
+func (l *gatLayer) forward(ctx *Context, h *tensor.Tensor, heads int) *tensor.Tensor {
+	ctx.Prof.LayerStart()
+	d := h.Cols()
+	dk := d / heads
+
+	wh := ctx.Linear(l.w, h)
+	// Per-row score halves: sL[i] = a_l·(Wh)_i per head, computed densely
+	// then gathered per pair — the neural-then-graph split of §II-A.
+	sL := tensor.Mul(wh, broadcastRow(l.aL, wh.Rows()))
+	sR := tensor.Mul(wh, broadcastRow(l.aR, wh.Rows()))
+
+	whSend := ctx.GatherSend(wh)
+	sLr := ctx.GatherRecv(sL)
+	sRs := ctx.GatherSend(sR)
+
+	headOuts := make([]*tensor.Tensor, heads)
+	for a := 0; a < heads; a++ {
+		lhs := tensor.RowSum(tensor.NarrowCols(sLr, a*dk, dk))
+		rhs := tensor.RowSum(tensor.NarrowCols(sRs, a*dk, dk))
+		score := ctx.Act(leakyReLU, tensor.Add(lhs, rhs))
+		alpha := ctx.SegmentSoftmaxByRecv(score)
+		va := tensor.NarrowCols(whSend, a*dk, dk)
+		headOuts[a] = ctx.AggregateByRecv(tensor.MulColVec(va, alpha))
+	}
+	att := tensor.ConcatCols(headOuts...)
+	out := ctx.Act(tensor.ReLU, ctx.Norm(l.bn, tensor.Add(h, att)))
+	return ctx.SyncDuplicates(out)
+}
+
+// broadcastRow tiles a 1×d row vector to rows×d without gradient fan-in
+// surprises (the underlying tensor op handles accumulation).
+func broadcastRow(v *tensor.Tensor, rows int) *tensor.Tensor {
+	idx := make([]int32, rows)
+	return tensor.GatherRows(v, idx)
+}
+
+// CountOps reports operation statistics for this model over the context.
+func (m *GAT) CountOps(ctx *Context) OpCounts { return countOps(m, ctx) }

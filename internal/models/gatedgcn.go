@@ -1,0 +1,115 @@
+package models
+
+import (
+	"math/rand"
+
+	"mega/internal/nn"
+	"mega/internal/tensor"
+)
+
+// GatedGCN is the Gated Graph ConvNet of Bresson & Laurent (the paper's
+// "GCN" configuration, §III-1): each layer updates edge embeddings
+//
+//	ê_ij = C·e_ij + D·h_i + E·h_j
+//
+// and node embeddings through sigmoid-gated aggregation
+//
+//	h_i' = ReLU(BN(h_i + A·h_i + Σ_j η_ij ⊙ B·h_j)),
+//	η_ij = σ(ê_ij) / (Σ_{j'} σ(ê_ij') + ε),
+//
+// with residual connections and batch normalisation on both streams —
+// five d×d projections per layer, the 5d² parameter volume of Table I.
+type GatedGCN struct {
+	cfg     Config
+	enc     *encoder
+	layers  []*gcnLayer
+	readout *nn.MLP
+}
+
+var _ Model = (*GatedGCN)(nil)
+
+type gcnLayer struct {
+	a, b, c, d, e *nn.Linear
+	bnH, bnE      *nn.Norm
+}
+
+// NewGatedGCN constructs the model.
+func NewGatedGCN(cfg Config) *GatedGCN {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x6CC))
+	m := &GatedGCN{
+		cfg:     cfg,
+		enc:     newEncoder(rng, cfg),
+		readout: nn.NewMLP(rng, cfg.Dim, cfg.Dim/2, cfg.OutDim),
+	}
+	for i := 0; i < cfg.Layers; i++ {
+		m.layers = append(m.layers, &gcnLayer{
+			a:   nn.NewLinear(rng, cfg.Dim, cfg.Dim),
+			b:   nn.NewLinear(rng, cfg.Dim, cfg.Dim),
+			c:   nn.NewLinear(rng, cfg.Dim, cfg.Dim),
+			d:   nn.NewLinear(rng, cfg.Dim, cfg.Dim),
+			e:   nn.NewLinear(rng, cfg.Dim, cfg.Dim),
+			bnH: nn.NewNorm(nn.BatchNorm, cfg.Dim),
+			bnE: nn.NewNorm(nn.BatchNorm, cfg.Dim),
+		})
+	}
+	return m
+}
+
+// Name implements Model.
+func (m *GatedGCN) Name() string { return "GCN" }
+
+// Config returns the model configuration.
+func (m *GatedGCN) Config() Config { return m.cfg }
+
+// Params implements Model.
+func (m *GatedGCN) Params() []*tensor.Tensor {
+	out := m.enc.params()
+	for _, l := range m.layers {
+		out = append(out, nn.CollectParams(l.a, l.b, l.c, l.d, l.e, l.bnH, l.bnE)...)
+	}
+	return append(out, m.readout.Params()...)
+}
+
+// Forward implements Model.
+func (m *GatedGCN) Forward(ctx *Context) *tensor.Tensor {
+	h, e := m.enc.forward(ctx)
+	for _, l := range m.layers {
+		h, e = l.forward(ctx, h, e)
+	}
+	pooled := ctx.Readout(h)
+	ctx.Prof.Linear(pooled.Rows(), pooled.Cols(), m.cfg.OutDim)
+	return m.readout.Forward(pooled)
+}
+
+// forward runs one GatedGCN block.
+func (l *gcnLayer) forward(ctx *Context, h, e *tensor.Tensor) (hOut, eOut *tensor.Tensor) {
+	ctx.Prof.LayerStart()
+
+	// Edge update: ê = C·e + D·h_recv + E·h_send, assembled per pair.
+	dh := ctx.Linear(l.d, h)
+	eh := ctx.Linear(l.e, h)
+	ce := ctx.Linear(l.c, e)
+	pairE := tensor.Add(tensor.Add(ctx.GatherEdges(ce), ctx.GatherRecv(dh)), ctx.GatherSend(eh))
+
+	// Gated aggregation: η = σ(ê)/(Σσ(ê)+ε), message = η ⊙ B·h_send.
+	gate := ctx.Act(tensor.Sigmoid, pairE)
+	eta := ctx.NormalizeByRecvSum(gate, 1e-6)
+	bh := ctx.Linear(l.b, h)
+	msg := tensor.Mul(eta, ctx.GatherSend(bh))
+	agg := ctx.AggregateByRecv(msg)
+
+	// Node stream: residual + BN + ReLU.
+	ah := ctx.Linear(l.a, h)
+	hOut = ctx.Act(tensor.ReLU, ctx.Norm(l.bnH, tensor.Add(h, tensor.Add(ah, agg))))
+
+	// Edge stream: residual + BN + ReLU over the per-edge reduction.
+	eOut = ctx.Act(tensor.ReLU, ctx.Norm(l.bnE, tensor.Add(e, ctx.EdgeMean(pairE))))
+
+	hOut = ctx.SyncDuplicates(hOut)
+	return hOut, eOut
+}
+
+// CountOps reports Table I's operation statistics for this model over the
+// given context.
+func (m *GatedGCN) CountOps(ctx *Context) OpCounts { return countOps(m, ctx) }

@@ -1,0 +1,151 @@
+package models
+
+import (
+	"math"
+	"math/rand"
+
+	"mega/internal/nn"
+	"mega/internal/tensor"
+)
+
+// GT is the Graph Transformer of Dwivedi & Bresson (§III-1): multi-head
+// scaled dot-product attention restricted to graph edges, with edge
+// features modulating the scores, followed by residual + layer norm and a
+// position-wise FFN on both node and edge streams.
+//
+// Per layer: Q, K, V, O projections (4d²), edge projection W_e (d²), edge
+// output O_e (d²), and two d→2d→d FFNs (4d² each) — the 14d² parameter
+// volume of Table I. The per-pair score of head a is
+//
+//	s_ij = ( q_i^a · (k_j^a ⊙ ŵ_ij^a) ) / √d_a,  ŵ = W_e·e_ij
+//
+// normalised by softmax over each receiver's pairs.
+type GT struct {
+	cfg     Config
+	enc     *encoder
+	layers  []*gtLayer
+	readout *nn.MLP
+}
+
+var _ Model = (*GT)(nil)
+
+type gtLayer struct {
+	q, k, v, o *nn.Linear
+	we, oe     *nn.Linear
+	ffnH1      *nn.Linear
+	ffnH2      *nn.Linear
+	ffnE1      *nn.Linear
+	ffnE2      *nn.Linear
+	lnH1, lnH2 *nn.Norm
+	lnE1, lnE2 *nn.Norm
+}
+
+// NewGT constructs the model.
+func NewGT(cfg Config) *GT {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x67))
+	m := &GT{
+		cfg:     cfg,
+		enc:     newEncoder(rng, cfg),
+		readout: nn.NewMLP(rng, cfg.Dim, cfg.Dim/2, cfg.OutDim),
+	}
+	for i := 0; i < cfg.Layers; i++ {
+		m.layers = append(m.layers, &gtLayer{
+			q:     nn.NewLinear(rng, cfg.Dim, cfg.Dim),
+			k:     nn.NewLinear(rng, cfg.Dim, cfg.Dim),
+			v:     nn.NewLinear(rng, cfg.Dim, cfg.Dim),
+			o:     nn.NewLinear(rng, cfg.Dim, cfg.Dim),
+			we:    nn.NewLinear(rng, cfg.Dim, cfg.Dim),
+			oe:    nn.NewLinear(rng, cfg.Dim, cfg.Dim),
+			ffnH1: nn.NewLinear(rng, cfg.Dim, 2*cfg.Dim),
+			ffnH2: nn.NewLinear(rng, 2*cfg.Dim, cfg.Dim),
+			ffnE1: nn.NewLinear(rng, cfg.Dim, 2*cfg.Dim),
+			ffnE2: nn.NewLinear(rng, 2*cfg.Dim, cfg.Dim),
+			lnH1:  nn.NewNorm(nn.LayerNorm, cfg.Dim),
+			lnH2:  nn.NewNorm(nn.LayerNorm, cfg.Dim),
+			lnE1:  nn.NewNorm(nn.LayerNorm, cfg.Dim),
+			lnE2:  nn.NewNorm(nn.LayerNorm, cfg.Dim),
+		})
+	}
+	return m
+}
+
+// Name implements Model.
+func (m *GT) Name() string { return "GT" }
+
+// Config returns the model configuration.
+func (m *GT) Config() Config { return m.cfg }
+
+// Params implements Model.
+func (m *GT) Params() []*tensor.Tensor {
+	out := m.enc.params()
+	for _, l := range m.layers {
+		out = append(out, nn.CollectParams(
+			l.q, l.k, l.v, l.o, l.we, l.oe,
+			l.ffnH1, l.ffnH2, l.ffnE1, l.ffnE2,
+			l.lnH1, l.lnH2, l.lnE1, l.lnE2)...)
+	}
+	return append(out, m.readout.Params()...)
+}
+
+// Forward implements Model.
+func (m *GT) Forward(ctx *Context) *tensor.Tensor {
+	h, e := m.enc.forward(ctx)
+	for _, l := range m.layers {
+		h, e = l.forward(ctx, h, e, m.cfg.Heads)
+	}
+	pooled := ctx.Readout(h)
+	ctx.Prof.Linear(pooled.Rows(), pooled.Cols(), m.cfg.OutDim)
+	return m.readout.Forward(pooled)
+}
+
+// forward runs one GT block.
+func (l *gtLayer) forward(ctx *Context, h, e *tensor.Tensor, heads int) (hOut, eOut *tensor.Tensor) {
+	ctx.Prof.LayerStart()
+	d := h.Cols()
+	dk := d / heads
+
+	qh := ctx.Linear(l.q, h)
+	kh := ctx.Linear(l.k, h)
+	vh := ctx.Linear(l.v, h)
+	eh := ctx.Linear(l.we, e)
+
+	// Per-pair projections (the GT's five edge-indexed scatters of
+	// Table I: q, k, v, ê fetch plus the aggregation below).
+	qp := ctx.GatherRecv(qh)
+	kp := ctx.GatherSend(kh)
+	vp := ctx.GatherSend(vh)
+	ep := ctx.GatherEdges(eh)
+
+	kmod := tensor.Mul(kp, ep) // edge features modulate keys
+	headOuts := make([]*tensor.Tensor, heads)
+	scale := 1 / math.Sqrt(float64(dk))
+	for a := 0; a < heads; a++ {
+		qa := tensor.NarrowCols(qp, a*dk, dk)
+		ka := tensor.NarrowCols(kmod, a*dk, dk)
+		va := tensor.NarrowCols(vp, a*dk, dk)
+		score := tensor.Scale(tensor.RowDot(qa, ka), scale)
+		alpha := ctx.SegmentSoftmaxByRecv(score)
+		headOuts[a] = ctx.AggregateByRecv(tensor.MulColVec(va, alpha))
+	}
+	att := tensor.ConcatCols(headOuts...)
+
+	// Node stream: O projection, residual + LN, FFN, residual + LN.
+	h1 := ctx.Norm(l.lnH1, tensor.Add(h, ctx.Linear(l.o, att)))
+	ffn := ctx.Linear(l.ffnH2, ctx.Act(tensor.ReLU, ctx.Linear(l.ffnH1, h1)))
+	hOut = ctx.Norm(l.lnH2, tensor.Add(h1, ffn))
+
+	// Edge stream: per-pair interaction reduced per edge, O_e projection,
+	// residual + LN, FFN, residual + LN.
+	eAgg := ctx.Linear(l.oe, ctx.EdgeMean(kmod))
+	e1 := ctx.Norm(l.lnE1, tensor.Add(e, eAgg))
+	ffnE := ctx.Linear(l.ffnE2, ctx.Act(tensor.ReLU, ctx.Linear(l.ffnE1, e1)))
+	eOut = ctx.Norm(l.lnE2, tensor.Add(e1, ffnE))
+
+	hOut = ctx.SyncDuplicates(hOut)
+	return hOut, eOut
+}
+
+// CountOps reports Table I's operation statistics for this model over the
+// given context.
+func (m *GT) CountOps(ctx *Context) OpCounts { return countOps(m, ctx) }

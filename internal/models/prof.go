@@ -1,0 +1,239 @@
+package models
+
+import "mega/internal/gpusim"
+
+// EngineKind selects which memory-behaviour model a Prof reports to gpusim.
+type EngineKind int
+
+// Engine kinds.
+const (
+	// EngineDGL is the conventional gather/scatter baseline.
+	EngineDGL EngineKind = iota + 1
+	// EngineMega is the banded diagonal-attention engine.
+	EngineMega
+)
+
+// String implements fmt.Stringer.
+func (e EngineKind) String() string {
+	if e == EngineMega {
+		return "mega"
+	}
+	return "dgl"
+}
+
+// Prof translates the layer code's abstract operations into simulated GPU
+// kernels. The same logical operation is profiled very differently per
+// engine: a pair gather is an irregular per-row gather over node IDs for
+// DGL but a shifted sequential sweep for MEGA — this asymmetry IS the
+// paper's contribution, so it lives here, in one auditable place.
+//
+// A nil *Prof is valid and disables all accounting, so pure-convergence
+// runs pay nothing.
+type Prof struct {
+	sim    *gpusim.Sim
+	engine EngineKind
+
+	nodeBuf  gpusim.Addr
+	edgeBuf  gpusim.Addr
+	elemSize int64 // bytes per feature scalar (fp32 on device)
+
+	// MEGA state.
+	window    int
+	syncIdx   []int32 // path positions participating in duplicate groups
+	sortedPer int     // dgl: keys sorted per layer (cub)
+
+	// record holds replayable kernel emissions for backward accounting.
+	record []func()
+}
+
+// NewProf attaches a profiler for one batch to the simulator. rows/edges
+// size the simulated embedding buffers at the model dimension dim.
+func NewProf(sim *gpusim.Sim, engine EngineKind, rows, edges, dim int) *Prof {
+	p := &Prof{
+		sim:      sim,
+		engine:   engine,
+		elemSize: 4,
+	}
+	rowBytes := int64(dim) * p.elemSize
+	p.nodeBuf = sim.Alloc(int64(rows) * rowBytes)
+	p.edgeBuf = sim.Alloc(int64(edges) * rowBytes)
+	return p
+}
+
+// SetMegaBand configures MEGA-specific profiling state: the attention
+// window and the duplicate positions synchronised per layer.
+func (p *Prof) SetMegaBand(window int, syncIdx []int32) {
+	if p == nil {
+		return
+	}
+	p.window = window
+	p.syncIdx = syncIdx
+}
+
+// SetDGLSortKeys configures how many index keys the baseline's cub sort
+// phase orders per layer (the paper: "the cub module is utilized for
+// sorting embeddings based on given indices").
+func (p *Prof) SetDGLSortKeys(keys int) {
+	if p == nil {
+		return
+	}
+	p.sortedPer = keys
+}
+
+// emit records and executes one kernel emission.
+func (p *Prof) emit(f func()) {
+	p.record = append(p.record, f)
+	f()
+}
+
+// LayerStart charges per-layer fixed costs: the cub sort for DGL.
+func (p *Prof) LayerStart() {
+	if p == nil || p.sim == nil {
+		return
+	}
+	if p.engine == EngineDGL && p.sortedPer > 0 {
+		keys := p.sortedPer
+		p.emit(func() { p.sim.Sort("cub", keys, 4) })
+	}
+}
+
+// Linear charges an m×k·k×n dense multiply (sgemm).
+func (p *Prof) Linear(m, k, n int) {
+	if p == nil || p.sim == nil {
+		return
+	}
+	p.emit(func() { p.sim.Sgemm(m, k, n) })
+}
+
+// elementwise charges a streaming elementwise kernel over elems scalars.
+func (p *Prof) elementwise(elems int) {
+	if p == nil || p.sim == nil {
+		return
+	}
+	p.emit(func() { p.sim.Elementwise("elementwise", elems, 4) })
+}
+
+// Elementwise is the exported form used by the models for activations and
+// norms.
+func (p *Prof) Elementwise(elems int) { p.elementwise(elems) }
+
+// pairGatherNodes charges a node-row gather over the given row indices.
+func (p *Prof) pairGatherNodes(c *Context, idx []int32, dim int) {
+	if p == nil || p.sim == nil {
+		return
+	}
+	rowBytes := int64(dim) * p.elemSize
+	switch p.engine {
+	case EngineMega:
+		rows, w := c.NumRows, p.window
+		if w < 1 {
+			w = 1
+		}
+		p.emit(func() { p.sim.BandSweep("mega-band", p.nodeBuf, rows, 2*w, rowBytes) })
+	default:
+		// Copy the indices: the engine may reuse the slice.
+		own := make([]int32, len(idx))
+		copy(own, idx)
+		p.emit(func() { p.sim.GatherRows("dgl-gather", p.nodeBuf, own, rowBytes) })
+	}
+}
+
+// pairGatherEdges charges the per-pair edge-feature fetch.
+func (p *Prof) pairGatherEdges(c *Context, dim int) {
+	if p == nil || p.sim == nil {
+		return
+	}
+	rowBytes := int64(dim) * p.elemSize
+	switch p.engine {
+	case EngineMega:
+		// Band-ordered edges are contiguous per offset: one stream.
+		bytes := int64(c.NumPairs()) * rowBytes
+		buf := p.edgeBuf
+		p.emit(func() { p.sim.Sequential("mega-band", gpusim.KindBand, buf, bytes, false) })
+	default:
+		own := make([]int32, len(c.EdgeIdx))
+		copy(own, c.EdgeIdx)
+		p.emit(func() { p.sim.GatherRows("dgl-gather", p.edgeBuf, own, rowBytes) })
+	}
+}
+
+// pairScatter charges the aggregation of pair values into receiver rows.
+func (p *Prof) pairScatter(c *Context, dim int) {
+	if p == nil || p.sim == nil {
+		return
+	}
+	rowBytes := int64(dim) * p.elemSize
+	switch p.engine {
+	case EngineMega:
+		rows, w := c.NumRows, p.window
+		if w < 1 {
+			w = 1
+		}
+		p.emit(func() { p.sim.BandSweep("mega-band", p.nodeBuf, rows, 2*w, rowBytes) })
+	default:
+		own := make([]int32, len(c.RecvIdx))
+		copy(own, c.RecvIdx)
+		p.emit(func() { p.sim.ScatterRows("dgl-scatter", p.nodeBuf, own, rowBytes) })
+	}
+}
+
+// edgeReduce charges writing updated edge embeddings back per edge.
+func (p *Prof) edgeReduce(c *Context, dim int) {
+	if p == nil || p.sim == nil {
+		return
+	}
+	rowBytes := int64(dim) * p.elemSize
+	switch p.engine {
+	case EngineMega:
+		bytes := int64(c.NumEdges) * rowBytes
+		buf := p.edgeBuf
+		p.emit(func() { p.sim.Sequential("mega-band", gpusim.KindBand, buf, bytes, true) })
+	default:
+		own := make([]int32, len(c.EdgeIdx))
+		copy(own, c.EdgeIdx)
+		p.emit(func() { p.sim.ScatterRows("dgl-scatter", p.edgeBuf, own, rowBytes) })
+	}
+}
+
+// SyncCost charges MEGA's duplicate-position synchronisation.
+func (p *Prof) SyncCost(dim int) {
+	if p == nil || p.sim == nil || p.engine != EngineMega || len(p.syncIdx) == 0 {
+		return
+	}
+	rowBytes := int64(dim) * p.elemSize
+	idx := p.syncIdx
+	p.emit(func() { p.sim.SyncRows("mega-sync", p.nodeBuf, idx, rowBytes) })
+}
+
+// Memcpy charges a host/device transfer (input upload per batch).
+func (p *Prof) Memcpy(bytes int64) {
+	if p == nil || p.sim == nil {
+		return
+	}
+	p.emit(func() { p.sim.Memcpy(bytes) })
+}
+
+// Backward charges the backward pass: the standard 2× replay of the
+// forward kernel sequence (gradients re-read activations and weights and
+// write gradients of each).
+func (p *Prof) Backward() {
+	if p == nil || p.sim == nil {
+		return
+	}
+	fwd := p.record
+	for i := 0; i < 2; i++ {
+		for _, f := range fwd {
+			f()
+		}
+	}
+	p.record = fwd[:0]
+}
+
+// Discard drops the recorded forward emissions without backward replay —
+// used after inference-only (validation) forwards.
+func (p *Prof) Discard() {
+	if p == nil {
+		return
+	}
+	p.record = p.record[:0]
+}

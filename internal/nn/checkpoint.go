@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"mega/internal/tensor"
+)
+
+// Checkpointing: serialise and restore a model's parameter list. The format
+// is versioned little-endian — a magic, the tensor count, then each
+// tensor's shape and float64 data. Parameters are matched positionally, so
+// the loading model must be built with the same configuration.
+
+const (
+	ckptMagic   = uint32(0x4D504152) // "MPAR"
+	ckptVersion = uint32(1)
+)
+
+// Checkpoint errors.
+var (
+	ErrCkptMagic    = errors.New("nn: not a checkpoint file")
+	ErrCkptVersion  = errors.New("nn: unsupported checkpoint version")
+	ErrCkptMismatch = errors.New("nn: checkpoint does not match the model")
+	ErrCkptCorrupt  = errors.New("nn: corrupt checkpoint")
+)
+
+// SaveParams writes the parameter list to w.
+func SaveParams(w io.Writer, params []*tensor.Tensor) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range []uint32{ckptMagic, ckptVersion, uint32(len(params))} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, p := range params {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(p.Rows())); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(p.Cols())); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, p.Data); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadParams restores parameters in place from r. Every tensor's shape must
+// match the checkpoint exactly.
+func LoadParams(r io.Reader, params []*tensor.Tensor) error {
+	br := bufio.NewReader(r)
+	var magic, version, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return fmt.Errorf("%w: %v", ErrCkptCorrupt, err)
+	}
+	if magic != ckptMagic {
+		return ErrCkptMagic
+	}
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return fmt.Errorf("%w: %v", ErrCkptCorrupt, err)
+	}
+	if version != ckptVersion {
+		return fmt.Errorf("%w: %d", ErrCkptVersion, version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("%w: %v", ErrCkptCorrupt, err)
+	}
+	if int(count) != len(params) {
+		return fmt.Errorf("%w: %d tensors in file, model has %d", ErrCkptMismatch, count, len(params))
+	}
+	for i, p := range params {
+		var rows, cols uint32
+		if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+			return fmt.Errorf("%w: tensor %d: %v", ErrCkptCorrupt, i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &cols); err != nil {
+			return fmt.Errorf("%w: tensor %d: %v", ErrCkptCorrupt, i, err)
+		}
+		if int(rows) != p.Rows() || int(cols) != p.Cols() {
+			return fmt.Errorf("%w: tensor %d is %dx%d in file, %dx%d in model",
+				ErrCkptMismatch, i, rows, cols, p.Rows(), p.Cols())
+		}
+		if err := binary.Read(br, binary.LittleEndian, p.Data); err != nil {
+			return fmt.Errorf("%w: tensor %d data: %v", ErrCkptCorrupt, i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mega/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := NewMLP(rng, 4, 8, 2)
+	dst := NewMLP(rand.New(rand.NewSource(2)), 4, 8, 2)
+
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	// Outputs must now be identical.
+	x := tensor.Randn(rng, 3, 4, 1)
+	a := src.Forward(x.Detach())
+	b := dst.Forward(x.Detach())
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("restored model diverges at %d: %v vs %v", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func TestCheckpointRejectsMismatchedModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := NewMLP(rng, 4, 8, 2)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("wrong count", func(t *testing.T) {
+		b := bytes.NewReader(buf.Bytes())
+		short := NewLinear(rng, 4, 8)
+		if err := LoadParams(b, short.Params()); err == nil {
+			t.Error("mismatched tensor count should error")
+		}
+	})
+	t.Run("wrong shape", func(t *testing.T) {
+		b := bytes.NewReader(buf.Bytes())
+		other := NewMLP(rng, 8, 4, 2) // transposed dims, same tensor count
+		if err := LoadParams(b, other.Params()); err == nil {
+			t.Error("mismatched shapes should error")
+		}
+	})
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewLinear(rng, 2, 2)
+	for _, data := range [][]byte{nil, {1, 2, 3}, bytes.Repeat([]byte{0xFF}, 16)} {
+		if err := LoadParams(bytes.NewReader(data), m.Params()); err == nil {
+			t.Error("garbage should not load")
+		}
+	}
+}
+
+func TestCheckpointRejectsTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src := NewLinear(rng, 8, 8)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if err := LoadParams(bytes.NewReader(full[:len(full)/2]), src.Params()); err == nil {
+		t.Error("truncated checkpoint should error")
+	}
+}
+
+func TestCheckpointPreservesTrainingProgress(t *testing.T) {
+	// Train, checkpoint, keep training two copies from the same state:
+	// both must evolve identically.
+	rng := rand.New(rand.NewSource(6))
+	m1 := NewMLP(rng, 3, 8, 1)
+	x := tensor.Randn(rng, 8, 3, 1)
+	target := tensor.Randn(rng, 8, 1, 1)
+
+	opt := NewAdam(m1.Params(), 0.01)
+	for i := 0; i < 5; i++ {
+		opt.ZeroGrad()
+		tensor.MSELoss(m1.Forward(x), target).Backward()
+		opt.Step()
+	}
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, m1.Params()); err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewMLP(rand.New(rand.NewSource(99)), 3, 8, 1)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), m2.Params()); err != nil {
+		t.Fatal(err)
+	}
+	l1 := tensor.MSELoss(m1.Forward(x), target).Item()
+	l2 := tensor.MSELoss(m2.Forward(x), target).Item()
+	if l1 != l2 {
+		t.Errorf("restored loss %v != original %v", l2, l1)
+	}
+}

@@ -1,0 +1,224 @@
+// Package reorder implements the lightweight graph-reordering baselines the
+// paper positions MEGA against (§II-B2): GNNAdvisor-style node renumbering
+// that co-locates densely connected vertices so embedding fetches gain
+// spatial locality. Three classic policies are provided — degree sort,
+// BFS order, and reverse Cuthill-McKee — plus bandwidth/locality metrics
+// and a gpusim-backed comparison harness, so the "is reordering enough?"
+// question (Balaji & Lucia, §II-B2) is answerable quantitatively inside
+// this repository.
+package reorder
+
+import (
+	"errors"
+	"sort"
+
+	"mega/internal/gpusim"
+	"mega/internal/graph"
+)
+
+// Policy selects a reordering algorithm.
+type Policy int
+
+// Reordering policies.
+const (
+	// DegreeSort renumbers vertices by descending degree: hot rows pack
+	// together at the front of the embedding buffer.
+	DegreeSort Policy = iota + 1
+	// BFSOrder renumbers vertices in breadth-first discovery order from
+	// the highest-degree vertex: neighbourhoods become contiguous-ish.
+	BFSOrder
+	// RCM is reverse Cuthill-McKee: BFS with degree-sorted tie-breaking,
+	// reversed — the classic bandwidth-minimising heuristic.
+	RCM
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case DegreeSort:
+		return "degree"
+	case BFSOrder:
+		return "bfs"
+	case RCM:
+		return "rcm"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrUnknownPolicy is returned for unrecognised policies.
+var ErrUnknownPolicy = errors.New("reorder: unknown policy")
+
+// Compute returns the permutation perm[old] = new for the policy.
+func Compute(g *graph.Graph, policy Policy) ([]graph.NodeID, error) {
+	switch policy {
+	case DegreeSort:
+		return degreeSort(g), nil
+	case BFSOrder:
+		order := bfsOrder(g, false)
+		return orderToPerm(order), nil
+	case RCM:
+		order := bfsOrder(g, true)
+		// Reverse the visit order.
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+		return orderToPerm(order), nil
+	default:
+		return nil, ErrUnknownPolicy
+	}
+}
+
+// Apply relabels g by the policy and returns the reordered graph plus the
+// permutation used.
+func Apply(g *graph.Graph, policy Policy) (*graph.Graph, []graph.NodeID, error) {
+	perm, err := Compute(g, policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	rg, err := graph.PermuteNodes(g, perm)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rg, perm, nil
+}
+
+// degreeSort renumbers by descending degree, stable by old ID.
+func degreeSort(g *graph.Graph) []graph.NodeID {
+	n := g.NumNodes()
+	order := make([]graph.NodeID, n)
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	degs := g.Degrees()
+	sort.SliceStable(order, func(a, b int) bool {
+		return degs[order[a]] > degs[order[b]]
+	})
+	return orderToPerm(order)
+}
+
+// bfsOrder returns vertices in BFS discovery order from the highest-degree
+// vertex of each component; with sortedNeighbors, neighbours enqueue in
+// ascending-degree order (the Cuthill-McKee rule).
+func bfsOrder(g *graph.Graph, sortedNeighbors bool) []graph.NodeID {
+	n := g.NumNodes()
+	visited := make([]bool, n)
+	order := make([]graph.NodeID, 0, n)
+	degs := g.Degrees()
+
+	// Component seeds: lowest degree first per Cuthill-McKee; the plain
+	// BFS policy uses highest degree (hub-first locality).
+	seeds := make([]graph.NodeID, n)
+	for i := range seeds {
+		seeds[i] = graph.NodeID(i)
+	}
+	sort.SliceStable(seeds, func(a, b int) bool {
+		if sortedNeighbors {
+			return degs[seeds[a]] < degs[seeds[b]]
+		}
+		return degs[seeds[a]] > degs[seeds[b]]
+	})
+
+	queue := make([]graph.NodeID, 0, n)
+	nbrBuf := make([]graph.NodeID, 0, 16)
+	for _, s := range seeds {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			nbrBuf = append(nbrBuf[:0], g.Neighbors(v)...)
+			if sortedNeighbors {
+				sort.SliceStable(nbrBuf, func(a, b int) bool {
+					return degs[nbrBuf[a]] < degs[nbrBuf[b]]
+				})
+			}
+			for _, u := range nbrBuf {
+				if !visited[u] {
+					visited[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return order
+}
+
+// orderToPerm converts a visit order (order[i] = old vertex at new slot i)
+// into a permutation perm[old] = new.
+func orderToPerm(order []graph.NodeID) []graph.NodeID {
+	perm := make([]graph.NodeID, len(order))
+	for newID, old := range order {
+		perm[old] = graph.NodeID(newID)
+	}
+	return perm
+}
+
+// Bandwidth returns the adjacency bandwidth max|u−v| over edges — the
+// quantity RCM minimises; smaller means neighbours live closer in memory.
+func Bandwidth(g *graph.Graph) int {
+	bw := 0
+	for _, e := range g.Edges() {
+		d := int(e.Src) - int(e.Dst)
+		if d < 0 {
+			d = -d
+		}
+		if d > bw {
+			bw = d
+		}
+	}
+	return bw
+}
+
+// MeanNeighborDistance returns the average |u−v| over edges, a smoother
+// locality proxy than Bandwidth.
+func MeanNeighborDistance(g *graph.Graph) float64 {
+	if g.NumEdges() == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, e := range g.Edges() {
+		d := int(e.Src) - int(e.Dst)
+		if d < 0 {
+			d = -d
+		}
+		total += float64(d)
+	}
+	return total / float64(g.NumEdges())
+}
+
+// GatherCost replays one aggregation pass through a fresh simulated GPU
+// and returns the cycle cost — the apples-to-apples locality comparison
+// between orderings. Directed edges are sorted by destination first (the
+// cub sort every engine performs), so the receiver stream is sequential
+// and the ordering's quality shows in whether the *sender* accesses land
+// near it — exactly the effect node renumbering targets.
+func GatherCost(g *graph.Graph, dim int) float64 {
+	sim := gpusim.New(gpusim.GTX1080())
+	rowBytes := int64(dim) * 4
+	base := sim.Alloc(int64(g.NumNodes()) * rowBytes)
+	type pair struct{ dst, src graph.NodeID }
+	pairs := make([]pair, 0, 2*g.NumEdges())
+	for _, e := range g.Edges() {
+		pairs = append(pairs, pair{dst: e.Dst, src: e.Src}, pair{dst: e.Src, src: e.Dst})
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].dst != pairs[b].dst {
+			return pairs[a].dst < pairs[b].dst
+		}
+		return pairs[a].src < pairs[b].src
+	})
+	dst := make([]int32, len(pairs))
+	src := make([]int32, len(pairs))
+	for i, p := range pairs {
+		dst[i] = p.dst
+		src[i] = p.src
+	}
+	sim.GatherRows("gather", base, dst, rowBytes)
+	sim.GatherRows("gather", base, src, rowBytes)
+	return sim.TotalCycles()
+}

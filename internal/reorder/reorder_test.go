@@ -1,0 +1,189 @@
+package reorder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mega/internal/graph"
+	"mega/internal/wl"
+)
+
+func TestComputeUnknownPolicy(t *testing.T) {
+	if _, err := Compute(graph.Cycle(4), Policy(99)); err == nil {
+		t.Error("unknown policy should error")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if DegreeSort.String() != "degree" || BFSOrder.String() != "bfs" || RCM.String() != "rcm" {
+		t.Error("policy strings wrong")
+	}
+	if Policy(99).String() != "unknown" {
+		t.Error("unknown policy string wrong")
+	}
+}
+
+func TestPermutationsAreValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.ErdosRenyiM(rng, 40, 100)
+	for _, p := range []Policy{DegreeSort, BFSOrder, RCM} {
+		t.Run(p.String(), func(t *testing.T) {
+			perm, err := Compute(g, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(perm) != 40 {
+				t.Fatalf("perm length %d", len(perm))
+			}
+			seen := make([]bool, 40)
+			for _, v := range perm {
+				if v < 0 || int(v) >= 40 || seen[v] {
+					t.Fatalf("invalid permutation: %v", perm)
+				}
+				seen[v] = true
+			}
+		})
+	}
+}
+
+func TestApplyPreservesStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.ErdosRenyiM(rng, 30, 70)
+	for _, p := range []Policy{DegreeSort, BFSOrder, RCM} {
+		t.Run(p.String(), func(t *testing.T) {
+			rg, _, err := Apply(g, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s := wl.GraphSimilarity(g, rg, nil, nil, 3); s != 1 {
+				t.Errorf("reordered graph not isomorphic: WL similarity %v", s)
+			}
+		})
+	}
+}
+
+func TestDegreeSortPutsHubsFirst(t *testing.T) {
+	// Star: hub (old 0) must become new 0.
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3}}
+	g := graph.MustNew(4, edges, false)
+	perm, err := Compute(g, DegreeSort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm[0] != 0 {
+		t.Errorf("hub renumbered to %d, want 0", perm[0])
+	}
+}
+
+func TestRCMReducesBandwidthOnGrids(t *testing.T) {
+	// A ring with scrambled IDs: RCM should recover near-optimal bandwidth.
+	rng := rand.New(rand.NewSource(3))
+	base := graph.Cycle(64)
+	scramble := graph.RandomPermutation(rng, 64)
+	g, err := graph.PermuteNodes(base, scramble)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Bandwidth(g)
+	rg, _, err := Apply(g, RCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := Bandwidth(rg)
+	if after >= before {
+		t.Errorf("RCM bandwidth %d should beat scrambled %d", after, before)
+	}
+	// A cycle's optimal bandwidth is n-1 >= ... but RCM on a cycle gives ~2.
+	if after > 4 {
+		t.Errorf("RCM bandwidth on a cycle = %d, want <= 4", after)
+	}
+}
+
+func TestBFSImprovesNeighborDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	base := graph.BarabasiAlbert(rng, 200, 2)
+	scramble := graph.RandomPermutation(rng, 200)
+	g, err := graph.PermuteNodes(base, scramble)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := MeanNeighborDistance(g)
+	rg, _, err := Apply(g, BFSOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := MeanNeighborDistance(rg); after >= before {
+		t.Errorf("BFS mean neighbor distance %v should beat scrambled %v", after, before)
+	}
+}
+
+func TestBandwidthMetrics(t *testing.T) {
+	g := graph.MustNew(5, []graph.Edge{{Src: 0, Dst: 4}, {Src: 1, Dst: 2}}, false)
+	if bw := Bandwidth(g); bw != 4 {
+		t.Errorf("Bandwidth = %d, want 4", bw)
+	}
+	if md := MeanNeighborDistance(g); md != 2.5 {
+		t.Errorf("MeanNeighborDistance = %v, want 2.5", md)
+	}
+	empty := graph.MustNew(3, nil, false)
+	if Bandwidth(empty) != 0 || MeanNeighborDistance(empty) != 0 {
+		t.Error("edgeless metrics should be 0")
+	}
+}
+
+func TestGatherCostImprovesWithLocality(t *testing.T) {
+	// Scrambled vs RCM-reordered: the simulated gather must get cheaper
+	// once the working set exceeds the 2 MiB L2 (rows of 64 B at n=60k =
+	// ~3.7 MB), because reordering puts sender rows near the sequential
+	// receiver stream.
+	rng := rand.New(rand.NewSource(5))
+	base := graph.Cycle(60000)
+	scramble := graph.RandomPermutation(rng, 60000)
+	g, err := graph.PermuteNodes(base, scramble)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, _, err := Apply(g, RCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costScrambled := GatherCost(g, 16)
+	costRCM := GatherCost(rg, 16)
+	if costRCM >= costScrambled {
+		t.Errorf("RCM gather cost %v should beat scrambled %v", costRCM, costScrambled)
+	}
+	t.Logf("gather cost: scrambled %.3g vs RCM %.3g (%.2fx)", costScrambled, costRCM, costScrambled/costRCM)
+}
+
+// Property: every policy produces a bijection and an isomorphic graph.
+func TestReorderIsomorphismProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, pRaw uint8) bool {
+		n := int(nRaw%25) + 3
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.ErdosRenyi(rng, n, 0.3)
+		policy := []Policy{DegreeSort, BFSOrder, RCM}[int(pRaw)%3]
+		rg, perm, err := Apply(g, policy)
+		if err != nil {
+			return false
+		}
+		if len(perm) != n {
+			return false
+		}
+		return wl.GraphSimilarity(g, rg, nil, nil, 2) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRCM(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.BarabasiAlbert(rng, 2000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(g, RCM); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

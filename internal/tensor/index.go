@@ -1,0 +1,145 @@
+package tensor
+
+import "fmt"
+
+// Indexed and shifted-row operations: the graph side of the models. In the
+// DGL-style engine these back the gather/scatter aggregation; in the MEGA
+// engine Narrow/PadRows implement the banded diagonal sweeps and
+// SegmentMean implements duplicate synchronisation and graph readout.
+
+// GatherRows returns x[idx] — a len(idx)×cols tensor whose row i is
+// x.Row(idx[i]). The backward pass scatter-adds gradients.
+func GatherRows(x *Tensor, idx []int32) *Tensor {
+	out := newResult(len(idx), x.cols, x)
+	for i, id := range idx {
+		if id < 0 || int(id) >= x.rows {
+			panic(fmt.Sprintf("tensor: gather index %d out of %d rows", id, x.rows))
+		}
+		copy(out.Data[i*x.cols:(i+1)*x.cols], x.Data[int(id)*x.cols:(int(id)+1)*x.cols])
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			x.ensureGrad()
+			for i, id := range idx {
+				for j := 0; j < x.cols; j++ {
+					x.Grad[int(id)*x.cols+j] += out.Grad[i*x.cols+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ScatterAddRows returns a numRows×cols tensor where row idx[i] accumulates
+// x.Row(i) — the aggregation primitive of message passing.
+func ScatterAddRows(x *Tensor, idx []int32, numRows int) *Tensor {
+	if len(idx) != x.rows {
+		panic(fmt.Sprintf("tensor: scatter index count %d != rows %d", len(idx), x.rows))
+	}
+	out := newResult(numRows, x.cols, x)
+	for i, id := range idx {
+		if id < 0 || int(id) >= numRows {
+			panic(fmt.Sprintf("tensor: scatter index %d out of %d rows", id, numRows))
+		}
+		for j := 0; j < x.cols; j++ {
+			out.Data[int(id)*x.cols+j] += x.Data[i*x.cols+j]
+		}
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			x.ensureGrad()
+			for i, id := range idx {
+				for j := 0; j < x.cols; j++ {
+					x.Grad[i*x.cols+j] += out.Grad[int(id)*x.cols+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SegmentMean returns a numSeg×cols tensor whose row s is the mean of the
+// rows of x with seg[i] == s. Empty segments stay zero. Used for per-graph
+// readout pooling and MEGA's duplicate-position synchronisation.
+func SegmentMean(x *Tensor, seg []int32, numSeg int) *Tensor {
+	if len(seg) != x.rows {
+		panic(fmt.Sprintf("tensor: segment count %d != rows %d", len(seg), x.rows))
+	}
+	out := newResult(numSeg, x.cols, x)
+	counts := make([]float64, numSeg)
+	for i, s := range seg {
+		if s < 0 || int(s) >= numSeg {
+			panic(fmt.Sprintf("tensor: segment id %d out of %d", s, numSeg))
+		}
+		counts[s]++
+		for j := 0; j < x.cols; j++ {
+			out.Data[int(s)*x.cols+j] += x.Data[i*x.cols+j]
+		}
+	}
+	for s := 0; s < numSeg; s++ {
+		if counts[s] == 0 {
+			continue
+		}
+		inv := 1 / counts[s]
+		for j := 0; j < x.cols; j++ {
+			out.Data[s*x.cols+j] *= inv
+		}
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			x.ensureGrad()
+			for i, s := range seg {
+				inv := 1 / counts[s]
+				for j := 0; j < x.cols; j++ {
+					x.Grad[i*x.cols+j] += out.Grad[int(s)*x.cols+j] * inv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Narrow returns rows [start, start+n) of x as a new tensor; gradients add
+// back into the corresponding rows. This is the "shifted view" primitive of
+// banded attention.
+func Narrow(x *Tensor, start, n int) *Tensor {
+	if start < 0 || n < 0 || start+n > x.rows {
+		panic(fmt.Sprintf("tensor: narrow [%d,%d) of %d rows", start, start+n, x.rows))
+	}
+	out := newResult(n, x.cols, x)
+	copy(out.Data, x.Data[start*x.cols:(start+n)*x.cols])
+	if out.requiresGrad {
+		out.backFn = func() {
+			x.ensureGrad()
+			for i := 0; i < n*x.cols; i++ {
+				x.Grad[start*x.cols+i] += out.Grad[i]
+			}
+		}
+	}
+	return out
+}
+
+// PadRows returns x padded with `before` zero rows above and `after` zero
+// rows below; gradients flow back to the unpadded region.
+func PadRows(x *Tensor, before, after int) *Tensor {
+	if before < 0 || after < 0 {
+		panic(fmt.Sprintf("tensor: negative padding %d,%d", before, after))
+	}
+	out := newResult(before+x.rows+after, x.cols, x)
+	copy(out.Data[before*x.cols:], x.Data)
+	if out.requiresGrad {
+		out.backFn = func() {
+			x.ensureGrad()
+			for i := 0; i < len(x.Data); i++ {
+				x.Grad[i] += out.Grad[before*x.cols+i]
+			}
+		}
+	}
+	return out
+}
+
+// EmbedRows looks up rows of a trainable embedding table by categorical ID:
+// the input-feature encoder. It is GatherRows with int32 categories.
+func EmbedRows(table *Tensor, ids []int32) *Tensor {
+	return GatherRows(table, ids)
+}

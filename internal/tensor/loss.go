@@ -1,0 +1,115 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Loss functions, each returning a 1×1 tensor suitable for Backward.
+
+// MSELoss returns mean((pred − target)²) over all elements. target carries
+// no gradient.
+func MSELoss(pred, target *Tensor) *Tensor {
+	assertSameShape("mse", pred, target)
+	d := Sub(pred, target)
+	return Mean(Mul(d, d))
+}
+
+// MAELoss returns mean(|pred − target|), the metric the ZINC/AQSOL
+// regression benchmarks report.
+func MAELoss(pred, target *Tensor) *Tensor {
+	assertSameShape("mae", pred, target)
+	out := newResult(1, 1, pred)
+	s := 0.0
+	for i := range pred.Data {
+		s += math.Abs(pred.Data[i] - target.Data[i])
+	}
+	out.Data[0] = s / float64(len(pred.Data))
+	if out.requiresGrad {
+		out.backFn = func() {
+			pred.ensureGrad()
+			g := out.Grad[0] / float64(len(pred.Data))
+			for i := range pred.Data {
+				switch {
+				case pred.Data[i] > target.Data[i]:
+					pred.Grad[i] += g
+				case pred.Data[i] < target.Data[i]:
+					pred.Grad[i] -= g
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CrossEntropyLoss returns the mean softmax cross-entropy of logits
+// (rows×classes) against integer labels, fused for numerical stability.
+func CrossEntropyLoss(logits *Tensor, labels []int) *Tensor {
+	if len(labels) != logits.rows {
+		panic(fmt.Sprintf("tensor: %d labels for %d rows", len(labels), logits.rows))
+	}
+	out := newResult(1, 1, logits)
+	probs := make([]float64, len(logits.Data))
+	total := 0.0
+	for i := 0; i < logits.rows; i++ {
+		if labels[i] < 0 || labels[i] >= logits.cols {
+			panic(fmt.Sprintf("tensor: label %d out of %d classes", labels[i], logits.cols))
+		}
+		row := logits.Data[i*logits.cols : (i+1)*logits.cols]
+		mx := math.Inf(-1)
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			probs[i*logits.cols+j] = e
+			sum += e
+		}
+		for j := range row {
+			probs[i*logits.cols+j] /= sum
+		}
+		total += -math.Log(probs[i*logits.cols+labels[i]] + 1e-12)
+	}
+	out.Data[0] = total / float64(logits.rows)
+	if out.requiresGrad {
+		out.backFn = func() {
+			logits.ensureGrad()
+			g := out.Grad[0] / float64(logits.rows)
+			for i := 0; i < logits.rows; i++ {
+				for j := 0; j < logits.cols; j++ {
+					p := probs[i*logits.cols+j]
+					if j == labels[i] {
+						p -= 1
+					}
+					logits.Grad[i*logits.cols+j] += g * p
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Accuracy returns the fraction of rows whose argmax matches the label.
+// Pure metric: no gradient.
+func Accuracy(logits *Tensor, labels []int) float64 {
+	if logits.rows == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < logits.rows; i++ {
+		row := logits.Data[i*logits.cols : (i+1)*logits.cols]
+		best, bestV := 0, math.Inf(-1)
+		for j, v := range row {
+			if v > bestV {
+				best, bestV = j, v
+			}
+		}
+		if best == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(logits.rows)
+}

@@ -1,0 +1,156 @@
+package tensor
+
+import "math"
+
+// Fused normalisation ops with hand-written backward passes. Both models
+// use normalisation after every attention block (GatedGCN: batch norm;
+// Graph Transformer: layer norm), so these are hot paths worth fusing.
+
+const normEps = 1e-5
+
+// LayerNorm normalises each row of x to zero mean and unit variance, then
+// applies the affine transform gamma⊙x̂ + beta (gamma, beta of shape
+// 1×cols).
+func LayerNorm(x, gamma, beta *Tensor) *Tensor {
+	if gamma.rows != 1 || gamma.cols != x.cols || beta.rows != 1 || beta.cols != x.cols {
+		panic("tensor: layernorm affine shape mismatch")
+	}
+	n := float64(x.cols)
+	out := newResult(x.rows, x.cols, x, gamma, beta)
+	xhat := make([]float64, len(x.Data))
+	invStd := make([]float64, x.rows)
+	for i := 0; i < x.rows; i++ {
+		row := x.Data[i*x.cols : (i+1)*x.cols]
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= n
+		vari := 0.0
+		for _, v := range row {
+			d := v - mean
+			vari += d * d
+		}
+		vari /= n
+		is := 1 / math.Sqrt(vari+normEps)
+		invStd[i] = is
+		for j, v := range row {
+			h := (v - mean) * is
+			xhat[i*x.cols+j] = h
+			out.Data[i*x.cols+j] = gamma.Data[j]*h + beta.Data[j]
+		}
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			if gamma.requiresGrad {
+				gamma.ensureGrad()
+				for i := 0; i < x.rows; i++ {
+					for j := 0; j < x.cols; j++ {
+						gamma.Grad[j] += out.Grad[i*x.cols+j] * xhat[i*x.cols+j]
+					}
+				}
+			}
+			if beta.requiresGrad {
+				beta.ensureGrad()
+				for i := 0; i < x.rows; i++ {
+					for j := 0; j < x.cols; j++ {
+						beta.Grad[j] += out.Grad[i*x.cols+j]
+					}
+				}
+			}
+			if x.requiresGrad {
+				x.ensureGrad()
+				for i := 0; i < x.rows; i++ {
+					// dxhat = dOut ⊙ gamma; standard layernorm backward:
+					// dx = invStd/n * (n·dxhat − Σdxhat − x̂·Σ(dxhat⊙x̂))
+					var sumD, sumDX float64
+					for j := 0; j < x.cols; j++ {
+						d := out.Grad[i*x.cols+j] * gamma.Data[j]
+						sumD += d
+						sumDX += d * xhat[i*x.cols+j]
+					}
+					for j := 0; j < x.cols; j++ {
+						d := out.Grad[i*x.cols+j] * gamma.Data[j]
+						x.Grad[i*x.cols+j] += invStd[i] / n *
+							(n*d - sumD - xhat[i*x.cols+j]*sumDX)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BatchNorm normalises each column of x over the batch (rows) to zero mean
+// and unit variance, then applies gamma⊙x̂ + beta. This is training-mode
+// batch norm; the models run full-batch statistics every step, which is how
+// the reference benchmark configures GatedGCN.
+func BatchNorm(x, gamma, beta *Tensor) *Tensor {
+	if gamma.rows != 1 || gamma.cols != x.cols || beta.rows != 1 || beta.cols != x.cols {
+		panic("tensor: batchnorm affine shape mismatch")
+	}
+	m := float64(x.rows)
+	out := newResult(x.rows, x.cols, x, gamma, beta)
+	xhat := make([]float64, len(x.Data))
+	invStd := make([]float64, x.cols)
+	means := make([]float64, x.cols)
+	for j := 0; j < x.cols; j++ {
+		mean := 0.0
+		for i := 0; i < x.rows; i++ {
+			mean += x.Data[i*x.cols+j]
+		}
+		mean /= m
+		means[j] = mean
+		vari := 0.0
+		for i := 0; i < x.rows; i++ {
+			d := x.Data[i*x.cols+j] - mean
+			vari += d * d
+		}
+		vari /= m
+		invStd[j] = 1 / math.Sqrt(vari+normEps)
+	}
+	for i := 0; i < x.rows; i++ {
+		for j := 0; j < x.cols; j++ {
+			h := (x.Data[i*x.cols+j] - means[j]) * invStd[j]
+			xhat[i*x.cols+j] = h
+			out.Data[i*x.cols+j] = gamma.Data[j]*h + beta.Data[j]
+		}
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			if gamma.requiresGrad {
+				gamma.ensureGrad()
+				for i := 0; i < x.rows; i++ {
+					for j := 0; j < x.cols; j++ {
+						gamma.Grad[j] += out.Grad[i*x.cols+j] * xhat[i*x.cols+j]
+					}
+				}
+			}
+			if beta.requiresGrad {
+				beta.ensureGrad()
+				for i := 0; i < x.rows; i++ {
+					for j := 0; j < x.cols; j++ {
+						beta.Grad[j] += out.Grad[i*x.cols+j]
+					}
+				}
+			}
+			if x.requiresGrad {
+				x.ensureGrad()
+				for j := 0; j < x.cols; j++ {
+					var sumD, sumDX float64
+					for i := 0; i < x.rows; i++ {
+						d := out.Grad[i*x.cols+j] * gamma.Data[j]
+						sumD += d
+						sumDX += d * xhat[i*x.cols+j]
+					}
+					for i := 0; i < x.rows; i++ {
+						d := out.Grad[i*x.cols+j] * gamma.Data[j]
+						x.Grad[i*x.cols+j] += invStd[j] / m *
+							(m*d - sumD - xhat[i*x.cols+j]*sumDX)
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,442 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul returns a·b for a [m×k] and b [k×n].
+func MatMul(a, b *Tensor) *Tensor {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("tensor: matmul %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	m, k, n := a.rows, a.cols, b.cols
+	out := newResult(m, n, a, b)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			if a.requiresGrad {
+				a.ensureGrad()
+				// dA = dOut · Bᵀ
+				for i := 0; i < m; i++ {
+					grow := out.Grad[i*n : (i+1)*n]
+					agrow := a.Grad[i*k : (i+1)*k]
+					for p := 0; p < k; p++ {
+						brow := b.Data[p*n : (p+1)*n]
+						s := 0.0
+						for j := 0; j < n; j++ {
+							s += grow[j] * brow[j]
+						}
+						agrow[p] += s
+					}
+				}
+			}
+			if b.requiresGrad {
+				b.ensureGrad()
+				// dB = Aᵀ · dOut
+				for i := 0; i < m; i++ {
+					arow := a.Data[i*k : (i+1)*k]
+					grow := out.Grad[i*n : (i+1)*n]
+					for p := 0; p < k; p++ {
+						av := arow[p]
+						if av == 0 {
+							continue
+						}
+						bgrow := b.Grad[p*n : (p+1)*n]
+						for j := 0; j < n; j++ {
+							bgrow[j] += av * grow[j]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Add returns a + b (same shape).
+func Add(a, b *Tensor) *Tensor {
+	assertSameShape("add", a, b)
+	out := newResult(a.rows, a.cols, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			if a.requiresGrad {
+				a.ensureGrad()
+				for i := range out.Grad {
+					a.Grad[i] += out.Grad[i]
+				}
+			}
+			if b.requiresGrad {
+				b.ensureGrad()
+				for i := range out.Grad {
+					b.Grad[i] += out.Grad[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Sub returns a - b (same shape).
+func Sub(a, b *Tensor) *Tensor {
+	assertSameShape("sub", a, b)
+	out := newResult(a.rows, a.cols, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			if a.requiresGrad {
+				a.ensureGrad()
+				for i := range out.Grad {
+					a.Grad[i] += out.Grad[i]
+				}
+			}
+			if b.requiresGrad {
+				b.ensureGrad()
+				for i := range out.Grad {
+					b.Grad[i] -= out.Grad[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Mul returns the elementwise product a ⊙ b (same shape).
+func Mul(a, b *Tensor) *Tensor {
+	assertSameShape("mul", a, b)
+	out := newResult(a.rows, a.cols, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			if a.requiresGrad {
+				a.ensureGrad()
+				for i := range out.Grad {
+					a.Grad[i] += out.Grad[i] * b.Data[i]
+				}
+			}
+			if b.requiresGrad {
+				b.ensureGrad()
+				for i := range out.Grad {
+					b.Grad[i] += out.Grad[i] * a.Data[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AddRowVec returns a + v broadcast over rows, for v of shape 1×cols
+// (bias addition).
+func AddRowVec(a, v *Tensor) *Tensor {
+	if v.rows != 1 || v.cols != a.cols {
+		panic(fmt.Sprintf("tensor: addrowvec %dx%d + %dx%d", a.rows, a.cols, v.rows, v.cols))
+	}
+	out := newResult(a.rows, a.cols, a, v)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			out.Data[i*a.cols+j] = a.Data[i*a.cols+j] + v.Data[j]
+		}
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			if a.requiresGrad {
+				a.ensureGrad()
+				for i := range out.Grad {
+					a.Grad[i] += out.Grad[i]
+				}
+			}
+			if v.requiresGrad {
+				v.ensureGrad()
+				for i := 0; i < a.rows; i++ {
+					for j := 0; j < a.cols; j++ {
+						v.Grad[j] += out.Grad[i*a.cols+j]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MulColVec returns a ⊙ c broadcast over columns, for c of shape rows×1
+// (per-row scaling, e.g. attention coefficients).
+func MulColVec(a, c *Tensor) *Tensor {
+	if c.cols != 1 || c.rows != a.rows {
+		panic(fmt.Sprintf("tensor: mulcolvec %dx%d ⊙ %dx%d", a.rows, a.cols, c.rows, c.cols))
+	}
+	out := newResult(a.rows, a.cols, a, c)
+	for i := 0; i < a.rows; i++ {
+		cv := c.Data[i]
+		for j := 0; j < a.cols; j++ {
+			out.Data[i*a.cols+j] = a.Data[i*a.cols+j] * cv
+		}
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			if a.requiresGrad {
+				a.ensureGrad()
+				for i := 0; i < a.rows; i++ {
+					cv := c.Data[i]
+					for j := 0; j < a.cols; j++ {
+						a.Grad[i*a.cols+j] += out.Grad[i*a.cols+j] * cv
+					}
+				}
+			}
+			if c.requiresGrad {
+				c.ensureGrad()
+				for i := 0; i < a.rows; i++ {
+					s := 0.0
+					for j := 0; j < a.cols; j++ {
+						s += out.Grad[i*a.cols+j] * a.Data[i*a.cols+j]
+					}
+					c.Grad[i] += s
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Scale returns s·a for a constant s.
+func Scale(a *Tensor, s float64) *Tensor {
+	out := newResult(a.rows, a.cols, a)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * s
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			a.ensureGrad()
+			for i := range out.Grad {
+				a.Grad[i] += out.Grad[i] * s
+			}
+		}
+	}
+	return out
+}
+
+// unary builds an elementwise op with derivative df(x, f(x)).
+func unary(a *Tensor, f func(float64) float64, df func(x, y float64) float64) *Tensor {
+	out := newResult(a.rows, a.cols, a)
+	for i := range out.Data {
+		out.Data[i] = f(a.Data[i])
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			a.ensureGrad()
+			for i := range out.Grad {
+				a.Grad[i] += out.Grad[i] * df(a.Data[i], out.Data[i])
+			}
+		}
+	}
+	return out
+}
+
+// Sigmoid returns 1/(1+e^-a) elementwise.
+func Sigmoid(a *Tensor) *Tensor {
+	return unary(a,
+		func(x float64) float64 { return 1 / (1 + math.Exp(-x)) },
+		func(_, y float64) float64 { return y * (1 - y) })
+}
+
+// ReLU returns max(0, a) elementwise.
+func ReLU(a *Tensor) *Tensor {
+	return unary(a,
+		func(x float64) float64 { return math.Max(0, x) },
+		func(x, _ float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			return 0
+		})
+}
+
+// Tanh returns tanh(a) elementwise.
+func Tanh(a *Tensor) *Tensor {
+	return unary(a, math.Tanh, func(_, y float64) float64 { return 1 - y*y })
+}
+
+// RowSoftmax returns softmax over each row.
+func RowSoftmax(a *Tensor) *Tensor {
+	out := newResult(a.rows, a.cols, a)
+	for i := 0; i < a.rows; i++ {
+		row := a.Data[i*a.cols : (i+1)*a.cols]
+		orow := out.Data[i*a.cols : (i+1)*a.cols]
+		mx := math.Inf(-1)
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			orow[j] = e
+			sum += e
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			a.ensureGrad()
+			for i := 0; i < a.rows; i++ {
+				orow := out.Data[i*a.cols : (i+1)*a.cols]
+				grow := out.Grad[i*a.cols : (i+1)*a.cols]
+				dot := 0.0
+				for j := range orow {
+					dot += orow[j] * grow[j]
+				}
+				for j := range orow {
+					a.Grad[i*a.cols+j] += orow[j] * (grow[j] - dot)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MaskedRowSoftmax computes softmax over each row restricted to positions
+// where mask is true; masked-out outputs are 0. Rows with no unmasked
+// entries produce all zeros.
+func MaskedRowSoftmax(a *Tensor, mask []bool) *Tensor {
+	if len(mask) != len(a.Data) {
+		panic(fmt.Sprintf("tensor: masked softmax mask len %d != %d", len(mask), len(a.Data)))
+	}
+	out := newResult(a.rows, a.cols, a)
+	for i := 0; i < a.rows; i++ {
+		row := a.Data[i*a.cols : (i+1)*a.cols]
+		mrow := mask[i*a.cols : (i+1)*a.cols]
+		orow := out.Data[i*a.cols : (i+1)*a.cols]
+		mx := math.Inf(-1)
+		any := false
+		for j, v := range row {
+			if mrow[j] && v > mx {
+				mx = v
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		sum := 0.0
+		for j, v := range row {
+			if mrow[j] {
+				e := math.Exp(v - mx)
+				orow[j] = e
+				sum += e
+			}
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			a.ensureGrad()
+			for i := 0; i < a.rows; i++ {
+				orow := out.Data[i*a.cols : (i+1)*a.cols]
+				grow := out.Grad[i*a.cols : (i+1)*a.cols]
+				mrow := mask[i*a.cols : (i+1)*a.cols]
+				dot := 0.0
+				for j := range orow {
+					if mrow[j] {
+						dot += orow[j] * grow[j]
+					}
+				}
+				for j := range orow {
+					if mrow[j] {
+						a.Grad[i*a.cols+j] += orow[j] * (grow[j] - dot)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Sum returns the 1×1 sum of all elements.
+func Sum(a *Tensor) *Tensor {
+	out := newResult(1, 1, a)
+	s := 0.0
+	for _, v := range a.Data {
+		s += v
+	}
+	out.Data[0] = s
+	if out.requiresGrad {
+		out.backFn = func() {
+			a.ensureGrad()
+			g := out.Grad[0]
+			for i := range a.Grad {
+				a.Grad[i] += g
+			}
+		}
+	}
+	return out
+}
+
+// Mean returns the 1×1 mean of all elements.
+func Mean(a *Tensor) *Tensor {
+	return Scale(Sum(a), 1/float64(len(a.Data)))
+}
+
+// ConcatCols concatenates tensors with equal row counts along columns
+// (multi-head concatenation).
+func ConcatCols(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: concat of nothing")
+	}
+	rows := ts[0].rows
+	total := 0
+	for _, t := range ts {
+		if t.rows != rows {
+			panic(fmt.Sprintf("tensor: concat row mismatch %d vs %d", t.rows, rows))
+		}
+		total += t.cols
+	}
+	out := newResult(rows, total, ts...)
+	off := 0
+	for _, t := range ts {
+		for i := 0; i < rows; i++ {
+			copy(out.Data[i*total+off:i*total+off+t.cols], t.Data[i*t.cols:(i+1)*t.cols])
+		}
+		off += t.cols
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			off := 0
+			for _, t := range ts {
+				if t.requiresGrad {
+					t.ensureGrad()
+					for i := 0; i < rows; i++ {
+						for j := 0; j < t.cols; j++ {
+							t.Grad[i*t.cols+j] += out.Grad[i*total+off+j]
+						}
+					}
+				}
+				off += t.cols
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Additional ops used by the attention formulations.
+
+// AddScalar returns a + c elementwise for a constant c.
+func AddScalar(a *Tensor, c float64) *Tensor {
+	return unary(a,
+		func(x float64) float64 { return x + c },
+		func(_, _ float64) float64 { return 1 })
+}
+
+// Reciprocal returns 1/a elementwise.
+func Reciprocal(a *Tensor) *Tensor {
+	return unary(a,
+		func(x float64) float64 { return 1 / x },
+		func(_, y float64) float64 { return -y * y })
+}
+
+// Exp returns e^a elementwise.
+func Exp(a *Tensor) *Tensor {
+	return unary(a, math.Exp, func(_, y float64) float64 { return y })
+}
+
+// Div returns a / b elementwise (same shape).
+func Div(a, b *Tensor) *Tensor {
+	assertSameShape("div", a, b)
+	return Mul(a, Reciprocal(b))
+}
+
+// RowSum returns the per-row sum as an m×1 tensor.
+func RowSum(a *Tensor) *Tensor {
+	out := newResult(a.rows, 1, a)
+	for i := 0; i < a.rows; i++ {
+		s := 0.0
+		for j := 0; j < a.cols; j++ {
+			s += a.Data[i*a.cols+j]
+		}
+		out.Data[i] = s
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			a.ensureGrad()
+			for i := 0; i < a.rows; i++ {
+				g := out.Grad[i]
+				for j := 0; j < a.cols; j++ {
+					a.Grad[i*a.cols+j] += g
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RowDot returns the per-row dot product of a and b as an m×1 tensor:
+// out[i] = Σ_j a[i,j]·b[i,j]. This is the q·k score of scaled dot-product
+// attention.
+func RowDot(a, b *Tensor) *Tensor {
+	assertSameShape("rowdot", a, b)
+	return RowSum(Mul(a, b))
+}
+
+// NarrowCols returns columns [start, start+n) of x; gradients add back.
+func NarrowCols(x *Tensor, start, n int) *Tensor {
+	if start < 0 || n < 0 || start+n > x.cols {
+		panic(fmt.Sprintf("tensor: narrowcols [%d,%d) of %d cols", start, start+n, x.cols))
+	}
+	out := newResult(x.rows, n, x)
+	for i := 0; i < x.rows; i++ {
+		copy(out.Data[i*n:(i+1)*n], x.Data[i*x.cols+start:i*x.cols+start+n])
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			x.ensureGrad()
+			for i := 0; i < x.rows; i++ {
+				for j := 0; j < n; j++ {
+					x.Grad[i*x.cols+start+j] += out.Grad[i*n+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MulMask returns a with masked-out elements zeroed; mask is a constant.
+func MulMask(a *Tensor, mask []bool) *Tensor {
+	if len(mask) != len(a.Data) {
+		panic(fmt.Sprintf("tensor: mask len %d != %d", len(mask), len(a.Data)))
+	}
+	out := newResult(a.rows, a.cols, a)
+	for i := range out.Data {
+		if mask[i] {
+			out.Data[i] = a.Data[i]
+		}
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			a.ensureGrad()
+			for i := range out.Grad {
+				if mask[i] {
+					a.Grad[i] += out.Grad[i]
+				}
+			}
+		}
+	}
+	return out
+}

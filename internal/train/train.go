@@ -1,0 +1,282 @@
+// Package train runs end-to-end GNN training for the convergence
+// experiments (Figures 11–15): real learning dynamics computed in Go,
+// placed on the simulated GPU clock from gpusim so the wall-clock axis
+// reflects the kernels each engine would execute (see DESIGN.md,
+// substitutions).
+package train
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mega/internal/datasets"
+	"mega/internal/gpusim"
+	"mega/internal/models"
+	"mega/internal/nn"
+	"mega/internal/tensor"
+)
+
+// Options configures one training run.
+type Options struct {
+	// Model selects the configuration: "GCN" or "GT".
+	Model string
+	// Engine selects the attention engine.
+	Engine models.EngineKind
+	// Dim/Layers/Heads size the model (defaults 64/4/4).
+	Dim    int
+	Layers int
+	Heads  int
+	// BatchSize groups instances per step (default 64).
+	BatchSize int
+	// LR is the Adam learning rate (default 1e-3).
+	LR float64
+	// Epochs bounds training (default 10).
+	Epochs int
+	// Seed seeds parameter init.
+	Seed int64
+	// Profile attaches a GPU simulator; required for simulated-time axes.
+	Profile bool
+	// Mega configures MEGA preprocessing (Engine == EngineMega only).
+	Mega models.MegaOptions
+	// MaxTrain/MaxVal cap the instances used (0 = all), for fast tests.
+	MaxTrain int
+	MaxVal   int
+	// LRPlateau enables the benchmark suite's reduce-on-plateau schedule:
+	// halve the learning rate after 5 epochs without validation-loss
+	// improvement.
+	LRPlateau bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Model == "" {
+		o.Model = "GCN"
+	}
+	if o.Engine == 0 {
+		o.Engine = models.EngineDGL
+	}
+	if o.Dim == 0 {
+		o.Dim = 64
+	}
+	if o.Layers == 0 {
+		o.Layers = 4
+	}
+	if o.Heads == 0 {
+		o.Heads = 4
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 64
+	}
+	if o.LR == 0 {
+		o.LR = 1e-3
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 10
+	}
+	return o
+}
+
+// EpochStat records one epoch's outcome.
+type EpochStat struct {
+	Epoch     int
+	TrainLoss float64
+	ValLoss   float64
+	// ValMetric is MAE for regression, accuracy for classification.
+	ValMetric float64
+	// SimTime is the cumulative simulated GPU time at epoch end.
+	SimTime time.Duration
+	// WallTime is cumulative real (Go) time, informational only.
+	WallTime time.Duration
+}
+
+// Result is a completed run.
+type Result struct {
+	Stats []EpochStat
+	// Sim exposes the simulator for kernel-level reporting (nil when
+	// profiling is off).
+	Sim *gpusim.Sim
+	// Params is the model's trainable parameter count.
+	Params int
+	// Task echoes the dataset task.
+	Task datasets.Task
+	// Diverged reports that training aborted early because the loss went
+	// non-finite; Stats covers only the completed epochs.
+	Diverged bool
+}
+
+// FinalMetric returns the last epoch's validation metric.
+func (r *Result) FinalMetric() float64 {
+	if len(r.Stats) == 0 {
+		return 0
+	}
+	return r.Stats[len(r.Stats)-1].ValMetric
+}
+
+// TimeToLoss returns the first simulated time at which validation loss
+// dropped to at most target, and whether it happened — the convergence-
+// speedup measure of §IV-B4.
+func (r *Result) TimeToLoss(target float64) (time.Duration, bool) {
+	for _, s := range r.Stats {
+		if s.ValLoss <= target {
+			return s.SimTime, true
+		}
+	}
+	return 0, false
+}
+
+// ErrUnknownModel is returned for model names other than GCN/GT.
+var ErrUnknownModel = errors.New("train: unknown model")
+
+// Run trains the configured model on ds and returns per-epoch statistics.
+func Run(ds *datasets.Dataset, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+
+	cfg := models.Config{
+		Dim: opts.Dim, Layers: opts.Layers, Heads: opts.Heads,
+		NodeTypes: ds.NumNodeTypes, EdgeTypes: ds.NumEdgeTypes,
+		OutDim: 1, Seed: opts.Seed,
+	}
+	if ds.Task == datasets.TaskClassification {
+		cfg.OutDim = ds.NumClasses
+	}
+	var model models.Model
+	switch opts.Model {
+	case "GCN":
+		model = models.NewGatedGCN(cfg)
+	case "GT":
+		model = models.NewGT(cfg)
+	case "GAT":
+		model = models.NewGAT(cfg)
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, opts.Model)
+	}
+
+	var sim *gpusim.Sim
+	if opts.Profile {
+		sim = gpusim.New(gpusim.GTX1080())
+	}
+
+	trainInsts := capInstances(ds.Train, opts.MaxTrain)
+	valInsts := capInstances(ds.Val, opts.MaxVal)
+	trainCtxs, err := buildContexts(trainInsts, opts, sim)
+	if err != nil {
+		return nil, err
+	}
+	valCtxs, err := buildContexts(valInsts, opts, sim)
+	if err != nil {
+		return nil, err
+	}
+
+	opt := nn.NewAdam(model.Params(), opts.LR)
+	res := &Result{Sim: sim, Params: opt.NumParams(), Task: ds.Task}
+	var sched *nn.PlateauScheduler
+	if opts.LRPlateau {
+		sched = nn.NewPlateauScheduler(opt)
+	}
+
+	start := time.Now()
+	for epoch := 1; epoch <= opts.Epochs; epoch++ {
+		trainLoss := 0.0
+		for _, ctx := range trainCtxs {
+			opt.ZeroGrad()
+			out := model.Forward(ctx)
+			loss := lossFor(ds.Task, out, ctx)
+			if !loss.IsFinite() {
+				// Divergence guard: a NaN/Inf loss poisons every later
+				// step; abort and report what completed.
+				res.Diverged = true
+				return res, nil
+			}
+			loss.Backward()
+			ctx.Prof.Backward()
+			opt.Step()
+			trainLoss += loss.Item()
+		}
+		if len(trainCtxs) > 0 {
+			trainLoss /= float64(len(trainCtxs))
+		}
+
+		valLoss, valMetric := evaluate(ds.Task, model, valCtxs)
+		if sched != nil {
+			sched.Step(valLoss)
+		}
+
+		stat := EpochStat{
+			Epoch:     epoch,
+			TrainLoss: trainLoss,
+			ValLoss:   valLoss,
+			ValMetric: valMetric,
+			WallTime:  time.Since(start),
+		}
+		if sim != nil {
+			stat.SimTime = sim.TotalTime()
+		}
+		res.Stats = append(res.Stats, stat)
+	}
+	return res, nil
+}
+
+// Evaluate runs inference over prebuilt contexts; exported for the test
+// split of the experiments.
+func Evaluate(task datasets.Task, model models.Model, ctxs []*models.Context) (loss, metric float64) {
+	return evaluate(task, model, ctxs)
+}
+
+func evaluate(task datasets.Task, model models.Model, ctxs []*models.Context) (loss, metric float64) {
+	if len(ctxs) == 0 {
+		return 0, 0
+	}
+	for _, ctx := range ctxs {
+		out := model.Forward(ctx)
+		l := lossFor(task, out, ctx)
+		loss += l.Item()
+		if task == datasets.TaskClassification {
+			metric += tensor.Accuracy(out, ctx.Labels)
+		} else {
+			metric += tensor.MAELoss(out.Detach(), ctx.Targets).Item()
+		}
+		ctx.Prof.Discard()
+	}
+	n := float64(len(ctxs))
+	return loss / n, metric / n
+}
+
+// lossFor selects the training loss per task: MAE-style L1 for the
+// molecular regressions (the benchmark-suite convention), cross-entropy
+// for classification.
+func lossFor(task datasets.Task, out *tensor.Tensor, ctx *models.Context) *tensor.Tensor {
+	if task == datasets.TaskClassification {
+		return tensor.CrossEntropyLoss(out, ctx.Labels)
+	}
+	return tensor.MAELoss(out, ctx.Targets)
+}
+
+// buildContexts batches instances and constructs per-batch engine contexts.
+func buildContexts(insts []datasets.Instance, opts Options, sim *gpusim.Sim) ([]*models.Context, error) {
+	var out []*models.Context
+	for lo := 0; lo < len(insts); lo += opts.BatchSize {
+		hi := lo + opts.BatchSize
+		if hi > len(insts) {
+			hi = len(insts)
+		}
+		var ctx *models.Context
+		var err error
+		if opts.Engine == models.EngineMega {
+			ctx, err = models.NewMegaContext(insts[lo:hi], opts.Mega, sim, opts.Dim)
+		} else {
+			ctx, err = models.NewDGLContext(insts[lo:hi], sim, opts.Dim)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ctx)
+	}
+	return out, nil
+}
+
+func capInstances(insts []datasets.Instance, max int) []datasets.Instance {
+	if max > 0 && len(insts) > max {
+		return insts[:max]
+	}
+	return insts
+}

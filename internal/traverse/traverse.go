@@ -1,0 +1,649 @@
+// Package traverse implements MEGA's preprocessing stage: the objective
+// graph traversal (the paper's Algorithm 1) that converts a graph into a
+// *path representation* — an ordering of vertices, with bounded revisits,
+// such that every edge falls within ω positions of its endpoints' path
+// appearances. Downstream, diagonal attention over this path replaces
+// irregular gather/scatter with banded dense operations (package band).
+//
+// An edge {u, v} is *covered* once an appearance of u and an appearance of
+// v land within ω path positions of each other — the condition for the edge
+// to fall inside the attention band. This matches the paper's revisit lower
+// bound Σ⌈dᵢ/ω⌉ − n (§III-B), where each appearance of a vertex can cover
+// up to ω incident edges.
+//
+// The traversal keeps candidate pools in the paper's priority order:
+//
+//  1. unvisited neighbours of the current vertex with uncovered edges,
+//  2. unvisited vertices with an uncovered edge into the trailing window
+//     (reached by a virtual transition but covering at least one edge
+//     with zero revisits — the mechanism that lets a larger ω approach the
+//     lower bound),
+//  3. already-visited vertices with remaining uncovered edges (a LIFO
+//     stack, so the revisited vertex is the one most correlated with the
+//     recently traversed path),
+//  4. any remaining unvisited vertex (a pure virtual jump).
+//
+// Ties inside a pool are broken by the correlate() objective of Eq. (2):
+// the candidate with the most neighbours among the trailing ω path entries
+// wins, which maximises how much of the local neighbourhood lands inside
+// the attention window.
+package traverse
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mega/internal/graph"
+)
+
+// Options configures a traversal.
+type Options struct {
+	// Window is ω, the coverage window (and downstream attention band
+	// half-width). Zero selects the adaptive policy: ω = max(1,
+	// round(mean degree)), per §III-B ("adaptively tuned based on the mean
+	// degree of the input processing graph").
+	Window int
+	// EdgeCoverage is θ ∈ (0, 1]: the traversal may stop once this
+	// fraction of edges is covered and all vertices visited. Zero selects
+	// 1.0 (cover everything), the setting used for the paper's end-to-end
+	// speedup comparisons ("path representations ... encompassed all nodes
+	// and edges present in the original graph", §IV-A).
+	EdgeCoverage float64
+	// DropEdges removes this fraction of edges before traversal (the
+	// §IV-B5 "edge dropping" mode; the paper drops 20%). 0 disables
+	// dropping.
+	DropEdges float64
+	// DropStrategy selects which edges go. The zero value is DropRandom
+	// (the paper's §IV-B5 setting); DropRedundant drops the edges whose
+	// endpoints have the most alternative connections first — the
+	// SparseGAT-inspired sparsity exploration of §IV-B8.
+	DropStrategy DropStrategy
+	// RevisitPolicy selects which pending vertex a revisit returns to
+	// when the local pools are exhausted. The zero value is RevisitLIFO,
+	// the paper's stack ("the topmost vertex popped from the stack is the
+	// most correlated to the recently traversed path").
+	RevisitPolicy RevisitPolicy
+	// Objective selects the candidate-ranking function. The zero value
+	// is ObjectiveCorrelate, the paper's Eq. (2); ObjectiveCoverage ranks
+	// by how many *uncovered* edges the candidate would close, a greedy
+	// variant that packs more edges per appearance.
+	Objective Objective
+	// Start pins the starting vertex. Negative selects the default:
+	// the highest-degree vertex (ties to the lowest ID), a deterministic
+	// choice that tends to anchor the path in a dense cluster.
+	Start graph.NodeID
+	// Seed seeds edge dropping. Traversal itself is deterministic.
+	Seed int64
+}
+
+// DefaultOptions returns the options used by the end-to-end experiments:
+// full edge coverage, adaptive window, no dropping.
+func DefaultOptions() Options {
+	return Options{Window: 0, EdgeCoverage: 1.0, DropEdges: 0, Start: -1}
+}
+
+// Result is a computed path representation.
+type Result struct {
+	// Path is the vertex visiting order; vertices may repeat (revisits).
+	Path []graph.NodeID
+	// Virtual[i] reports that the transition Path[i-1] -> Path[i] is a
+	// virtual edge: the two vertices are not adjacent in the (possibly
+	// edge-dropped) input graph. Virtual[0] is always false.
+	Virtual []bool
+	// Window is the effective ω used.
+	Window int
+	// CoveredEdges counts distinct edges whose endpoints came within ω
+	// path positions — the edges the attention band will see.
+	CoveredEdges int
+	// TotalEdges is the number of edges after dropping.
+	TotalEdges int
+	// DroppedEdges is the number of edges removed by the DropEdges option.
+	DroppedEdges int
+	// Revisits is len(Path) minus the number of distinct vertices.
+	Revisits int
+	// VirtualEdges counts true entries of Virtual.
+	VirtualEdges int
+	// Graph is the graph the traversal actually walked: the input graph,
+	// or the edge-dropped copy when DropEdges was set. Downstream band
+	// construction must use this graph so dropped edges stay dropped.
+	Graph *graph.Graph
+}
+
+// Len returns the path length (number of vertex appearances).
+func (r *Result) Len() int { return len(r.Path) }
+
+// EdgeCoverageRatio returns CoveredEdges / TotalEdges (1 if the graph has
+// no edges).
+func (r *Result) EdgeCoverageRatio() float64 {
+	if r.TotalEdges == 0 {
+		return 1
+	}
+	return float64(r.CoveredEdges) / float64(r.TotalEdges)
+}
+
+// Expansion returns len(Path) / n, the memory blow-up of the path
+// representation ("this value does not surpass a certain degree", §IV-B6).
+func (r *Result) Expansion(n int) float64 {
+	if n == 0 {
+		return 1
+	}
+	return float64(len(r.Path)) / float64(n)
+}
+
+// Errors returned by Run.
+var (
+	ErrEmptyGraph = errors.New("traverse: graph has no vertices")
+	ErrBadOptions = errors.New("traverse: invalid options")
+)
+
+// AdaptiveWindow returns the adaptive ω for a graph: max(1, round(mean
+// degree)). Exposed so callers (and the ablation bench) can compare fixed
+// and adaptive policies.
+func AdaptiveWindow(g *graph.Graph) int {
+	w := int(g.MeanDegree() + 0.5)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// RevisitLowerBound returns the paper's optimistic lower bound on the
+// number of revisits for window ω: Σ_i ⌈d_i/ω⌉ − n (§III-B "Limiting
+// vertex revisit").
+func RevisitLowerBound(degrees []int, omega int) int {
+	if omega < 1 {
+		omega = 1
+	}
+	total := 0
+	for _, d := range degrees {
+		if d == 0 {
+			total++ // isolated vertices still appear once
+			continue
+		}
+		total += (d + omega - 1) / omega
+	}
+	return total - len(degrees)
+}
+
+// Run executes the objective traversal on g and returns the path
+// representation.
+func Run(g *graph.Graph, opts Options) (*Result, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, ErrEmptyGraph
+	}
+	if opts.EdgeCoverage == 0 {
+		opts.EdgeCoverage = 1.0
+	}
+	if opts.EdgeCoverage < 0 || opts.EdgeCoverage > 1 {
+		return nil, fmt.Errorf("%w: edge coverage %v", ErrBadOptions, opts.EdgeCoverage)
+	}
+	if opts.DropEdges < 0 || opts.DropEdges >= 1 {
+		if opts.DropEdges != 0 {
+			return nil, fmt.Errorf("%w: drop fraction %v", ErrBadOptions, opts.DropEdges)
+		}
+	}
+
+	work := g
+	dropped := 0
+	if opts.DropEdges > 0 {
+		var err error
+		work, dropped, err = dropEdges(g, opts.DropEdges, opts.DropStrategy, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	omega := opts.Window
+	if omega <= 0 {
+		omega = AdaptiveWindow(work)
+	}
+
+	t := newTraversal(work, omega)
+	t.revisit = opts.RevisitPolicy
+	t.objective = opts.Objective
+	start := opts.Start
+	if start < 0 {
+		start = maxDegreeVertex(work)
+	} else if int(start) >= n {
+		return nil, fmt.Errorf("%w: start vertex %d out of range", ErrBadOptions, start)
+	}
+	t.visit(start, false)
+
+	target := int(opts.EdgeCoverage * float64(work.NumEdges()))
+	for {
+		nodesDone := len(t.unvisited) == 0
+		edgesDone := t.covered >= target
+		if nodesDone && edgesDone {
+			break
+		}
+		curr := t.path[len(t.path)-1]
+		// Pool 1: unvisited neighbours of curr via uncovered edges.
+		if next, ok := t.bestRemainingNeighbor(curr, true); ok {
+			t.visit(next, false)
+			continue
+		}
+		if !edgesDone {
+			// Pool 1b: uncovered edges to visited neighbours (needed to
+			// reach θ = 1; see package comment).
+			if next, ok := t.bestRemainingNeighbor(curr, false); ok {
+				t.visit(next, false)
+				continue
+			}
+			// Pool 2: unvisited vertices with an uncovered edge into the
+			// trailing window — covers edges without revisits.
+			if next, ok := t.bestWindowCoveringUnvisited(); ok {
+				t.visit(next, !work.HasEdge(curr, next))
+				continue
+			}
+			// Pool 3: revisit the most recently stacked vertex that still
+			// has uncovered incident edges.
+			if next, ok := t.popStack(); ok {
+				t.visit(next, !work.HasEdge(curr, next))
+				continue
+			}
+		}
+		// Pool 4: pure virtual jump to any remaining unvisited vertex.
+		if !nodesDone {
+			next := t.bestUnvisited()
+			t.visit(next, !work.HasEdge(curr, next))
+			continue
+		}
+		// All vertices visited and no coverable edges remain anywhere:
+		// the coverage target is unreachable (rounding on tiny graphs).
+		break
+	}
+
+	res := &Result{
+		Path:         t.path,
+		Virtual:      t.virtual,
+		Window:       omega,
+		CoveredEdges: t.covered,
+		TotalEdges:   work.NumEdges(),
+		DroppedEdges: dropped,
+		Graph:        work,
+	}
+	seen := make(map[graph.NodeID]bool, n)
+	for _, v := range t.path {
+		seen[v] = true
+	}
+	res.Revisits = len(t.path) - len(seen)
+	for _, vt := range t.virtual {
+		if vt {
+			res.VirtualEdges++
+		}
+	}
+	return res, nil
+}
+
+// traversal is the mutable state of one objective-traversal run.
+type traversal struct {
+	g     *graph.Graph
+	omega int
+
+	// remaining[v] holds v's not-yet-covered incident edges as neighbour
+	// IDs; removal is swap-delete, with remIdx tracking positions for
+	// O(1) removal of a specific neighbour.
+	remaining [][]graph.NodeID
+	remIdx    []map[graph.NodeID]int
+
+	unvisited map[graph.NodeID]bool
+	stack     []graph.NodeID
+	onStack   []bool
+	revisit   RevisitPolicy
+	objective Objective
+
+	path    []graph.NodeID
+	virtual []bool
+	// window is a ring of the trailing ω path entries, with inWindow
+	// counting occurrences for O(1) membership tests.
+	window   []graph.NodeID
+	inWindow map[graph.NodeID]int
+
+	covered int
+}
+
+func newTraversal(g *graph.Graph, omega int) *traversal {
+	n := g.NumNodes()
+	t := &traversal{
+		g:         g,
+		omega:     omega,
+		remaining: make([][]graph.NodeID, n),
+		remIdx:    make([]map[graph.NodeID]int, n),
+		unvisited: make(map[graph.NodeID]bool, n),
+		onStack:   make([]bool, n),
+		inWindow:  make(map[graph.NodeID]int, omega+1),
+	}
+	for v := 0; v < n; v++ {
+		nbrs := g.Neighbors(graph.NodeID(v))
+		t.remaining[v] = make([]graph.NodeID, 0, len(nbrs))
+		idx := make(map[graph.NodeID]int, len(nbrs))
+		for _, u := range nbrs {
+			if _, dup := idx[u]; dup {
+				continue // parallel edges cover together
+			}
+			idx[u] = len(t.remaining[v])
+			t.remaining[v] = append(t.remaining[v], u)
+		}
+		t.remIdx[v] = idx
+		t.unvisited[graph.NodeID(v)] = true
+	}
+	return t
+}
+
+// visit appends v to the path, covering every uncovered edge between v and
+// the vertices currently inside the trailing window, and updates all
+// bookkeeping.
+func (t *traversal) visit(v graph.NodeID, isVirtual bool) {
+	// Cover edges from v into the window *before* v joins it.
+	for u := range t.inWindow {
+		if t.removeRemaining(v, u) {
+			if u != v {
+				t.removeRemaining(u, v)
+			}
+			t.covered++
+		}
+	}
+	t.path = append(t.path, v)
+	t.virtual = append(t.virtual, isVirtual)
+	delete(t.unvisited, v)
+	if len(t.remaining[v]) > 0 && !t.onStack[v] {
+		t.stack = append(t.stack, v)
+		t.onStack[v] = true
+	}
+	// Slide the window.
+	t.window = append(t.window, v)
+	t.inWindow[v]++
+	if len(t.window) > t.omega {
+		old := t.window[0]
+		t.window = t.window[1:]
+		t.inWindow[old]--
+		if t.inWindow[old] == 0 {
+			delete(t.inWindow, old)
+		}
+	}
+}
+
+// removeRemaining deletes u from v's remaining-neighbour set, reporting
+// whether it was present.
+func (t *traversal) removeRemaining(v, u graph.NodeID) bool {
+	idx, ok := t.remIdx[v][u]
+	if !ok {
+		return false
+	}
+	rem := t.remaining[v]
+	last := len(rem) - 1
+	moved := rem[last]
+	rem[idx] = moved
+	t.remaining[v] = rem[:last]
+	if moved != u {
+		t.remIdx[v][moved] = idx
+	}
+	delete(t.remIdx[v], u)
+	return true
+}
+
+// Objective selects the candidate-ranking function.
+type Objective int
+
+// Objectives.
+const (
+	// ObjectiveCorrelate ranks by Eq. (2): neighbours in the trailing
+	// window (the paper's objective).
+	ObjectiveCorrelate Objective = iota
+	// ObjectiveCoverage ranks by the number of uncovered edges appending
+	// the candidate would close — greedy edge packing.
+	ObjectiveCoverage
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	if o == ObjectiveCoverage {
+		return "coverage"
+	}
+	return "correlate"
+}
+
+// correlate ranks a candidate under the configured objective. The default
+// implements Eq. (2): the number of v's original neighbours among the
+// trailing ω path entries (counting window multiplicity, so a neighbour
+// appearing twice in the window scores twice — it will be attended twice).
+// The coverage objective counts only window members whose edge to v is
+// still uncovered.
+func (t *traversal) correlate(v graph.NodeID) int {
+	if t.objective == ObjectiveCoverage {
+		score := 0
+		for u := range t.inWindow {
+			if _, ok := t.remIdx[v][u]; ok {
+				score++
+			}
+		}
+		return score
+	}
+	score := 0
+	for _, u := range t.g.Neighbors(v) {
+		score += t.inWindow[u]
+	}
+	return score
+}
+
+// bestRemainingNeighbor returns the neighbour of curr with an uncovered
+// connecting edge that maximises correlate(), preferring lower IDs on ties
+// for determinism. With unvisitedOnly, candidates are restricted to
+// unvisited vertices (the paper's first candidate pool).
+func (t *traversal) bestRemainingNeighbor(curr graph.NodeID, unvisitedOnly bool) (graph.NodeID, bool) {
+	best := graph.NodeID(-1)
+	bestScore := -1
+	for _, u := range t.remaining[curr] {
+		if u == curr {
+			continue // self loops cover via the window, not transitions
+		}
+		if unvisitedOnly && !t.unvisited[u] {
+			continue
+		}
+		s := t.correlate(u)
+		if s > bestScore || (s == bestScore && u < best) {
+			best, bestScore = u, s
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// bestWindowCoveringUnvisited scans the trailing window for unvisited
+// vertices reachable through an uncovered edge and returns the one
+// maximising correlate(). Appending such a vertex covers at least one edge
+// without any revisit.
+func (t *traversal) bestWindowCoveringUnvisited() (graph.NodeID, bool) {
+	best := graph.NodeID(-1)
+	bestScore := -1
+	for w := range t.inWindow {
+		for _, u := range t.remaining[w] {
+			if !t.unvisited[u] {
+				continue
+			}
+			s := t.correlate(u)
+			if s > bestScore || (s == bestScore && u < best) {
+				best, bestScore = u, s
+			}
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// RevisitPolicy selects the pending-vertex order for revisits.
+type RevisitPolicy int
+
+// Revisit policies.
+const (
+	// RevisitLIFO pops the most recently deferred vertex (the paper's
+	// stack design).
+	RevisitLIFO RevisitPolicy = iota
+	// RevisitFIFO dequeues the oldest deferred vertex — the ablation
+	// contrast showing why recency matters for window correlation.
+	RevisitFIFO
+	// RevisitMostCorrelated scans all pending vertices for the one with
+	// the highest correlate() score — slower per step but revisits land
+	// closest to their remaining neighbourhoods.
+	RevisitMostCorrelated
+)
+
+// String implements fmt.Stringer.
+func (p RevisitPolicy) String() string {
+	switch p {
+	case RevisitFIFO:
+		return "fifo"
+	case RevisitMostCorrelated:
+		return "correlated"
+	default:
+		return "lifo"
+	}
+}
+
+// popStack discards exhausted pending entries and selects the next revisit
+// vertex per the configured policy.
+func (t *traversal) popStack() (graph.NodeID, bool) {
+	switch t.revisit {
+	case RevisitFIFO:
+		for len(t.stack) > 0 {
+			head := t.stack[0]
+			t.stack = t.stack[1:]
+			t.onStack[head] = false
+			if len(t.remaining[head]) > 0 {
+				return head, true
+			}
+		}
+		return 0, false
+	case RevisitMostCorrelated:
+		bestIdx := -1
+		bestScore := -1
+		// Compact exhausted entries while scanning.
+		live := t.stack[:0]
+		for _, v := range t.stack {
+			if len(t.remaining[v]) == 0 {
+				t.onStack[v] = false
+				continue
+			}
+			live = append(live, v)
+			if s := t.correlate(v); s > bestScore {
+				bestScore = s
+				bestIdx = len(live) - 1
+			}
+		}
+		t.stack = live
+		if bestIdx < 0 {
+			return 0, false
+		}
+		v := t.stack[bestIdx]
+		t.stack = append(t.stack[:bestIdx], t.stack[bestIdx+1:]...)
+		t.onStack[v] = false
+		return v, true
+	default: // RevisitLIFO
+		for len(t.stack) > 0 {
+			top := t.stack[len(t.stack)-1]
+			t.stack = t.stack[:len(t.stack)-1]
+			t.onStack[top] = false
+			if len(t.remaining[top]) > 0 {
+				return top, true
+			}
+		}
+		return 0, false
+	}
+}
+
+// bestUnvisited returns the unvisited vertex maximising correlate(),
+// breaking ties toward the lowest ID.
+func (t *traversal) bestUnvisited() graph.NodeID {
+	best := graph.NodeID(-1)
+	bestScore := -1
+	for v := range t.unvisited {
+		s := t.correlate(v)
+		if s > bestScore || (s == bestScore && (best < 0 || v < best)) {
+			best, bestScore = v, s
+		}
+	}
+	return best
+}
+
+// maxDegreeVertex returns the highest-degree vertex, lowest ID on ties.
+func maxDegreeVertex(g *graph.Graph) graph.NodeID {
+	best := graph.NodeID(0)
+	bestDeg := -1
+	for v := 0; v < g.NumNodes(); v++ {
+		d := g.Degree(graph.NodeID(v))
+		if d > bestDeg {
+			best, bestDeg = graph.NodeID(v), d
+		}
+	}
+	return best
+}
+
+// DropStrategy selects how DropEdges chooses victims.
+type DropStrategy int
+
+// Drop strategies.
+const (
+	// DropRandom removes a uniform random fraction (DropEdge-style).
+	DropRandom DropStrategy = iota
+	// DropRedundant removes the highest degree-product edges first: both
+	// endpoints keep many alternative connections, so the structural loss
+	// is smallest — the SparseGAT-inspired heuristic. Ties and the exact
+	// count are randomised by Seed.
+	DropRedundant
+)
+
+// String implements fmt.Stringer.
+func (s DropStrategy) String() string {
+	if s == DropRedundant {
+		return "redundant"
+	}
+	return "random"
+}
+
+// dropEdges removes approximately frac of g's edges per the strategy.
+func dropEdges(g *graph.Graph, frac float64, strategy DropStrategy, seed int64) (*graph.Graph, int, error) {
+	rng := rand.New(rand.NewSource(seed ^ 0xD20B))
+	edges := g.Edges()
+	var kept []graph.Edge
+	switch strategy {
+	case DropRedundant:
+		target := int(frac * float64(len(edges)))
+		// Score = deg(u)*deg(v) with a small random perturbation so
+		// equal-score edges drop in varying order across seeds.
+		type scored struct {
+			e     graph.Edge
+			score float64
+		}
+		ranked := make([]scored, len(edges))
+		for i, e := range edges {
+			ranked[i] = scored{
+				e:     e,
+				score: float64(g.Degree(e.Src)*g.Degree(e.Dst)) * (1 + 0.01*rng.Float64()),
+			}
+		}
+		sort.Slice(ranked, func(a, b int) bool { return ranked[a].score > ranked[b].score })
+		kept = make([]graph.Edge, 0, len(edges)-target)
+		for _, s := range ranked[target:] {
+			kept = append(kept, s.e)
+		}
+	default:
+		kept = make([]graph.Edge, 0, len(edges))
+		for _, e := range edges {
+			if rng.Float64() >= frac {
+				kept = append(kept, e)
+			}
+		}
+	}
+	out, err := graph.New(g.NumNodes(), kept, g.Directed())
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, g.NumEdges() - len(kept), nil
+}

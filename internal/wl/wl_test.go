@@ -1,0 +1,208 @@
+package wl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mega/internal/graph"
+)
+
+func TestInitialLabelsUniform(t *testing.T) {
+	r := NewRefiner()
+	l := r.InitialLabels(5, nil)
+	for _, x := range l {
+		if x != l[0] {
+			t.Fatalf("uniform initial labels differ: %v", l)
+		}
+	}
+}
+
+func TestInitialLabelsCategorical(t *testing.T) {
+	r := NewRefiner()
+	l := r.InitialLabels(4, []int32{1, 2, 1, 3})
+	if l[0] != l[2] {
+		t.Error("equal categories should get equal labels")
+	}
+	if l[0] == l[1] || l[1] == l[3] {
+		t.Error("distinct categories should get distinct labels")
+	}
+}
+
+func TestRefineDistinguishesDegrees(t *testing.T) {
+	// Path graph 0-1-2: ends have degree 1, middle degree 2.
+	g := graph.Path(3)
+	r := NewRefiner()
+	l := r.RefineK(g, nil, 1)
+	if l[0] != l[2] {
+		t.Error("symmetric end vertices should share a label")
+	}
+	if l[0] == l[1] {
+		t.Error("degree-1 and degree-2 vertices should differ after 1 round")
+	}
+}
+
+func TestIsomorphicGraphsEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.ErdosRenyiM(rng, 20, 40)
+	perm := graph.RandomPermutation(rng, 20)
+	h, err := graph.PermuteNodes(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for hops := 1; hops <= 4; hops++ {
+		if s := GraphSimilarity(g, h, nil, nil, hops); s != 1 {
+			t.Errorf("hops=%d: similarity = %v, want 1 for isomorphic graphs", hops, s)
+		}
+	}
+}
+
+func TestIsomorphicWithPermutedFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.ErdosRenyiM(rng, 15, 30)
+	feat := make([]int32, 15)
+	for i := range feat {
+		feat[i] = int32(rng.Intn(4))
+	}
+	perm := graph.RandomPermutation(rng, 15)
+	h, err := graph.PermuteNodes(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	permFeat := make([]int32, 15)
+	for old, newID := range perm {
+		permFeat[newID] = feat[old]
+	}
+	if s := GraphSimilarity(g, h, feat, permFeat, 3); s != 1 {
+		t.Errorf("similarity = %v, want 1", s)
+	}
+}
+
+func TestDifferentGraphsScoreBelowOne(t *testing.T) {
+	cyc := graph.Cycle(8)
+	pth := graph.Path(8)
+	s := GraphSimilarity(cyc, pth, nil, nil, 2)
+	if s >= 1 {
+		t.Errorf("cycle vs path similarity = %v, want < 1", s)
+	}
+	if s <= 0 {
+		t.Errorf("cycle vs path similarity = %v, want > 0 (shared interior structure)", s)
+	}
+}
+
+func TestCSLClassesDistinguishedByWL(t *testing.T) {
+	// WL separates circulant skip classes after enough rounds when paired
+	// with positional initial labels (vertex-transitive graphs are NOT
+	// distinguished by pure-topology 1-WL — the classic CSL counterexample).
+	a, err := graph.Circulant(11, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := graph.Circulant(11, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feat := make([]int32, 11)
+	for i := range feat {
+		feat[i] = int32(i % 4)
+	}
+	if s := GraphSimilarity(a, b, feat, feat, 2); s >= 1 {
+		t.Errorf("skip-2 vs skip-3 with positional labels similarity = %v, want < 1", s)
+	}
+	// And the counterexample itself: uniform labels cannot separate
+	// regular graphs of equal degree.
+	if s := GraphSimilarity(a, b, nil, nil, 3); s != 1 {
+		t.Errorf("1-WL on regular circulants = %v, want 1 (known limitation)", s)
+	}
+}
+
+func TestSimilarityEdgeCases(t *testing.T) {
+	if s := Similarity(nil, nil); s != 1 {
+		t.Errorf("Similarity(nil,nil) = %v, want 1", s)
+	}
+	if s := Similarity(Labeling{1}, nil); s != 0 {
+		t.Errorf("Similarity(a,nil) = %v, want 0", s)
+	}
+	if s := Similarity(Labeling{1, 1, 2}, Labeling{1, 2, 2}); s != 2.0/3.0 {
+		t.Errorf("Similarity = %v, want 2/3", s)
+	}
+	if s := Similarity(Labeling{1, 2}, Labeling{1, 2, 3, 4}); s != 0.5 {
+		t.Errorf("different-size Similarity = %v, want 0.5", s)
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	if !Equivalent(Labeling{1, 2, 3}, Labeling{3, 2, 1}) {
+		t.Error("same multiset should be equivalent")
+	}
+	if Equivalent(Labeling{1, 2}, Labeling{1, 2, 2}) {
+		t.Error("different sizes should not be equivalent")
+	}
+	if Equivalent(Labeling{1, 1}, Labeling{1, 2}) {
+		t.Error("different multisets should not be equivalent")
+	}
+}
+
+func TestRefinerInterning(t *testing.T) {
+	r := NewRefiner()
+	g := graph.Cycle(5)
+	_ = r.RefineK(g, nil, 2)
+	if r.NumLabels() == 0 {
+		t.Error("refiner should have interned labels")
+	}
+	// All vertices of a cycle are equivalent: each round adds exactly one
+	// new label, so after 2 rounds + initial we expect 3 distinct labels.
+	if r.NumLabels() != 3 {
+		t.Errorf("NumLabels = %d, want 3 for vertex-transitive cycle", r.NumLabels())
+	}
+}
+
+// Property: similarity is symmetric, bounded in [0,1], and 1 on identity.
+func TestSimilarityProperties(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n%20) + 2
+		g := graph.ErdosRenyi(rng, size, 0.3)
+		h := graph.ErdosRenyi(rng, size, 0.3)
+		r := NewRefiner()
+		la := r.RefineK(g, nil, 2)
+		lb := r.RefineK(h, nil, 2)
+		s1 := Similarity(la, lb)
+		s2 := Similarity(lb, la)
+		if s1 != s2 || s1 < 0 || s1 > 1 {
+			return false
+		}
+		return Similarity(la, la) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: permutation invariance of the WL multiset.
+func TestWLPermutationInvarianceProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n%20) + 3
+		g := graph.ErdosRenyi(rng, size, 0.4)
+		perm := graph.RandomPermutation(rng, size)
+		h, err := graph.PermuteNodes(g, perm)
+		if err != nil {
+			return false
+		}
+		return GraphSimilarity(g, h, nil, nil, 3) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRefineK(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.ErdosRenyiM(rng, 500, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewRefiner()
+		_ = r.RefineK(g, nil, 3)
+	}
+}

@@ -1,0 +1,166 @@
+package mega
+
+import (
+	"testing"
+)
+
+// The facade tests exercise the public API end to end, the way the
+// examples and downstream users do.
+
+func TestFacadeReorganize(t *testing.T) {
+	g, err := NewGraph(6, []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 4}, {Src: 4, Dst: 5}, {Src: 5, Dst: 0}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, res, err := Reorganize(g, DefaultTraverseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BandCoverage() != 1 {
+		t.Errorf("band coverage = %v, want 1", rep.BandCoverage())
+	}
+	if res.EdgeCoverageRatio() != 1 {
+		t.Errorf("edge coverage = %v, want 1", res.EdgeCoverageRatio())
+	}
+	if w := AdaptiveWindow(g); w != 2 {
+		t.Errorf("adaptive window = %d, want 2", w)
+	}
+	if lb := RevisitLowerBound(g.Degrees(), 2); lb != 0 {
+		t.Errorf("revisit lower bound = %d, want 0 for a cycle at ω=2", lb)
+	}
+}
+
+func TestFacadeWLSimilarity(t *testing.T) {
+	a := CycleGraph(8)
+	b := CycleGraph(8)
+	if s := WLSimilarity(a, b, 3); s != 1 {
+		t.Errorf("identical cycles similarity = %v", s)
+	}
+	c := PathGraph(8)
+	if s := WLSimilarity(a, c, 2); s >= 1 {
+		t.Errorf("cycle vs path similarity = %v, want < 1", s)
+	}
+}
+
+func TestFacadeTrainQuick(t *testing.T) {
+	ds, err := GenerateDataset("ZINC", DatasetConfig{TrainSize: 16, ValSize: 8, TestSize: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Train(ds, TrainOptions{
+		Model: "GCN", Engine: EngineMega,
+		Dim: 16, Layers: 2, BatchSize: 8, Epochs: 2, Profile: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != 2 || res.Sim == nil {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	if res.Stats[1].SimTime <= res.Stats[0].SimTime {
+		t.Error("simulated clock should advance")
+	}
+}
+
+func TestFacadeModelForward(t *testing.T) {
+	ds, err := GenerateDataset("CSL", DatasetConfig{TrainSize: 4, ValSize: 0, TestSize: 0, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewMegaContext(ds.Train, MegaOptions{}, nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewGT(ModelConfig{Dim: 16, Layers: 1, Heads: 2, NodeTypes: ds.NumNodeTypes, EdgeTypes: ds.NumEdgeTypes, OutDim: ds.NumClasses})
+	out := m.Forward(ctx)
+	if out.Rows() != 4 || out.Cols() != ds.NumClasses {
+		t.Errorf("forward output %dx%d", out.Rows(), out.Cols())
+	}
+}
+
+func TestFacadeSimProfiles(t *testing.T) {
+	sim := NewSim(GTX1080Config())
+	ds, err := GenerateDataset("AQSOL", DatasetConfig{TrainSize: 4, ValSize: 0, TestSize: 0, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewDGLContext(ds.Train, sim, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewGatedGCN(ModelConfig{Dim: 16, Layers: 1, NodeTypes: ds.NumNodeTypes, EdgeTypes: ds.NumEdgeTypes, OutDim: 1})
+	_ = m.Forward(ctx)
+	if sim.TotalCycles() <= 0 {
+		t.Error("profiled forward should cost simulated cycles")
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	rng := NewRand(1)
+	g := ErdosRenyiM(rng, 30, 60)
+
+	t.Run("reorder", func(t *testing.T) {
+		rg, perm, err := ReorderGraph(g, ReorderRCM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(perm) != 30 || rg.NumEdges() != g.NumEdges() {
+			t.Error("reorder broke the graph")
+		}
+		if Bandwidth(rg) <= 0 {
+			t.Error("bandwidth should be positive for a non-empty graph")
+		}
+	})
+
+	t.Run("typed multipath", func(t *testing.T) {
+		types := make([]int32, 30)
+		for v := 15; v < 30; v++ {
+			types[v] = 1
+		}
+		tg, err := NewTypedGraph(g, types, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mr, err := BuildMultiPath(tg, DefaultTraverseOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mr.Coverage() != 1 {
+			t.Errorf("multipath coverage = %v, want 1", mr.Coverage())
+		}
+	})
+
+	t.Run("maintainer", func(t *testing.T) {
+		m, err := NewMaintainer(g, DefaultTraverseOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		added := false
+		for u := NodeID(0); u < 30 && !added; u++ {
+			for v := u + 1; v < 30; v++ {
+				if _, err := m.AddEdge(u, v); err == nil {
+					added = true
+					break
+				}
+			}
+		}
+		if !added {
+			t.Skip("graph already complete")
+		}
+		if m.Rep().BandCoverage() <= 0 {
+			t.Error("maintained band collapsed")
+		}
+	})
+
+	t.Run("drop strategies", func(t *testing.T) {
+		res, err := Traverse(g, TraverseOptions{
+			EdgeCoverage: 1, DropEdges: 0.2, DropStrategy: DropRedundant, Start: -1, Seed: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.DroppedEdges == 0 {
+			t.Error("redundant dropping removed nothing")
+		}
+	})
+}
