@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench fuzz experiments examples clean
+.PHONY: all check build vet test test-race race bench fuzz experiments examples clean
 
-all: build vet test
+all: check
+
+# check is the full verification flow CI mirrors: compile, static
+# analysis, the test suite, and the race detector over everything (the
+# serve worker pool makes -race load-bearing).
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -15,8 +20,14 @@ vet:
 test:
 	$(GO) test ./...
 
+# race runs the whole suite under the race detector (slow, thorough).
+race:
+	$(GO) test -race ./...
+
+# test-race is the quick scoped variant covering the concurrency-bearing
+# packages only.
 test-race:
-	$(GO) test -race ./internal/dist/ ./internal/models/ ./internal/dynamic/
+	$(GO) test -race ./internal/dist/ ./internal/models/ ./internal/dynamic/ ./internal/serve/ ./cmd/megaserve/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

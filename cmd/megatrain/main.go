@@ -7,6 +7,9 @@
 //	megatrain [-dataset ZINC] [-model GCN|GT] [-engine dgl|mega]
 //	          [-dim d] [-layers L] [-batch B] [-epochs E] [-lr r]
 //	          [-train n] [-val n] [-drop f] [-seed s] [-profile]
+//	          [-checkpoint model.ckpt]
+//
+// With -checkpoint, the trained parameters are saved for cmd/megaserve.
 package main
 
 import (
@@ -43,6 +46,7 @@ func run(args []string) error {
 	drop := fs.Float64("drop", 0, "edge-drop fraction (mega engine)")
 	seed := fs.Int64("seed", 1, "seed")
 	profile := fs.Bool("profile", true, "attach the GPU simulator")
+	ckpt := fs.String("checkpoint", "", "write the trained model here for megaserve")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,6 +83,13 @@ func run(args []string) error {
 	res, err := train.Run(ds, opts)
 	if err != nil {
 		return err
+	}
+
+	if *ckpt != "" {
+		if err := train.SaveCheckpointFile(*ckpt, res.Checkpoint(*dsName), res.Model); err != nil {
+			return fmt.Errorf("write checkpoint: %w", err)
+		}
+		fmt.Printf("checkpoint written to %s (%d params)\n", *ckpt, res.Params)
 	}
 
 	metricName := "valMAE"

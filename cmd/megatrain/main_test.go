@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"path/filepath"
+	"testing"
+
+	"mega/internal/train"
+)
 
 func TestRunQuickTraining(t *testing.T) {
 	err := run([]string{
@@ -44,5 +49,25 @@ func TestRunWithEdgeDropping(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatalf("run with drop: %v", err)
+	}
+}
+
+func TestRunWritesCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	err := run([]string{
+		"-dataset", "ZINC", "-model", "GT", "-engine", "mega",
+		"-dim", "16", "-layers", "1", "-batch", "8",
+		"-epochs", "1", "-train", "8", "-val", "4",
+		"-checkpoint", path,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	meta, model, err := train.LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatalf("load checkpoint: %v", err)
+	}
+	if meta.Model != "GT" || meta.Dataset != "ZINC" || model == nil {
+		t.Errorf("checkpoint meta = %+v", meta)
 	}
 }

@@ -1,0 +1,50 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Fingerprint is a collision-resistant digest of a graph's exact byte
+// representation: node count, directedness, and the COO edge list in stored
+// order. Two graphs share a fingerprint iff they serialise identically —
+// "isomorphic by bytes", not graph-isomorphic — which is exactly the
+// equality an inference cache needs: the MEGA preprocessing (traversal +
+// band construction) is a deterministic function of this representation, so
+// a fingerprint match guarantees the cached path representation is the one
+// a fresh Reorganize would produce.
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint as lowercase hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// fingerprintVersion is mixed into every digest so the key space can be
+// invalidated wholesale if the serialisation ever changes.
+const fingerprintVersion = "mega/graph.v1"
+
+// Fingerprint computes the canonical topology hash of g. The digest covers
+// only topology (features live outside the Graph), matching what the
+// traversal consumes.
+func (g *Graph) Fingerprint() Fingerprint {
+	h := sha256.New()
+	h.Write([]byte(fingerprintVersion))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(g.numNodes))
+	h.Write(buf[:])
+	if g.directed {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(g.edges)))
+	h.Write(buf[:])
+	for _, e := range g.edges {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(e.Src))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(e.Dst))
+		h.Write(buf[:])
+	}
+	var out Fingerprint
+	h.Sum(out[:0])
+	return out
+}

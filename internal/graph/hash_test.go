@@ -1,0 +1,38 @@
+package graph
+
+import "testing"
+
+func TestFingerprintDeterministic(t *testing.T) {
+	g := MustNew(4, []Edge{{0, 1}, {1, 2}, {2, 3}}, false)
+	if g.Fingerprint() != g.Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if g.Fingerprint() != g.Clone().Fingerprint() {
+		t.Fatal("clone fingerprint differs")
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	base := MustNew(4, []Edge{{0, 1}, {1, 2}}, false)
+	cases := map[string]*Graph{
+		"extra node":      MustNew(5, []Edge{{0, 1}, {1, 2}}, false),
+		"extra edge":      MustNew(4, []Edge{{0, 1}, {1, 2}, {2, 3}}, false),
+		"edge order":      MustNew(4, []Edge{{1, 2}, {0, 1}}, false),
+		"edge direction":  MustNew(4, []Edge{{1, 0}, {1, 2}}, false),
+		"directed flag":   MustNew(4, []Edge{{0, 1}, {1, 2}}, true),
+		"empty edge list": MustNew(4, nil, false),
+	}
+	for name, g := range cases {
+		if g.Fingerprint() == base.Fingerprint() {
+			t.Errorf("%s: fingerprint collided with base", name)
+		}
+	}
+}
+
+func TestFingerprintStringIsHex(t *testing.T) {
+	g := MustNew(2, []Edge{{0, 1}}, false)
+	s := g.Fingerprint().String()
+	if len(s) != 64 {
+		t.Fatalf("hex fingerprint length = %d, want 64", len(s))
+	}
+}

@@ -1,6 +1,7 @@
 package models
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 	"mega/internal/band"
 	"mega/internal/datasets"
 	"mega/internal/gpusim"
+	"mega/internal/graph"
 	"mega/internal/tensor"
 	"mega/internal/traverse"
 )
@@ -19,6 +21,35 @@ type MegaOptions struct {
 	Traverse traverse.Options
 }
 
+// traverseOptions resolves the zero value to the engine defaults.
+func (o MegaOptions) traverseOptions() traverse.Options {
+	t := o.Traverse
+	if t.EdgeCoverage == 0 && t.Window == 0 && t.Start == 0 {
+		t = traverse.DefaultOptions()
+	}
+	return t
+}
+
+// PreparedRep is the CPU preprocessing output for one graph: the band
+// representation plus the traversal it came from. It depends only on the
+// graph topology and the traverse options — not on features, targets, or
+// batch composition — so it can be computed once and reused across batches
+// (the amortisation an inference cache exploits; see internal/serve).
+type PreparedRep struct {
+	Rep *band.Rep
+	Res *traverse.Result
+}
+
+// PrepareMega runs the MEGA preprocessing (traversal + band construction)
+// for a single graph under the engine's option defaulting.
+func PrepareMega(g *graph.Graph, opts MegaOptions) (*PreparedRep, error) {
+	rep, res, err := band.FromGraph(g, opts.traverseOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedRep{Rep: rep, Res: res}, nil
+}
+
 // NewMegaContext builds the banded-attention context: each instance is
 // traversed into a path representation on the CPU ("the preprocessing
 // occurs on the CPU and is decoupled from the interleaved graph and neural
@@ -28,19 +59,12 @@ type MegaOptions struct {
 //
 // sim may be nil to skip profiling. dim sizes the simulated buffers.
 func NewMegaContext(insts []datasets.Instance, opts MegaOptions, sim *gpusim.Sim, dim int) (*Context, error) {
-	topts := opts.Traverse
-	if topts.EdgeCoverage == 0 && topts.Window == 0 && topts.Start == 0 {
-		topts = traverse.DefaultOptions()
-	}
+	topts := opts.traverseOptions()
 
-	type memberRep struct {
-		rep *band.Rep
-		res *traverse.Result
-	}
 	// Per-instance traversals are independent: fan the preprocessing out
 	// across CPU cores (the paper decouples this stage from the GPU
 	// precisely so it can run ahead on the host).
-	reps := make([]memberRep, len(insts))
+	preps := make([]*PreparedRep, len(insts))
 	errs := make([]error, len(insts))
 	var wg sync.WaitGroup
 	workers := runtime.GOMAXPROCS(0)
@@ -62,7 +86,7 @@ func NewMegaContext(insts []datasets.Instance, opts MegaOptions, sim *gpusim.Sim
 					errs[i] = err
 					continue
 				}
-				reps[i] = memberRep{rep: rep, res: res}
+				preps[i] = &PreparedRep{Rep: rep, Res: res}
 			}
 		}()
 	}
@@ -72,12 +96,33 @@ func NewMegaContext(insts []datasets.Instance, opts MegaOptions, sim *gpusim.Sim
 			return nil, err
 		}
 	}
+	return NewMegaContextFromReps(insts, preps, sim, dim)
+}
+
+// NewMegaContextFromReps assembles the banded-attention context from
+// already-computed path representations, one per instance — the entry point
+// for callers that cache preprocessing across batches. preps[i] must have
+// been produced from insts[i].G (a PrepareMega result, possibly retrieved
+// by topology fingerprint).
+func NewMegaContextFromReps(insts []datasets.Instance, preps []*PreparedRep, sim *gpusim.Sim, dim int) (*Context, error) {
+	if len(preps) != len(insts) {
+		return nil, fmt.Errorf("models: %d prepared reps for %d instances", len(preps), len(insts))
+	}
+	for i, p := range preps {
+		if p == nil || p.Rep == nil || p.Res == nil {
+			return nil, fmt.Errorf("models: prepared rep %d is nil", i)
+		}
+		if p.Res.Graph.NumNodes() != insts[i].G.NumNodes() {
+			return nil, fmt.Errorf("models: prepared rep %d covers %d nodes, instance has %d",
+				i, p.Res.Graph.NumNodes(), insts[i].G.NumNodes())
+		}
+	}
 	totalRows, totalEdges, maxWindow := 0, 0, 1
-	for _, mr := range reps {
-		totalRows += mr.rep.Len()
-		totalEdges += mr.res.Graph.NumEdges()
-		if mr.rep.Window > maxWindow {
-			maxWindow = mr.rep.Window
+	for _, mr := range preps {
+		totalRows += mr.Rep.Len()
+		totalEdges += mr.Res.Graph.NumEdges()
+		if mr.Rep.Window > maxWindow {
+			maxWindow = mr.Rep.Window
 		}
 	}
 
@@ -101,10 +146,10 @@ func NewMegaContext(insts []datasets.Instance, opts MegaOptions, sim *gpusim.Sim
 	for o := 1; o <= maxWindow; o++ {
 		ro := int32(0)
 		eo := int32(0)
-		for _, mr := range reps {
-			if o <= mr.rep.Window {
-				mask := mr.rep.Mask[o-1]
-				eids := mr.rep.EdgeID[o-1]
+		for _, mr := range preps {
+			if o <= mr.Rep.Window {
+				mask := mr.Rep.Mask[o-1]
+				eids := mr.Rep.EdgeID[o-1]
 				for i, on := range mask {
 					if !on {
 						continue
@@ -119,19 +164,19 @@ func NewMegaContext(insts []datasets.Instance, opts MegaOptions, sim *gpusim.Sim
 					ctx.EdgeIdx = append(ctx.EdgeIdx, eid, eid)
 				}
 			}
-			ro += int32(mr.rep.Len())
-			eo += int32(mr.res.Graph.NumEdges())
+			ro += int32(mr.Rep.Len())
+			eo += int32(mr.Res.Graph.NumEdges())
 		}
 	}
 
-	for gi, mr := range reps {
+	for gi, mr := range preps {
 		inst := insts[gi]
-		for _, v := range mr.rep.Path {
+		for _, v := range mr.Rep.Path {
 			ctx.NodeTypeIDs = append(ctx.NodeTypeIDs, inst.NodeFeat[v])
 			ctx.GraphSeg = append(ctx.GraphSeg, int32(gi))
 			posToNode = append(posToNode, nodeOff+v)
 		}
-		for _, positions := range mr.rep.SyncGroups() {
+		for _, positions := range mr.Rep.SyncGroups() {
 			for _, p := range positions {
 				syncPositions = append(syncPositions, rowOff+p)
 			}
@@ -139,7 +184,7 @@ func NewMegaContext(insts []datasets.Instance, opts MegaOptions, sim *gpusim.Sim
 		// Edge features follow the (possibly edge-dropped) walked graph:
 		// map its edges back to the instance's feature list by identity
 		// of edge order when nothing is dropped, or by lookup otherwise.
-		walked := mr.res.Graph
+		walked := mr.Res.Graph
 		if walked.NumEdges() == inst.G.NumEdges() {
 			ctx.EdgeTypeIDs = append(ctx.EdgeTypeIDs, inst.EdgeFeat...)
 		} else {
@@ -148,7 +193,7 @@ func NewMegaContext(insts []datasets.Instance, opts MegaOptions, sim *gpusim.Sim
 				ctx.EdgeTypeIDs = append(ctx.EdgeTypeIDs, feat[edgeKey(e.Src, e.Dst)])
 			}
 		}
-		rowOff += int32(mr.rep.Len())
+		rowOff += int32(mr.Rep.Len())
 		nodeOff += int32(inst.G.NumNodes())
 	}
 

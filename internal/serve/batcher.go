@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"time"
+
+	"mega/internal/datasets"
+	"mega/internal/models"
+)
+
+// pending is one enqueued request travelling through the micro-batcher.
+type pending struct {
+	inst     datasets.Instance
+	prep     *models.PreparedRep // MEGA engine only; nil under DGL
+	cacheHit bool
+	enqueued time.Time
+	done     chan outcome // buffered(1); exactly one send per request
+}
+
+// outcome is the worker's reply to one pending request.
+type outcome struct {
+	pred Prediction
+	err  error
+}
+
+// batcher accumulates requests into batches of at most maxBatch, flushing
+// early after maxWait so a lone request is never stranded waiting for
+// company — the standard inference micro-batching trade: batch to amortise
+// the forward pass, bound the wait to keep tail latency sane.
+type batcher struct {
+	in       chan *pending
+	out      chan []*pending
+	maxBatch int
+	maxWait  time.Duration
+}
+
+func newBatcher(maxBatch int, maxWait time.Duration, queueDepth int) *batcher {
+	return &batcher{
+		in:       make(chan *pending, queueDepth),
+		out:      make(chan []*pending),
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+	}
+}
+
+// run is the dispatcher loop: it owns the open batch and its deadline
+// timer. It exits — closing out, which releases the worker pool — when in
+// is closed and drained.
+func (b *batcher) run() {
+	defer close(b.out)
+	var batch []*pending
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	flush := func() {
+		if len(batch) > 0 {
+			b.out <- batch
+			batch = nil
+		}
+	}
+	for {
+		if len(batch) == 0 {
+			// Idle: block for the batch opener.
+			p, ok := <-b.in
+			if !ok {
+				return
+			}
+			batch = append(batch, p)
+			if len(batch) >= b.maxBatch {
+				flush()
+				continue
+			}
+			timer.Reset(b.maxWait)
+		}
+		select {
+		case p, ok := <-b.in:
+			if !ok {
+				if !timer.Stop() {
+					<-timer.C
+				}
+				flush()
+				return
+			}
+			batch = append(batch, p)
+			if len(batch) >= b.maxBatch {
+				if !timer.Stop() {
+					<-timer.C
+				}
+				flush()
+			}
+		case <-timer.C:
+			flush()
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func startBatcher(maxBatch int, maxWait time.Duration) *batcher {
+	b := newBatcher(maxBatch, maxWait, 64)
+	go b.run()
+	return b
+}
+
+func TestBatcherFlushesOnMaxBatch(t *testing.T) {
+	// maxWait far beyond the test deadline: only the size trigger can
+	// flush.
+	b := startBatcher(3, time.Hour)
+	defer close(b.in)
+	for i := 0; i < 3; i++ {
+		b.in <- &pending{enqueued: time.Now()}
+	}
+	select {
+	case batch := <-b.out:
+		if len(batch) != 3 {
+			t.Fatalf("batch size = %d, want 3", len(batch))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("full batch never flushed")
+	}
+}
+
+func TestBatcherFlushesOnMaxWait(t *testing.T) {
+	b := startBatcher(100, 10*time.Millisecond)
+	defer close(b.in)
+	b.in <- &pending{enqueued: time.Now()}
+	select {
+	case batch := <-b.out:
+		if len(batch) != 1 {
+			t.Fatalf("batch size = %d, want 1", len(batch))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("lone request stranded past maxWait")
+	}
+}
+
+func TestBatcherDrainsOnClose(t *testing.T) {
+	b := startBatcher(100, time.Hour)
+	b.in <- &pending{enqueued: time.Now()}
+	b.in <- &pending{enqueued: time.Now()}
+	close(b.in)
+	var got int
+	for batch := range b.out {
+		got += len(batch)
+	}
+	if got != 2 {
+		t.Fatalf("drained %d requests, want 2", got)
+	}
+}
+
+func TestBatcherSingletonMaxBatch(t *testing.T) {
+	b := startBatcher(1, time.Hour)
+	defer close(b.in)
+	for i := 0; i < 4; i++ {
+		b.in <- &pending{enqueued: time.Now()}
+		select {
+		case batch := <-b.out:
+			if len(batch) != 1 {
+				t.Fatalf("batch size = %d, want 1", len(batch))
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("maxBatch=1 should flush immediately")
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package serve is the inference service over trained MEGA models: an LRU
+// cache of path representations keyed by canonical graph fingerprint, a
+// micro-batching queue that packs concurrent requests into block-diagonal
+// forward passes, per-stage latency metrics, and an HTTP/JSON front end.
+//
+// The cache is the serving-side payoff of the paper's core design: MEGA's
+// traversal + band construction is a CPU preprocessing pass that is
+// decoupled from the neural computation (§I), so its output — a pure
+// function of graph topology and traverse options — can be computed once
+// and amortised across every request that ships the same graph bytes.
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"mega/internal/graph"
+	"mega/internal/models"
+)
+
+// RepCache is a thread-safe LRU mapping graph fingerprints to prepared
+// path representations. A zero or negative capacity disables caching
+// (every Get misses, Put is a no-op).
+type RepCache struct {
+	mu        sync.Mutex
+	capacity  int
+	order     *list.List // front = most recently used
+	items     map[graph.Fingerprint]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key  graph.Fingerprint
+	prep *models.PreparedRep
+}
+
+// NewRepCache creates a cache bounded to capacity entries.
+func NewRepCache(capacity int) *RepCache {
+	return &RepCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[graph.Fingerprint]*list.Element),
+	}
+}
+
+// Get returns the cached representation for key, marking it most recently
+// used. The returned PreparedRep is shared; callers must treat it as
+// immutable.
+func (c *RepCache) Get(key graph.Fingerprint) (*models.PreparedRep, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).prep, true
+}
+
+// Put inserts or refreshes key, evicting the least recently used entry
+// when the cache is full.
+func (c *RepCache) Put(key graph.Fingerprint, prep *models.PreparedRep) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).prep = prep
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, prep: prep})
+}
+
+// Len returns the number of cached entries.
+func (c *RepCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+}
+
+// Stats snapshots the hit/miss/eviction counters.
+func (c *RepCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      c.order.Len(),
+		Capacity:  c.capacity,
+	}
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"mega/internal/graph"
+	"mega/internal/models"
+)
+
+func fp(seed int64) graph.Fingerprint {
+	g := graph.MustNew(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: graph.NodeID(2)}}, false)
+	f := g.Fingerprint()
+	f[0] = byte(seed) // distinct synthetic keys for structural tests
+	return f
+}
+
+func TestRepCacheEvictionOrder(t *testing.T) {
+	c := NewRepCache(2)
+	a, b, d := fp(1), fp(2), fp(3)
+	pa, pb, pd := &models.PreparedRep{}, &models.PreparedRep{}, &models.PreparedRep{}
+	c.Put(a, pa)
+	c.Put(b, pb)
+	// Touch a so b becomes least recently used.
+	if _, ok := c.Get(a); !ok {
+		t.Fatal("a should be cached")
+	}
+	c.Put(d, pd) // evicts b
+	if _, ok := c.Get(b); ok {
+		t.Error("b should have been evicted (LRU)")
+	}
+	if got, ok := c.Get(a); !ok || got != pa {
+		t.Error("a should have survived eviction")
+	}
+	if got, ok := c.Get(d); !ok || got != pd {
+		t.Error("d should be cached")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Size != 2 || st.Capacity != 2 {
+		t.Errorf("stats = %+v, want 1 eviction, size 2, capacity 2", st)
+	}
+}
+
+func TestRepCacheRefreshDoesNotEvict(t *testing.T) {
+	c := NewRepCache(2)
+	a, b := fp(1), fp(2)
+	c.Put(a, &models.PreparedRep{})
+	c.Put(b, &models.PreparedRep{})
+	fresh := &models.PreparedRep{}
+	c.Put(a, fresh) // refresh, no eviction
+	if st := c.Stats(); st.Evictions != 0 || st.Size != 2 {
+		t.Errorf("refresh evicted: %+v", st)
+	}
+	if got, _ := c.Get(a); got != fresh {
+		t.Error("refresh should replace the stored value")
+	}
+}
+
+func TestRepCacheDisabled(t *testing.T) {
+	c := NewRepCache(0)
+	c.Put(fp(1), &models.PreparedRep{})
+	if _, ok := c.Get(fp(1)); ok {
+		t.Error("zero-capacity cache should never hit")
+	}
+	if c.Len() != 0 {
+		t.Error("zero-capacity cache should stay empty")
+	}
+}
+
+func TestRepCacheCounters(t *testing.T) {
+	c := NewRepCache(4)
+	k := fp(9)
+	c.Get(k)
+	c.Put(k, &models.PreparedRep{})
+	c.Get(k)
+	c.Get(k)
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 2/1", st.Hits, st.Misses)
+	}
+}
+
+// TestRepCacheConcurrent hammers Get/Put from many goroutines; run under
+// -race this is the data-race check the worker pool depends on.
+func TestRepCacheConcurrent(t *testing.T) {
+	c := NewRepCache(8)
+	keys := make([]graph.Fingerprint, 16)
+	for i := range keys {
+		keys[i] = fp(int64(i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := keys[(i+w)%len(keys)]
+				if _, ok := c.Get(k); !ok {
+					c.Put(k, &models.PreparedRep{})
+				}
+				if i%17 == 0 {
+					c.Stats()
+					c.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Errorf("cache grew past capacity: %d", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != 8*500 {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, 8*500)
+	}
+}
+
+// TestRepCacheHitMatchesFreshReorganize checks the load-bearing cache
+// property: a hit returns a representation identical to what a fresh
+// Reorganize (band.FromGraph) of the same bytes would produce.
+func TestRepCacheHitMatchesFreshReorganize(t *testing.T) {
+	g := graph.MustNew(8, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 4},
+		{Src: 4, Dst: 5}, {Src: 5, Dst: 6}, {Src: 6, Dst: 7}, {Src: 7, Dst: 0},
+		{Src: 0, Dst: 4}, {Src: 2, Dst: 6},
+	}, false)
+
+	var opts models.MegaOptions
+	cached, err := models.PrepareMega(g, opts)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	c := NewRepCache(4)
+	c.Put(g.Fingerprint(), cached)
+
+	// A byte-identical graph (rebuilt from scratch) must hit and match a
+	// fresh traversal exactly.
+	g2 := g.Clone()
+	got, ok := c.Get(g2.Fingerprint())
+	if !ok {
+		t.Fatal("byte-identical graph should hit the cache")
+	}
+	fresh, err := models.PrepareMega(g2, opts)
+	if err != nil {
+		t.Fatalf("fresh prepare: %v", err)
+	}
+	if !reflect.DeepEqual(got.Rep, fresh.Rep) {
+		t.Error("cached band rep differs from a fresh Reorganize")
+	}
+	if !reflect.DeepEqual(got.Res.Path, fresh.Res.Path) {
+		t.Error("cached traversal path differs from a fresh Reorganize")
+	}
+}

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the histogram bucket upper bounds, exponential from
+// 50µs to 5s — wide enough to cover a cache-hit fast path and a cold
+// traversal of a large graph in one scale.
+var latencyBounds = []time.Duration{
+	50 * time.Microsecond, 100 * time.Microsecond, 250 * time.Microsecond,
+	500 * time.Microsecond, time.Millisecond, 2500 * time.Microsecond,
+	5 * time.Millisecond, 10 * time.Millisecond, 25 * time.Millisecond,
+	50 * time.Millisecond, 100 * time.Millisecond, 250 * time.Millisecond,
+	500 * time.Millisecond, time.Second, 2500 * time.Millisecond, 5 * time.Second,
+}
+
+// numBuckets counts the explicit bounds plus the final +Inf bucket.
+const numBuckets = 17
+
+// histogram is a fixed-bucket latency histogram; the final implicit bucket
+// is +Inf.
+type histogram struct {
+	mu     sync.Mutex
+	counts [numBuckets]uint64
+	count  uint64
+	sum    time.Duration
+	max    time.Duration
+}
+
+// observe records one duration.
+func (h *histogram) observe(d time.Duration) {
+	i := 0
+	for i < len(latencyBounds) && d > latencyBounds[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// Bucket is one histogram bar: the count of observations at most Le.
+type Bucket struct {
+	LeMs  float64 `json:"le_ms"` // upper bound; the last bucket reports +Inf as 0
+	Count uint64  `json:"count"`
+}
+
+// HistogramStats is a JSON-friendly histogram snapshot with approximate
+// quantiles (each quantile reports its bucket's upper bound).
+type HistogramStats struct {
+	Count   uint64   `json:"count"`
+	MeanMs  float64  `json:"mean_ms"`
+	MaxMs   float64  `json:"max_ms"`
+	P50Ms   float64  `json:"p50_ms"`
+	P90Ms   float64  `json:"p90_ms"`
+	P99Ms   float64  `json:"p99_ms"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// snapshot freezes the histogram, optionally including per-bucket counts.
+func (h *histogram) snapshot(withBuckets bool) HistogramStats {
+	h.mu.Lock()
+	counts := h.counts
+	count, sum, max := h.count, h.sum, h.max
+	h.mu.Unlock()
+
+	s := HistogramStats{Count: count, MaxMs: ms(max)}
+	if count == 0 {
+		return s
+	}
+	s.MeanMs = ms(sum) / float64(count)
+	quantile := func(q float64) float64 {
+		target := uint64(q * float64(count))
+		if target == 0 {
+			target = 1
+		}
+		cum := uint64(0)
+		for i, c := range counts {
+			cum += c
+			if cum >= target {
+				if i < len(latencyBounds) {
+					return ms(latencyBounds[i])
+				}
+				return ms(max) // +Inf bucket: report the observed max
+			}
+		}
+		return ms(max)
+	}
+	s.P50Ms, s.P90Ms, s.P99Ms = quantile(0.50), quantile(0.90), quantile(0.99)
+	if withBuckets {
+		for i, c := range counts {
+			b := Bucket{Count: c}
+			if i < len(latencyBounds) {
+				b.LeMs = ms(latencyBounds[i])
+			}
+			s.Buckets = append(s.Buckets, b)
+		}
+	}
+	return s
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Metrics aggregates the service's counters and per-stage latency
+// histograms: queue (enqueue to batch start), preprocess (traversal + band
+// on cache miss), forward (context build + model pass per batch), and
+// total (request arrival to response).
+type Metrics struct {
+	start time.Time
+
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	batches  atomic.Uint64
+	batched  atomic.Uint64 // graphs summed over batches
+	maxBatch atomic.Uint64
+
+	queue      histogram
+	preprocess histogram
+	forward    histogram
+	total      histogram
+}
+
+// NewMetrics creates a metrics registry anchored at now.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+func (m *Metrics) observeBatch(size int, forward time.Duration) {
+	m.batches.Add(1)
+	m.batched.Add(uint64(size))
+	for {
+		cur := m.maxBatch.Load()
+		if uint64(size) <= cur || m.maxBatch.CompareAndSwap(cur, uint64(size)) {
+			break
+		}
+	}
+	m.forward.observe(forward)
+}
+
+// Snapshot is the full JSON document served on /metrics.
+type Snapshot struct {
+	UptimeSec     float64 `json:"uptime_sec"`
+	Requests      uint64  `json:"requests"`
+	Errors        uint64  `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	Batches       uint64  `json:"batches"`
+	MeanBatchSize float64 `json:"mean_batch_size"`
+	MaxBatchSize  uint64  `json:"max_batch_size"`
+
+	Cache CacheStats `json:"cache"`
+
+	QueueLatency      HistogramStats `json:"queue_latency"`
+	PreprocessLatency HistogramStats `json:"preprocess_latency"`
+	ForwardLatency    HistogramStats `json:"forward_latency"`
+	TotalLatency      HistogramStats `json:"total_latency"`
+}
+
+// Snapshot freezes every counter. withBuckets includes raw histogram
+// buckets (the /metrics endpoint does; log lines don't).
+func (m *Metrics) Snapshot(cache CacheStats, withBuckets bool) Snapshot {
+	uptime := time.Since(m.start).Seconds()
+	s := Snapshot{
+		UptimeSec:    uptime,
+		Requests:     m.requests.Load(),
+		Errors:       m.errors.Load(),
+		Batches:      m.batches.Load(),
+		MaxBatchSize: m.maxBatch.Load(),
+		Cache:        cache,
+
+		QueueLatency:      m.queue.snapshot(withBuckets),
+		PreprocessLatency: m.preprocess.snapshot(withBuckets),
+		ForwardLatency:    m.forward.snapshot(withBuckets),
+		TotalLatency:      m.total.snapshot(withBuckets),
+	}
+	if uptime > 0 {
+		s.ThroughputRPS = float64(s.Requests) / uptime
+	}
+	if s.Batches > 0 {
+		s.MeanBatchSize = float64(m.batched.Load()) / float64(s.Batches)
+	}
+	return s
+}

@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBucketCountMatchesBounds(t *testing.T) {
+	if numBuckets != len(latencyBounds)+1 {
+		t.Fatalf("numBuckets = %d, want len(latencyBounds)+1 = %d", numBuckets, len(latencyBounds)+1)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h histogram
+	for i := 0; i < 90; i++ {
+		h.observe(time.Millisecond) // le 1ms bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(80 * time.Millisecond) // le 100ms bucket
+	}
+	s := h.snapshot(true)
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50Ms != 1 {
+		t.Errorf("p50 = %v, want 1ms bucket bound", s.P50Ms)
+	}
+	if s.P99Ms != 100 {
+		t.Errorf("p99 = %v, want 100ms bucket bound", s.P99Ms)
+	}
+	if s.MaxMs != 80 {
+		t.Errorf("max = %v, want 80", s.MaxMs)
+	}
+	if s.MeanMs < 8.8 || s.MeanMs > 9.0 {
+		t.Errorf("mean = %v, want ~8.9", s.MeanMs)
+	}
+	if len(s.Buckets) != numBuckets {
+		t.Errorf("buckets = %d, want %d", len(s.Buckets), numBuckets)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h histogram
+	h.observe(time.Minute) // beyond the last bound
+	s := h.snapshot(false)
+	if s.Count != 1 || s.P50Ms != ms(time.Minute) {
+		t.Errorf("overflow observation mishandled: %+v", s)
+	}
+}
+
+func TestMetricsSnapshotCounters(t *testing.T) {
+	m := NewMetrics()
+	m.requests.Add(3)
+	m.errors.Add(1)
+	m.observeBatch(2, time.Millisecond)
+	m.observeBatch(4, time.Millisecond)
+	s := m.Snapshot(CacheStats{Hits: 5}, false)
+	if s.Requests != 3 || s.Errors != 1 || s.Batches != 2 {
+		t.Errorf("counters: %+v", s)
+	}
+	if s.MeanBatchSize != 3 || s.MaxBatchSize != 4 {
+		t.Errorf("batch sizes: mean %v max %v", s.MeanBatchSize, s.MaxBatchSize)
+	}
+	if s.Cache.Hits != 5 {
+		t.Errorf("cache stats not threaded through: %+v", s.Cache)
+	}
+}

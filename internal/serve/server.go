@@ -1,0 +1,409 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"mega/internal/datasets"
+	"mega/internal/graph"
+	"mega/internal/models"
+	"mega/internal/train"
+)
+
+// Options tunes the inference service.
+type Options struct {
+	// Engine selects the attention engine (default EngineMega — the
+	// engine whose preprocessing the cache amortises).
+	Engine models.EngineKind
+	// MaxBatch caps how many requests are packed into one block-diagonal
+	// forward pass (default 16).
+	MaxBatch int
+	// MaxWait bounds how long an open batch waits for company before it
+	// is flushed (default 2ms).
+	MaxWait time.Duration
+	// Workers sizes the forward-pass worker pool (default GOMAXPROCS).
+	Workers int
+	// CacheCapacity bounds the path-representation LRU in entries
+	// (default 4096; <=0 after explicit set disables caching).
+	CacheCapacity int
+	// QueueDepth is the pending-request channel capacity (default 256).
+	QueueDepth int
+	// Mega configures traversal options for the MEGA engine. Must match
+	// across the server's lifetime: cache keys cover topology only, so
+	// options are per-server, not per-request.
+	Mega models.MegaOptions
+
+	// cacheSet marks CacheCapacity as deliberately chosen, letting 0 mean
+	// "disabled" rather than "default".
+	cacheSet bool
+}
+
+// WithCacheCapacity returns o with an explicit cache bound; use capacity 0
+// to disable caching outright.
+func (o Options) WithCacheCapacity(capacity int) Options {
+	o.CacheCapacity = capacity
+	o.cacheSet = true
+	return o
+}
+
+func (o Options) withDefaults() Options {
+	if o.Engine == 0 {
+		o.Engine = models.EngineMega
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 16
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 2 * time.Millisecond
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.CacheCapacity == 0 && !o.cacheSet {
+		o.CacheCapacity = 4096
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	return o
+}
+
+// Prediction is the service's answer for one graph.
+type Prediction struct {
+	// Output is the model's raw output row: one scalar for regression,
+	// class logits for classification.
+	Output []float64 `json:"output"`
+	// Label is the argmax class (classification checkpoints only).
+	Label *int `json:"label,omitempty"`
+	// CacheHit reports whether preprocessing was served from the
+	// path-representation cache.
+	CacheHit bool `json:"cache_hit"`
+}
+
+// Server is a concurrent batched inference service over one trained model.
+// The model's parameters are read-only after load, so any number of
+// workers may run Forward concurrently.
+type Server struct {
+	model   models.Model
+	meta    train.Checkpoint
+	opts    Options
+	cache   *RepCache
+	metrics *Metrics
+	batcher *batcher
+
+	mu     sync.RWMutex // guards closed vs. in-flight enqueues
+	closed bool
+	wg     sync.WaitGroup // dispatcher + workers
+}
+
+// Service errors.
+var (
+	ErrClosed          = errors.New("serve: server is closed")
+	ErrInvalidInstance = errors.New("serve: invalid instance")
+)
+
+// New starts the dispatcher and worker pool around a loaded model. meta
+// must describe model (its Config validates request vocabularies and sets
+// the output interpretation).
+func New(model models.Model, meta train.Checkpoint, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		model:   model,
+		meta:    meta,
+		opts:    opts,
+		cache:   NewRepCache(opts.CacheCapacity),
+		metrics: NewMetrics(),
+		batcher: newBatcher(opts.MaxBatch, opts.MaxWait, opts.QueueDepth),
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.batcher.run()
+	}()
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for batch := range s.batcher.out {
+				s.runBatch(batch)
+			}
+		}()
+	}
+	return s
+}
+
+// NewFromCheckpointFile loads a megatrain checkpoint and serves it.
+func NewFromCheckpointFile(path string, opts Options) (*Server, error) {
+	meta, model, err := train.LoadCheckpointFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return New(model, meta, opts), nil
+}
+
+// Meta returns the checkpoint description being served.
+func (s *Server) Meta() train.Checkpoint { return s.meta }
+
+// CacheStats snapshots the path-representation cache counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// MetricsSnapshot freezes the service counters and latency histograms.
+func (s *Server) MetricsSnapshot(withBuckets bool) Snapshot {
+	return s.metrics.Snapshot(s.cache.Stats(), withBuckets)
+}
+
+// Close stops accepting requests, drains in-flight batches, and waits for
+// the worker pool to exit. It is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.batcher.in)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Predict runs one graph through the service: validate, preprocess (cache
+// hit or fresh traversal), enqueue into the micro-batcher, and wait for
+// the batched forward pass. Safe for arbitrary concurrent callers.
+func (s *Server) Predict(inst datasets.Instance) (Prediction, error) {
+	s.metrics.requests.Add(1)
+	start := time.Now()
+	if err := s.validate(inst); err != nil {
+		s.metrics.errors.Add(1)
+		return Prediction{}, err
+	}
+	p := &pending{inst: inst, enqueued: start, done: make(chan outcome, 1)}
+
+	if s.opts.Engine == models.EngineMega {
+		key := inst.G.Fingerprint()
+		if prep, ok := s.cache.Get(key); ok {
+			p.prep, p.cacheHit = prep, true
+		} else {
+			t0 := time.Now()
+			prep, err := models.PrepareMega(inst.G, s.opts.Mega)
+			s.metrics.preprocess.observe(time.Since(t0))
+			if err != nil {
+				s.metrics.errors.Add(1)
+				return Prediction{}, err
+			}
+			s.cache.Put(key, prep)
+			p.prep = prep
+		}
+	}
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		s.metrics.errors.Add(1)
+		return Prediction{}, ErrClosed
+	}
+	s.batcher.in <- p
+	s.mu.RUnlock()
+
+	out := <-p.done
+	s.metrics.total.observe(time.Since(start))
+	if out.err != nil {
+		s.metrics.errors.Add(1)
+		return Prediction{}, out.err
+	}
+	return out.pred, nil
+}
+
+// validate rejects instances the embedding tables cannot index — an
+// out-of-vocabulary ID would panic deep inside the forward pass otherwise.
+func (s *Server) validate(inst datasets.Instance) error {
+	cfg := s.meta.Config
+	g := inst.G
+	if g == nil || g.NumNodes() == 0 {
+		return fmt.Errorf("%w: empty graph", ErrInvalidInstance)
+	}
+	if g.Directed() {
+		return fmt.Errorf("%w: serving covers undirected graphs (the paper's setting)", ErrInvalidInstance)
+	}
+	if len(inst.NodeFeat) != g.NumNodes() {
+		return fmt.Errorf("%w: %d node features for %d nodes", ErrInvalidInstance, len(inst.NodeFeat), g.NumNodes())
+	}
+	if len(inst.EdgeFeat) != g.NumEdges() {
+		return fmt.Errorf("%w: %d edge features for %d edges", ErrInvalidInstance, len(inst.EdgeFeat), g.NumEdges())
+	}
+	for i, f := range inst.NodeFeat {
+		if f < 0 || int(f) >= cfg.NodeTypes {
+			return fmt.Errorf("%w: node feature %d = %d outside vocabulary [0,%d)", ErrInvalidInstance, i, f, cfg.NodeTypes)
+		}
+	}
+	for i, f := range inst.EdgeFeat {
+		if f < 0 || int(f) >= cfg.EdgeTypes {
+			return fmt.Errorf("%w: edge feature %d = %d outside vocabulary [0,%d)", ErrInvalidInstance, i, f, cfg.EdgeTypes)
+		}
+	}
+	return nil
+}
+
+// runBatch packs a flushed batch into one context, runs the forward pass,
+// and scatters per-graph output rows back to their callers.
+func (s *Server) runBatch(batch []*pending) {
+	now := time.Now()
+	for _, p := range batch {
+		s.metrics.queue.observe(now.Sub(p.enqueued))
+	}
+	preds, err := s.forward(batch)
+	s.metrics.observeBatch(len(batch), time.Since(now))
+	if err != nil {
+		for _, p := range batch {
+			p.done <- outcome{err: err}
+		}
+		return
+	}
+	for i, p := range batch {
+		p.done <- outcome{pred: preds[i]}
+	}
+}
+
+// forward builds the engine context for the batch and runs the model,
+// converting panics from deeper layers into errors so one bad batch
+// cannot take the worker down.
+func (s *Server) forward(batch []*pending) (preds []Prediction, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			preds, err = nil, fmt.Errorf("serve: forward pass panicked: %v", r)
+		}
+	}()
+	insts := make([]datasets.Instance, len(batch))
+	for i, p := range batch {
+		insts[i] = p.inst
+	}
+	var ctx *models.Context
+	if s.opts.Engine == models.EngineMega {
+		preps := make([]*models.PreparedRep, len(batch))
+		for i, p := range batch {
+			preps[i] = p.prep
+		}
+		ctx, err = models.NewMegaContextFromReps(insts, preps, nil, s.meta.Config.Dim)
+	} else {
+		ctx, err = models.NewDGLContext(insts, nil, s.meta.Config.Dim)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := s.model.Forward(ctx)
+	cols := out.Cols()
+	preds = make([]Prediction, len(batch))
+	for i, p := range batch {
+		row := make([]float64, cols)
+		copy(row, out.Data[i*cols:(i+1)*cols])
+		pred := Prediction{Output: row, CacheHit: p.cacheHit}
+		if s.meta.Task == datasets.TaskClassification {
+			best := 0
+			for j := 1; j < cols; j++ {
+				if row[j] > row[best] {
+					best = j
+				}
+			}
+			label := best
+			pred.Label = &label
+		}
+		preds[i] = pred
+	}
+	return preds, nil
+}
+
+// GraphRequest is the /predict JSON body: an explicit graph with
+// categorical features, matching datasets.Instance.
+type GraphRequest struct {
+	NumNodes int        `json:"num_nodes"`
+	Edges    [][2]int32 `json:"edges"`
+	// NodeFeats[v] / EdgeFeats[e] are categorical IDs in the model's
+	// vocabularies. Omitted slices default to all-zero features.
+	NodeFeats []int32 `json:"node_feats,omitempty"`
+	EdgeFeats []int32 `json:"edge_feats,omitempty"`
+}
+
+// Instance converts the wire format into a validated datasets.Instance.
+func (r *GraphRequest) Instance() (datasets.Instance, error) {
+	edges := make([]graph.Edge, len(r.Edges))
+	for i, e := range r.Edges {
+		edges[i] = graph.Edge{Src: e[0], Dst: e[1]}
+	}
+	g, err := graph.New(r.NumNodes, edges, false)
+	if err != nil {
+		return datasets.Instance{}, err
+	}
+	nf := r.NodeFeats
+	if nf == nil {
+		nf = make([]int32, g.NumNodes())
+	}
+	ef := r.EdgeFeats
+	if ef == nil {
+		ef = make([]int32, g.NumEdges())
+	}
+	return datasets.Instance{G: g, NodeFeat: nf, EdgeFeat: ef}, nil
+}
+
+const maxRequestBody = 8 << 20
+
+// Handler returns the HTTP surface: POST /predict, GET /metrics,
+// GET /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	return mux
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req GraphRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	inst, err := req.Instance()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	pred, err := s.Predict(inst)
+	switch {
+	case errors.Is(err, ErrInvalidInstance), errors.Is(err, graph.ErrEdgeOutOfRange):
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(pred)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.MetricsSnapshot(true))
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,144 @@
+package train
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"mega/internal/datasets"
+	"mega/internal/models"
+	"mega/internal/nn"
+)
+
+// Checkpointing: persist a trained model so a separate process (megaserve)
+// can load it without retraining. The format is a small self-describing
+// container — magic, a JSON header carrying the model architecture and
+// task, then the nn parameter blob — so loading needs no out-of-band
+// configuration: the header rebuilds the exact model shape and the blob
+// fills it.
+
+const ckptMagic = "MEGACKP1"
+
+// Checkpoint describes a serialised model: everything needed to rebuild the
+// network and interpret its outputs.
+type Checkpoint struct {
+	// Model is the configuration name: "GCN", "GT" or "GAT".
+	Model string `json:"model"`
+	// Config sizes the network; it must rebuild the identical parameter
+	// shapes (nn.LoadParams matches positionally).
+	Config models.Config `json:"config"`
+	// Task tells consumers how to read the output rows: regression
+	// (one scalar) or classification (class logits).
+	Task datasets.Task `json:"task"`
+	// Dataset names the training workload, informational only.
+	Dataset string `json:"dataset,omitempty"`
+}
+
+// Checkpoint container errors.
+var (
+	ErrCkptMagic  = errors.New("train: not a model checkpoint")
+	ErrCkptHeader = errors.New("train: corrupt checkpoint header")
+)
+
+// NewModel constructs a model by configuration name — the single switch
+// shared by the trainer and checkpoint loading.
+func NewModel(name string, cfg models.Config) (models.Model, error) {
+	switch name {
+	case "GCN":
+		return models.NewGatedGCN(cfg), nil
+	case "GT":
+		return models.NewGT(cfg), nil
+	case "GAT":
+		return models.NewGAT(cfg), nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+}
+
+// SaveCheckpoint writes meta and the model's parameters to w.
+func SaveCheckpoint(w io.Writer, meta Checkpoint, model models.Model) error {
+	header, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(ckptMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(header))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(header); err != nil {
+		return err
+	}
+	if err := nn.SaveParams(bw, model.Params()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadCheckpoint reads a checkpoint from r, rebuilds the model it
+// describes, and restores its parameters.
+func LoadCheckpoint(r io.Reader) (Checkpoint, models.Model, error) {
+	var meta Checkpoint
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(ckptMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return meta, nil, fmt.Errorf("%w: %v", ErrCkptMagic, err)
+	}
+	if string(magic) != ckptMagic {
+		return meta, nil, ErrCkptMagic
+	}
+	var headerLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &headerLen); err != nil {
+		return meta, nil, fmt.Errorf("%w: %v", ErrCkptHeader, err)
+	}
+	header := make([]byte, headerLen)
+	if _, err := io.ReadFull(br, header); err != nil {
+		return meta, nil, fmt.Errorf("%w: %v", ErrCkptHeader, err)
+	}
+	if err := json.Unmarshal(header, &meta); err != nil {
+		return meta, nil, fmt.Errorf("%w: %v", ErrCkptHeader, err)
+	}
+	model, err := NewModel(meta.Model, meta.Config)
+	if err != nil {
+		return meta, nil, err
+	}
+	if err := nn.LoadParams(br, model.Params()); err != nil {
+		return meta, nil, err
+	}
+	return meta, model, nil
+}
+
+// SaveCheckpointFile writes the checkpoint to path.
+func SaveCheckpointFile(path string, meta Checkpoint, model models.Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveCheckpoint(f, meta, model); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCheckpointFile reads a checkpoint from path.
+func LoadCheckpointFile(path string) (Checkpoint, models.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Checkpoint{}, nil, err
+	}
+	defer f.Close()
+	return LoadCheckpoint(f)
+}
+
+// Checkpoint packages a completed run's model description for
+// serialisation: SaveCheckpointFile(path, res.Checkpoint(dsName), res.Model).
+func (r *Result) Checkpoint(dataset string) Checkpoint {
+	return Checkpoint{Model: r.ModelName, Config: r.Config, Task: r.Task, Dataset: dataset}
+}

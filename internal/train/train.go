@@ -7,7 +7,6 @@ package train
 
 import (
 	"errors"
-	"fmt"
 	"time"
 
 	"mega/internal/datasets"
@@ -99,6 +98,12 @@ type Result struct {
 	Params int
 	// Task echoes the dataset task.
 	Task datasets.Task
+	// Model is the trained network, kept for checkpointing and direct
+	// inference after the run.
+	Model models.Model
+	// ModelName and Config record the architecture for Checkpoint().
+	ModelName string
+	Config    models.Config
 	// Diverged reports that training aborted early because the loss went
 	// non-finite; Stats covers only the completed epochs.
 	Diverged bool
@@ -139,16 +144,9 @@ func Run(ds *datasets.Dataset, opts Options) (*Result, error) {
 	if ds.Task == datasets.TaskClassification {
 		cfg.OutDim = ds.NumClasses
 	}
-	var model models.Model
-	switch opts.Model {
-	case "GCN":
-		model = models.NewGatedGCN(cfg)
-	case "GT":
-		model = models.NewGT(cfg)
-	case "GAT":
-		model = models.NewGAT(cfg)
-	default:
-		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, opts.Model)
+	model, err := NewModel(opts.Model, cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	var sim *gpusim.Sim
@@ -168,7 +166,10 @@ func Run(ds *datasets.Dataset, opts Options) (*Result, error) {
 	}
 
 	opt := nn.NewAdam(model.Params(), opts.LR)
-	res := &Result{Sim: sim, Params: opt.NumParams(), Task: ds.Task}
+	res := &Result{
+		Sim: sim, Params: opt.NumParams(), Task: ds.Task,
+		Model: model, ModelName: opts.Model, Config: cfg,
+	}
 	var sched *nn.PlateauScheduler
 	if opts.LRPlateau {
 		sched = nn.NewPlateauScheduler(opt)

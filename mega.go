@@ -15,12 +15,15 @@
 //     NewDGLContext, NewMegaContext);
 //   - dataset generators (GenerateDataset) and the training harness
 //     (Train);
-//   - the GPU memory simulator used for profiled runs (NewSim).
+//   - the GPU memory simulator used for profiled runs (NewSim);
+//   - model checkpointing (SaveCheckpoint, LoadCheckpoint) and the batched
+//     inference service with path-representation caching (NewServer).
 //
 // See examples/quickstart for a five-minute tour.
 package mega
 
 import (
+	"io"
 	"math/rand"
 
 	"mega/internal/band"
@@ -28,6 +31,7 @@ import (
 	"mega/internal/gpusim"
 	"mega/internal/graph"
 	"mega/internal/models"
+	"mega/internal/serve"
 	"mega/internal/train"
 	"mega/internal/traverse"
 	"mega/internal/wl"
@@ -185,6 +189,77 @@ type TrainResult = train.Result
 // Train runs end-to-end training of a model configuration on a dataset.
 func Train(ds *Dataset, opts TrainOptions) (*TrainResult, error) {
 	return train.Run(ds, opts)
+}
+
+// Fingerprint is a canonical topology digest: equal iff two graphs
+// serialise to identical bytes — the key of the serving path cache.
+type Fingerprint = graph.Fingerprint
+
+// PreparedRep is a cached MEGA preprocessing result (traversal + band) for
+// one graph, reusable across batches.
+type PreparedRep = models.PreparedRep
+
+// PrepareMega runs the MEGA preprocessing for a single graph.
+func PrepareMega(g *Graph, opts MegaOptions) (*PreparedRep, error) {
+	return models.PrepareMega(g, opts)
+}
+
+// NewMegaContextFromReps assembles a MEGA context from precomputed path
+// representations (e.g. retrieved from a RepCache by fingerprint).
+func NewMegaContextFromReps(insts []Instance, preps []*PreparedRep, sim *Sim, dim int) (*Context, error) {
+	return models.NewMegaContextFromReps(insts, preps, sim, dim)
+}
+
+// Checkpoint describes a serialised trained model.
+type Checkpoint = train.Checkpoint
+
+// NewModel constructs a model by configuration name ("GCN", "GT", "GAT").
+func NewModel(name string, cfg ModelConfig) (Model, error) { return train.NewModel(name, cfg) }
+
+// SaveCheckpoint / LoadCheckpoint persist and restore trained models.
+func SaveCheckpoint(w io.Writer, meta Checkpoint, model Model) error {
+	return train.SaveCheckpoint(w, meta, model)
+}
+
+// LoadCheckpoint reads a checkpoint, rebuilding the model it describes.
+func LoadCheckpoint(r io.Reader) (Checkpoint, Model, error) { return train.LoadCheckpoint(r) }
+
+// SaveCheckpointFile writes a checkpoint to path.
+func SaveCheckpointFile(path string, meta Checkpoint, model Model) error {
+	return train.SaveCheckpointFile(path, meta, model)
+}
+
+// LoadCheckpointFile reads a checkpoint from path.
+func LoadCheckpointFile(path string) (Checkpoint, Model, error) {
+	return train.LoadCheckpointFile(path)
+}
+
+// Server is the concurrent batched inference service (see internal/serve
+// and cmd/megaserve): micro-batched forward passes over a worker pool with
+// an LRU path-representation cache and per-stage latency metrics.
+type Server = serve.Server
+
+// ServeOptions tunes the inference service.
+type ServeOptions = serve.Options
+
+// Prediction is the service's answer for one graph.
+type Prediction = serve.Prediction
+
+// RepCache is the fingerprint-keyed LRU over prepared path representations.
+type RepCache = serve.RepCache
+
+// NewRepCache creates a path-representation cache bounded to capacity
+// entries.
+func NewRepCache(capacity int) *RepCache { return serve.NewRepCache(capacity) }
+
+// NewServer starts an inference service around a loaded model.
+func NewServer(model Model, meta Checkpoint, opts ServeOptions) *Server {
+	return serve.New(model, meta, opts)
+}
+
+// NewServerFromCheckpointFile loads a megatrain checkpoint and serves it.
+func NewServerFromCheckpointFile(path string, opts ServeOptions) (*Server, error) {
+	return serve.NewFromCheckpointFile(path, opts)
 }
 
 // NewRand is a convenience seeded RNG constructor for the generator

@@ -164,3 +164,41 @@ func TestFacadeExtensions(t *testing.T) {
 		}
 	})
 }
+
+func TestFacadeCheckpointAndServe(t *testing.T) {
+	ds, err := GenerateDataset("ZINC", DatasetConfig{TrainSize: 8, ValSize: 4, TestSize: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Train(ds, TrainOptions{
+		Model: "GT", Engine: EngineMega,
+		Dim: 16, Layers: 1, Heads: 2, BatchSize: 4, Epochs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/model.ckpt"
+	if err := SaveCheckpointFile(path, res.Checkpoint(ds.Name), res.Model); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	srv, err := NewServerFromCheckpointFile(path, ServeOptions{MaxBatch: 2})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer srv.Close()
+	inst := ds.Val[0]
+	first, err := srv.Predict(inst)
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	second, err := srv.Predict(inst)
+	if err != nil {
+		t.Fatalf("second predict: %v", err)
+	}
+	if first.CacheHit || !second.CacheHit {
+		t.Errorf("cache hits: %v then %v, want false then true", first.CacheHit, second.CacheHit)
+	}
+	if len(first.Output) != 1 {
+		t.Errorf("regression output width = %d", len(first.Output))
+	}
+}
