@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race race bench fuzz experiments examples clean
+.PHONY: all check build vet test test-race race race-short bench bench-compute fuzz fuzz-smoke experiments examples clean
 
 all: check
 
@@ -29,13 +29,37 @@ race:
 test-race:
 	$(GO) test -race ./internal/dist/ ./internal/models/ ./internal/dynamic/ ./internal/serve/ ./cmd/megaserve/
 
+# race-short is the PR-gating race pass: -short over the packages that
+# exercise the compute worker pool (tensor kernels, engines, optimiser,
+# trainer, server) plus the other concurrency-bearing packages. Full
+# `make race` stays the push/nightly job.
+race-short:
+	$(GO) test -race -short ./internal/compute/ ./internal/tensor/ ./internal/nn/ ./internal/models/ ./internal/train/ ./internal/serve/ ./internal/dist/ ./internal/dynamic/
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Short fuzzing passes over the binary decoder and the traversal.
+# bench-compute regenerates the serial-vs-parallel numbers recorded in
+# BENCH_tensor.json (fixed iteration count for comparable runs).
+bench-compute:
+	$(GO) test ./internal/tensor/ -run '^$$' -bench 'MatMul|Elementwise|LayerNorm' -benchtime 2x
+	$(GO) test ./internal/models/ -run '^$$' -bench 'Mega' -benchtime 2x
+
+# Short fuzzing passes over the binary decoder, the traversal, and the
+# graph hashes.
 fuzz:
 	$(GO) test ./internal/band/ -fuzz FuzzReadRep -fuzztime 30s
 	$(GO) test ./internal/band/ -fuzz FuzzTraverseRoundTrip -fuzztime 30s
+	$(GO) test ./internal/graph/ -fuzz FuzzFingerprint -fuzztime 30s
+	$(GO) test ./internal/traverse/ -fuzz FuzzTraverse -fuzztime 30s
+
+# fuzz-smoke is the CI-sized pass: a few seconds per target, enough to
+# catch regressions in the properties themselves.
+fuzz-smoke:
+	$(GO) test ./internal/band/ -fuzz FuzzReadRep -fuzztime 5s
+	$(GO) test ./internal/band/ -fuzz FuzzTraverseRoundTrip -fuzztime 5s
+	$(GO) test ./internal/graph/ -fuzz FuzzFingerprint -fuzztime 5s
+	$(GO) test ./internal/traverse/ -fuzz FuzzTraverse -fuzztime 5s
 
 # Regenerate every paper table and figure at interactive scale.
 experiments:

@@ -1,0 +1,183 @@
+// Package compute is the process-wide parallel runtime underneath the
+// tensor/nn stack: a range-splitting primitive that fans loop bodies out
+// across CPU cores with a hard, token-bounded thread budget.
+//
+// Design goals, in order:
+//
+//  1. Determinism. The same input must produce bit-identical output at any
+//     thread count. Parallel callers therefore never share an accumulator:
+//     Parallel splits an index range into disjoint chunks whose writes do
+//     not overlap, and ReduceSum combines partial sums over a *fixed*
+//     partition (independent of the thread count) in a fixed order. There
+//     is no atomic float accumulation anywhere.
+//  2. No oversubscription. Helper goroutines are admitted by a global token
+//     bucket of MaxThreads−1 slots, so no matter how many Parallel calls
+//     run concurrently (e.g. the serve worker pool running batched forward
+//     passes), the process never runs more than MaxThreads compute threads
+//     plus the callers themselves. A caller that cannot get a token simply
+//     runs the chunk inline — correctness never depends on a token.
+//  3. Zero setup. There is no pool object to thread through APIs; the
+//     budget is process-global, sized by runtime.NumCPU() and overridable
+//     via the MEGA_NUM_THREADS environment variable or SetMaxThreads.
+package compute
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// EnvNumThreads is the environment variable consulted at startup for the
+// initial thread budget (like OMP_NUM_THREADS for OpenMP programs).
+const EnvNumThreads = "MEGA_NUM_THREADS"
+
+var (
+	mu sync.Mutex
+	// limit is the current thread budget (>= 1).
+	limit int
+	// tokens holds limit−1 admission slots for helper goroutines; the
+	// calling goroutine is the limit-th thread. Replaced wholesale by
+	// SetMaxThreads; in-flight workers return tokens to the channel they
+	// drew from, so a stale channel drains harmlessly.
+	tokens chan struct{}
+)
+
+func init() {
+	n := runtime.NumCPU()
+	if s := os.Getenv(EnvNumThreads); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			n = v
+		}
+	}
+	setLimit(n)
+}
+
+// setLimit installs a new budget and a fresh full token bucket.
+func setLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	limit = n
+	tokens = make(chan struct{}, n-1)
+	for i := 0; i < n-1; i++ {
+		tokens <- struct{}{}
+	}
+}
+
+// MaxThreads returns the current thread budget.
+func MaxThreads() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return limit
+}
+
+// SetMaxThreads sets the process-wide thread budget (clamped to >= 1) and
+// returns the previous value. Safe to call at any time; Parallel calls
+// already in flight keep their snapshot of the old budget.
+func SetMaxThreads(n int) (prev int) {
+	mu.Lock()
+	defer mu.Unlock()
+	prev = limit
+	setLimit(n)
+	return prev
+}
+
+// snapshot returns the current budget and its token bucket.
+func snapshot() (int, chan struct{}) {
+	mu.Lock()
+	defer mu.Unlock()
+	return limit, tokens
+}
+
+// Parallel runs fn over the disjoint chunks of [0, n) — fn(lo, hi) for
+// each chunk — using up to MaxThreads concurrent goroutines (including the
+// caller). fn must write only state owned by its chunk; under that
+// contract the result is identical to fn(0, n) regardless of thread count
+// or scheduling. Parallel returns when every chunk has completed.
+func Parallel(n int, fn func(lo, hi int)) {
+	ParallelGrain(n, 1, fn)
+}
+
+// ParallelGrain is Parallel with a minimum chunk size: the range is split
+// into at most ceil(n/grain) chunks so each carries enough work to cover
+// goroutine overhead. grain <= 1 means no minimum.
+func ParallelGrain(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	p, tok := snapshot()
+	if max := (n + grain - 1) / grain; p > max {
+		p = max
+	}
+	if p <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + p - 1) / p
+	var wg sync.WaitGroup
+	// Hand chunks after the first to helpers when tokens allow; the first
+	// chunk always runs on the caller, guaranteeing progress even when the
+	// bucket is exhausted by concurrent Parallel calls.
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		select {
+		case <-tok:
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				defer func() { tok <- struct{}{} }()
+				fn(lo, hi)
+			}(lo, hi)
+		default:
+			fn(lo, hi)
+		}
+	}
+	fn(0, chunk)
+	wg.Wait()
+}
+
+// reduceChunks is the fixed partition width for ReduceSum. It is a
+// constant — never derived from the thread budget — so the grouping of
+// partial sums, and therefore the floating-point result, is identical at
+// every thread count.
+const reduceChunks = 64
+
+// ReduceSum computes the sum of partial(lo, hi) over a fixed partition of
+// [0, n) into at most reduceChunks contiguous chunks. Partials may be
+// computed concurrently, but they are combined serially in chunk order, so
+// the result depends only on n and the partial function — not on the
+// thread count. partial must be a pure function of its range.
+func ReduceSum(n int, partial func(lo, hi int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	c := reduceChunks
+	if c > n {
+		c = n
+	}
+	chunk := (n + c - 1) / c
+	c = (n + chunk - 1) / chunk
+	partials := make([]float64, c)
+	Parallel(c, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			plo := i * chunk
+			phi := plo + chunk
+			if phi > n {
+				phi = n
+			}
+			partials[i] = partial(plo, phi)
+		}
+	})
+	s := 0.0
+	for _, v := range partials {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,126 @@
+package compute
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// withThreads runs fn under a temporary thread budget.
+func withThreads(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := SetMaxThreads(n)
+	defer SetMaxThreads(prev)
+	fn()
+}
+
+func TestSetMaxThreadsClamps(t *testing.T) {
+	prev := SetMaxThreads(0)
+	defer SetMaxThreads(prev)
+	if got := MaxThreads(); got != 1 {
+		t.Fatalf("MaxThreads after Set(0) = %d, want 1", got)
+	}
+	if p := SetMaxThreads(7); p != 1 {
+		t.Fatalf("SetMaxThreads returned prev %d, want 1", p)
+	}
+	if got := MaxThreads(); got != 7 {
+		t.Fatalf("MaxThreads = %d, want 7", got)
+	}
+}
+
+func TestParallelCoversRangeExactlyOnce(t *testing.T) {
+	for _, threads := range []int{1, 2, 3, 8} {
+		withThreads(t, threads, func() {
+			for _, n := range []int{0, 1, 2, 7, 64, 1000, 4096 + 17} {
+				hits := make([]int32, n)
+				Parallel(n, func(lo, hi int) {
+					if lo < 0 || hi > n || lo > hi {
+						t.Errorf("bad chunk [%d,%d) of %d", lo, hi, n)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("threads=%d n=%d: index %d visited %d times", threads, n, i, h)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestParallelGrainBoundsChunkCount(t *testing.T) {
+	withThreads(t, 8, func() {
+		var calls int32
+		ParallelGrain(100, 50, func(lo, hi int) {
+			atomic.AddInt32(&calls, 1)
+			if hi-lo < 50 && lo != 50 { // last chunk may be short
+				t.Errorf("chunk [%d,%d) shorter than grain", lo, hi)
+			}
+		})
+		if calls > 2 {
+			t.Fatalf("grain 50 over n=100 produced %d chunks, want <= 2", calls)
+		}
+	})
+}
+
+func TestParallelNestedAndConcurrentDoesNotDeadlock(t *testing.T) {
+	withThreads(t, 4, func() {
+		var wg sync.WaitGroup
+		for r := 0; r < 16; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				total := int64(0)
+				Parallel(128, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt64(&total, 1)
+					}
+				})
+				if total != 128 {
+					t.Errorf("covered %d of 128", total)
+				}
+			}()
+		}
+		wg.Wait()
+	})
+}
+
+// TestReduceSumThreadCountInvariant is the determinism contract: the sum is
+// bit-identical at every thread budget because the partition is fixed.
+func TestReduceSumThreadCountInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 3, 63, 64, 65, 1000, 40000} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 1e3
+		}
+		sum := func() float64 {
+			return ReduceSum(n, func(lo, hi int) float64 {
+				s := 0.0
+				for i := lo; i < hi; i++ {
+					s += xs[i]
+				}
+				return s
+			})
+		}
+		var ref float64
+		withThreads(t, 1, func() { ref = sum() })
+		for _, threads := range []int{2, 3, 8, 32} {
+			withThreads(t, threads, func() {
+				if got := sum(); got != ref {
+					t.Fatalf("n=%d threads=%d: ReduceSum %v != serial %v", n, threads, got, ref)
+				}
+			})
+		}
+	}
+}
+
+func TestReduceSumEmpty(t *testing.T) {
+	if got := ReduceSum(0, func(lo, hi int) float64 { return 1 }); got != 0 {
+		t.Fatalf("ReduceSum(0) = %v", got)
+	}
+}

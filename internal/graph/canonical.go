@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// canonicalVersion is mixed into every canonical digest so the hash space
+// can be invalidated wholesale if the refinement ever changes.
+const canonicalVersion = "mega/graph.canon.v1"
+
+// CanonicalHash returns a permutation-invariant digest of g's topology:
+// relabelling the nodes never changes it, unlike Fingerprint, which hashes
+// the stored byte representation (and is the right key for the
+// preprocessing cache, whose traversal is label-sensitive).
+//
+// The digest is built by Weisfeiler-Leman colour refinement: every node
+// starts from its degree, then repeatedly absorbs the sorted multiset of
+// its neighbours' colours until the colour partition stops refining. The
+// final digest covers the node count, directedness, edge count, and the
+// sorted multiset of stable colours, plus the connected-component count
+// (which separates classic WL-1 ties like one 6-cycle vs. two triangles)
+// — all isomorphism invariants. The combination is still not a complete
+// isomorphism test (WL-equivalent connected non-isomorphic graphs, such
+// as same-size circulants from the CSL dataset, can collide), but
+// isomorphic graphs always hash equal, and edits that change the node
+// count, edge count, component count, or any WL signature always hash
+// differently.
+//
+// For directed graphs refinement uses out-neighbourhoods only.
+func (g *Graph) CanonicalHash() Fingerprint {
+	n := g.numNodes
+	colors := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		colors[v] = mix64(0x9e3779b97f4a7c15, uint64(g.Degree(NodeID(v))))
+	}
+	next := make([]uint64, n)
+	distinct := countDistinct(colors)
+	for round := 0; round < n; round++ {
+		for v := 0; v < n; v++ {
+			nb := g.Neighbors(NodeID(v))
+			sig := make([]uint64, len(nb))
+			for i, u := range nb {
+				sig[i] = colors[u]
+			}
+			// Sorting makes the neighbour multiset order-free, which is
+			// what buys permutation invariance.
+			sort.Slice(sig, func(i, j int) bool { return sig[i] < sig[j] })
+			h := mix64(0x2545f4914f6cdd1d, colors[v])
+			for _, s := range sig {
+				h = mix64(h, s)
+			}
+			next[v] = h
+		}
+		colors, next = next, colors
+		// The distinct-colour count is itself an isomorphism invariant, so
+		// stopping on it keeps the round count permutation-independent.
+		if d := countDistinct(colors); d == distinct {
+			break
+		} else {
+			distinct = d
+		}
+	}
+
+	sorted := append([]uint64(nil), colors...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	h := sha256.New()
+	h.Write([]byte(canonicalVersion))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(n))
+	h.Write(buf[:])
+	if g.directed {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(g.edges)))
+	h.Write(buf[:])
+	_, comps := g.ConnectedComponents()
+	binary.LittleEndian.PutUint64(buf[:], uint64(comps))
+	h.Write(buf[:])
+	for _, c := range sorted {
+		binary.LittleEndian.PutUint64(buf[:], c)
+		h.Write(buf[:])
+	}
+	var out Fingerprint
+	h.Sum(out[:0])
+	return out
+}
+
+// mix64 folds v into accumulator h with a splitmix64-style finaliser —
+// cheap, well-distributed, and stable across platforms.
+func mix64(h, v uint64) uint64 {
+	h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+func countDistinct(colors []uint64) int {
+	seen := make(map[uint64]struct{}, len(colors))
+	for _, c := range colors {
+		seen[c] = struct{}{}
+	}
+	return len(seen)
+}

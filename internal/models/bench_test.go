@@ -1,0 +1,81 @@
+package models
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"mega/internal/compute"
+	"mega/internal/datasets"
+	"mega/internal/graph"
+	"mega/internal/tensor"
+)
+
+// Full-model benchmarks: one GT training step (forward + loss + backward)
+// over a MEGA banded-attention context, serial pool vs all cores. The
+// batch is 16 Erdős–Rényi graphs of 60 nodes — molecular-benchmark scale.
+
+func benchInstances(b *testing.B) []datasets.Instance {
+	b.Helper()
+	rng := rand.New(rand.NewSource(21))
+	insts := make([]datasets.Instance, 16)
+	for i := range insts {
+		g := graph.ErdosRenyiM(rng, 60, 180)
+		nf := make([]int32, g.NumNodes())
+		for j := range nf {
+			nf[j] = int32(rng.Intn(8))
+		}
+		ef := make([]int32, g.NumEdges())
+		for j := range ef {
+			ef[j] = int32(rng.Intn(4))
+		}
+		insts[i] = datasets.Instance{G: g, NodeFeat: nf, EdgeFeat: ef, Target: rng.NormFloat64()}
+	}
+	return insts
+}
+
+func benchMegaStep(b *testing.B, threads, dim int) {
+	prev := compute.SetMaxThreads(threads)
+	defer compute.SetMaxThreads(prev)
+	insts := benchInstances(b)
+	ctx, err := NewMegaContext(insts, MegaOptions{}, nil, dim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := NewGT(Config{
+		Dim: dim, Layers: 4, Heads: 4,
+		NodeTypes: 8, EdgeTypes: 4, OutDim: 1, Seed: 1,
+	})
+	params := model.Params()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range params {
+			p.ZeroGrad()
+		}
+		out := model.Forward(ctx)
+		tensor.MAELoss(out, ctx.Targets).Backward()
+	}
+}
+
+func BenchmarkMegaGTStepSerial64(b *testing.B)    { benchMegaStep(b, 1, 64) }
+func BenchmarkMegaGTStepParallel64(b *testing.B)  { benchMegaStep(b, runtime.NumCPU(), 64) }
+func BenchmarkMegaGTStepSerial128(b *testing.B)   { benchMegaStep(b, 1, 128) }
+func BenchmarkMegaGTStepParallel128(b *testing.B) { benchMegaStep(b, runtime.NumCPU(), 128) }
+
+// benchMegaPreprocess isolates the CPU preprocessing fan-out (traversal +
+// band construction + context assembly), the stage NewMegaContext
+// parallelises per instance.
+func benchMegaPreprocess(b *testing.B, threads int) {
+	prev := compute.SetMaxThreads(threads)
+	defer compute.SetMaxThreads(prev)
+	insts := benchInstances(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewMegaContext(insts, MegaOptions{}, nil, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMegaPreprocessSerial(b *testing.B)   { benchMegaPreprocess(b, 1) }
+func BenchmarkMegaPreprocessParallel(b *testing.B) { benchMegaPreprocess(b, runtime.NumCPU()) }

@@ -1,6 +1,7 @@
 package models
 
 import (
+	"mega/internal/compute"
 	"mega/internal/datasets"
 	"mega/internal/gpusim"
 	"mega/internal/graph"
@@ -30,21 +31,36 @@ func NewDGLContext(insts []datasets.Instance, sim *gpusim.Sim, dim int) (*Contex
 		NumGraphs: len(insts),
 		GraphSeg:  b.GraphOf,
 	}
-	ctx.RecvIdx = make([]int32, 0, 2*m)
-	ctx.SendIdx = make([]int32, 0, 2*m)
-	ctx.EdgeIdx = make([]int32, 0, 2*m)
-	for ei, e := range b.Merged.Edges() {
-		ctx.RecvIdx = append(ctx.RecvIdx, e.Dst, e.Src)
-		ctx.SendIdx = append(ctx.SendIdx, e.Src, e.Dst)
-		ctx.EdgeIdx = append(ctx.EdgeIdx, int32(ei), int32(ei))
-	}
+	// Per-edge pair list: every directed pair's slot is a pure function of
+	// the edge index, so the fill parallelises over disjoint ranges.
+	edges := b.Merged.Edges()
+	ctx.RecvIdx = make([]int32, 2*m)
+	ctx.SendIdx = make([]int32, 2*m)
+	ctx.EdgeIdx = make([]int32, 2*m)
+	compute.ParallelGrain(m, 1024, func(lo, hi int) {
+		for ei := lo; ei < hi; ei++ {
+			e := edges[ei]
+			ctx.RecvIdx[2*ei], ctx.RecvIdx[2*ei+1] = e.Dst, e.Src
+			ctx.SendIdx[2*ei], ctx.SendIdx[2*ei+1] = e.Src, e.Dst
+			ctx.EdgeIdx[2*ei], ctx.EdgeIdx[2*ei+1] = int32(ei), int32(ei)
+		}
+	})
 
-	ctx.NodeTypeIDs = make([]int32, 0, n)
-	ctx.EdgeTypeIDs = make([]int32, 0, m)
-	for _, inst := range insts {
-		ctx.NodeTypeIDs = append(ctx.NodeTypeIDs, inst.NodeFeat...)
-		ctx.EdgeTypeIDs = append(ctx.EdgeTypeIDs, inst.EdgeFeat...)
+	// Feature IDs: members own disjoint stripes at their batch offsets.
+	nodeOff := make([]int, len(insts)+1)
+	edgeOff := make([]int, len(insts)+1)
+	for i, inst := range insts {
+		nodeOff[i+1] = nodeOff[i] + len(inst.NodeFeat)
+		edgeOff[i+1] = edgeOff[i] + len(inst.EdgeFeat)
 	}
+	ctx.NodeTypeIDs = make([]int32, nodeOff[len(insts)])
+	ctx.EdgeTypeIDs = make([]int32, edgeOff[len(insts)])
+	compute.Parallel(len(insts), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(ctx.NodeTypeIDs[nodeOff[i]:nodeOff[i+1]], insts[i].NodeFeat)
+			copy(ctx.EdgeTypeIDs[edgeOff[i]:edgeOff[i+1]], insts[i].EdgeFeat)
+		}
+	})
 
 	if sim != nil {
 		prof := NewProf(sim, EngineDGL, n, m, dim)

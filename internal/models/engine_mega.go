@@ -2,11 +2,9 @@ package models
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"mega/internal/band"
+	"mega/internal/compute"
 	"mega/internal/datasets"
 	"mega/internal/gpusim"
 	"mega/internal/graph"
@@ -62,35 +60,20 @@ func NewMegaContext(insts []datasets.Instance, opts MegaOptions, sim *gpusim.Sim
 	topts := opts.traverseOptions()
 
 	// Per-instance traversals are independent: fan the preprocessing out
-	// across CPU cores (the paper decouples this stage from the GPU
+	// across the worker pool (the paper decouples this stage from the GPU
 	// precisely so it can run ahead on the host).
 	preps := make([]*PreparedRep, len(insts))
 	errs := make([]error, len(insts))
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(insts) {
-		workers = len(insts)
-	}
-	next := int64(-1)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(insts) {
-					return
-				}
-				rep, res, err := band.FromGraph(insts[i].G, topts)
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				preps[i] = &PreparedRep{Rep: rep, Res: res}
+	compute.Parallel(len(insts), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rep, res, err := band.FromGraph(insts[i].G, topts)
+			if err != nil {
+				errs[i] = err
+				continue
 			}
-		}()
-	}
-	wg.Wait()
+			preps[i] = &PreparedRep{Rep: rep, Res: res}
+		}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -131,75 +114,133 @@ func NewMegaContextFromReps(insts []datasets.Instance, preps []*PreparedRep, sim
 		NumEdges:  totalEdges,
 		NumGraphs: len(insts),
 	}
-	ctx.NodeTypeIDs = make([]int32, 0, totalRows)
-	ctx.EdgeTypeIDs = make([]int32, 0, totalEdges)
-	ctx.GraphSeg = make([]int32, 0, totalRows)
 
-	// posToNode maps every working row to a globally unique node slot so
-	// duplicate rows of the same node synchronise together.
-	posToNode := make([]int32, 0, totalRows)
-	var syncPositions []int32
-	rowOff, nodeOff := int32(0), int32(0)
-
-	// Offset-major pair enumeration: all offset-1 pairs of every member,
-	// then offset-2, etc. — the sweep order of the banded kernel.
-	for o := 1; o <= maxWindow; o++ {
-		ro := int32(0)
-		eo := int32(0)
-		for _, mr := range preps {
-			if o <= mr.Rep.Window {
-				mask := mr.Rep.Mask[o-1]
-				eids := mr.Rep.EdgeID[o-1]
-				for i, on := range mask {
-					if !on {
-						continue
-					}
-					lo := ro + int32(i)
-					hi := ro + int32(i+o)
-					eid := eo + eids[i]
-					// Both directions share the pair's edge features —
-					// the §III-C symmetric-diagonal reuse.
-					ctx.RecvIdx = append(ctx.RecvIdx, lo, hi)
-					ctx.SendIdx = append(ctx.SendIdx, hi, lo)
-					ctx.EdgeIdx = append(ctx.EdgeIdx, eid, eid)
-				}
-			}
-			ro += int32(mr.Rep.Len())
-			eo += int32(mr.Res.Graph.NumEdges())
-		}
+	// Per-member row/edge/node prefix offsets: the batch layout is a pure
+	// function of the preps, pinned up front so every parallel fill below
+	// knows exactly which disjoint range it owns.
+	rowOff := make([]int32, len(preps)+1)
+	edgeOff := make([]int32, len(preps)+1)
+	nodeOff := make([]int32, len(preps)+1)
+	for gi, mr := range preps {
+		rowOff[gi+1] = rowOff[gi] + int32(mr.Rep.Len())
+		edgeOff[gi+1] = edgeOff[gi] + int32(mr.Res.Graph.NumEdges())
+		nodeOff[gi+1] = nodeOff[gi] + int32(insts[gi].G.NumNodes())
 	}
 
-	for gi, mr := range preps {
-		inst := insts[gi]
-		for _, v := range mr.Rep.Path {
-			ctx.NodeTypeIDs = append(ctx.NodeTypeIDs, inst.NodeFeat[v])
-			ctx.GraphSeg = append(ctx.GraphSeg, int32(gi))
-			posToNode = append(posToNode, nodeOff+v)
+	// Offset-major pair enumeration: all offset-1 pairs of every member,
+	// then offset-2, etc. — the sweep order of the banded kernel. The
+	// per-block loops run as count → prefix → fill: mask popcounts in
+	// parallel, a serial prefix scan pinning each (offset, member) block's
+	// slot, then a parallel fill of the preallocated pair arrays. The
+	// layout is identical to the serial append loop at any thread count.
+	counts := make([][]int, len(preps)) // counts[gi][o-1] = set mask bits
+	compute.Parallel(len(preps), func(lo, hi int) {
+		for gi := lo; gi < hi; gi++ {
+			rep := preps[gi].Rep
+			c := make([]int, rep.Window)
+			for o := 1; o <= rep.Window; o++ {
+				for _, on := range rep.Mask[o-1] {
+					if on {
+						c[o-1]++
+					}
+				}
+			}
+			counts[gi] = c
 		}
-		for _, positions := range mr.Rep.SyncGroups() {
-			for _, p := range positions {
-				syncPositions = append(syncPositions, rowOff+p)
+	})
+	type fillJob struct {
+		gi, o int
+		pair  int // enumeration index of the block's first pair
+	}
+	var jobs []fillJob
+	totalPairs := 0
+	for o := 1; o <= maxWindow; o++ {
+		for gi, mr := range preps {
+			if o > mr.Rep.Window {
+				continue
+			}
+			if c := counts[gi][o-1]; c > 0 {
+				jobs = append(jobs, fillJob{gi: gi, o: o, pair: totalPairs})
+				totalPairs += c
 			}
 		}
-		// Edge features follow the (possibly edge-dropped) walked graph:
-		// map its edges back to the instance's feature list by identity
-		// of edge order when nothing is dropped, or by lookup otherwise.
-		walked := mr.Res.Graph
-		if walked.NumEdges() == inst.G.NumEdges() {
-			ctx.EdgeTypeIDs = append(ctx.EdgeTypeIDs, inst.EdgeFeat...)
-		} else {
-			feat := edgeFeatureLookup(inst)
-			for _, e := range walked.Edges() {
-				ctx.EdgeTypeIDs = append(ctx.EdgeTypeIDs, feat[edgeKey(e.Src, e.Dst)])
+	}
+	ctx.RecvIdx = make([]int32, 2*totalPairs)
+	ctx.SendIdx = make([]int32, 2*totalPairs)
+	ctx.EdgeIdx = make([]int32, 2*totalPairs)
+	compute.Parallel(len(jobs), func(jlo, jhi int) {
+		for ji := jlo; ji < jhi; ji++ {
+			job := jobs[ji]
+			mr := preps[job.gi]
+			mask := mr.Rep.Mask[job.o-1]
+			eids := mr.Rep.EdgeID[job.o-1]
+			ro, eo := rowOff[job.gi], edgeOff[job.gi]
+			at := 2 * job.pair
+			for i, on := range mask {
+				if !on {
+					continue
+				}
+				lo := ro + int32(i)
+				hi := ro + int32(i+job.o)
+				eid := eo + eids[i]
+				// Both directions share the pair's edge features —
+				// the §III-C symmetric-diagonal reuse.
+				ctx.RecvIdx[at], ctx.RecvIdx[at+1] = lo, hi
+				ctx.SendIdx[at], ctx.SendIdx[at+1] = hi, lo
+				ctx.EdgeIdx[at], ctx.EdgeIdx[at+1] = eid, eid
+				at += 2
 			}
 		}
-		rowOff += int32(mr.Rep.Len())
-		nodeOff += int32(inst.G.NumNodes())
+	})
+
+	// Row and edge metadata: every member owns the [rowOff[gi], rowOff[gi+1])
+	// and [edgeOff[gi], edgeOff[gi+1]) stripes, so members fill in parallel.
+	// posToNode maps every working row to a globally unique node slot so
+	// duplicate rows of the same node synchronise together.
+	ctx.NodeTypeIDs = make([]int32, totalRows)
+	ctx.EdgeTypeIDs = make([]int32, totalEdges)
+	ctx.GraphSeg = make([]int32, totalRows)
+	posToNode := make([]int32, totalRows)
+	memberSync := make([][]int32, len(preps))
+	compute.Parallel(len(preps), func(glo, ghi int) {
+		for gi := glo; gi < ghi; gi++ {
+			mr := preps[gi]
+			inst := insts[gi]
+			ro, no, eo := rowOff[gi], nodeOff[gi], edgeOff[gi]
+			for pi, v := range mr.Rep.Path {
+				ctx.NodeTypeIDs[ro+int32(pi)] = inst.NodeFeat[v]
+				ctx.GraphSeg[ro+int32(pi)] = int32(gi)
+				posToNode[ro+int32(pi)] = no + v
+			}
+			var sync []int32
+			for _, positions := range mr.Rep.SyncGroups() {
+				for _, p := range positions {
+					sync = append(sync, ro+p)
+				}
+			}
+			memberSync[gi] = sync
+			// Edge features follow the (possibly edge-dropped) walked graph:
+			// map its edges back to the instance's feature list by identity
+			// of edge order when nothing is dropped, or by lookup otherwise.
+			walked := mr.Res.Graph
+			if walked.NumEdges() == inst.G.NumEdges() {
+				copy(ctx.EdgeTypeIDs[eo:eo+int32(len(inst.EdgeFeat))], inst.EdgeFeat)
+			} else {
+				feat := edgeFeatureLookup(inst)
+				for ei, e := range walked.Edges() {
+					ctx.EdgeTypeIDs[eo+int32(ei)] = feat[edgeKey(e.Src, e.Dst)]
+				}
+			}
+		}
+	})
+	var syncPositions []int32
+	for _, s := range memberSync {
+		syncPositions = append(syncPositions, s...)
 	}
 
 	// Duplicate synchronisation: average rows per node slot, then gather
 	// back — one segment reduction per layer, charged as a sync kernel.
-	numNodes := int(nodeOff)
+	numNodes := int(nodeOff[len(preps)])
 	ctx.Sync = func(h *tensor.Tensor) *tensor.Tensor {
 		if len(syncPositions) == 0 {
 			return h

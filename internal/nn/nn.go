@@ -8,6 +8,7 @@ import (
 	"math"
 	"math/rand"
 
+	"mega/internal/compute"
 	"mega/internal/tensor"
 )
 
@@ -179,15 +180,23 @@ func (a *Adam) ZeroGrad() {
 	}
 }
 
-// Step applies one Adam update from the accumulated gradients.
+// Step applies one Adam update from the accumulated gradients. The squared
+// gradient norm reduces per parameter through compute.ReduceSum's fixed
+// partition (combined in parameter order), and the elementwise update fans
+// out across the worker pool — both thread-count invariant.
 func (a *Adam) Step() {
 	a.step++
 	// Global-norm gradient clipping.
 	norm := 0.0
 	for _, p := range a.params {
-		for _, g := range p.Grad {
-			norm += g * g
-		}
+		grad := p.Grad
+		norm += compute.ReduceSum(len(grad), func(lo, hi int) float64 {
+			s := 0.0
+			for e := lo; e < hi; e++ {
+				s += grad[e] * grad[e]
+			}
+			return s
+		})
 	}
 	norm = math.Sqrt(norm)
 	clip := 1.0
@@ -200,15 +209,17 @@ func (a *Adam) Step() {
 		if p.Grad == nil {
 			continue
 		}
-		m, v := a.m[i], a.v[i]
-		for e := range p.Data {
-			g := p.Grad[e] * clip
-			m[e] = a.Beta1*m[e] + (1-a.Beta1)*g
-			v[e] = a.Beta2*v[e] + (1-a.Beta2)*g*g
-			mh := m[e] / bc1
-			vh := v[e] / bc2
-			p.Data[e] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
-		}
+		m, v, grad, data := a.m[i], a.v[i], p.Grad, p.Data
+		compute.ParallelGrain(len(data), 2048, func(lo, hi int) {
+			for e := lo; e < hi; e++ {
+				g := grad[e] * clip
+				m[e] = a.Beta1*m[e] + (1-a.Beta1)*g
+				v[e] = a.Beta2*v[e] + (1-a.Beta2)*g*g
+				mh := m[e] / bc1
+				vh := v[e] / bc2
+				data[e] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+			}
+		})
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"mega/internal/compute"
 	"mega/internal/datasets"
 	"mega/internal/graph"
 	"mega/internal/models"
@@ -28,6 +29,15 @@ type Options struct {
 	MaxWait time.Duration
 	// Workers sizes the forward-pass worker pool (default GOMAXPROCS).
 	Workers int
+	// ComputeBudget caps the compute worker pool (internal/compute) while
+	// this server runs, so intra-op parallelism composes with the
+	// request-level Workers without oversubscribing the machine. The
+	// default is max(1, NumCPU − Workers + 1): each forward pass runs on
+	// its worker goroutine plus up to ComputeBudget−1 helpers, keeping
+	// Workers + ComputeBudget − 1 ≤ NumCPU. The budget is process-global
+	// (it calls compute.SetMaxThreads), so with multiple servers in one
+	// process the last one constructed wins.
+	ComputeBudget int
 	// CacheCapacity bounds the path-representation LRU in entries
 	// (default 4096; <=0 after explicit set disables caching).
 	CacheCapacity int
@@ -63,6 +73,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.ComputeBudget <= 0 {
+		o.ComputeBudget = runtime.NumCPU() - o.Workers + 1
+		if o.ComputeBudget < 1 {
+			o.ComputeBudget = 1
+		}
 	}
 	if o.CacheCapacity == 0 && !o.cacheSet {
 		o.CacheCapacity = 4096
@@ -112,6 +128,7 @@ var (
 // the output interpretation).
 func New(model models.Model, meta train.Checkpoint, opts Options) *Server {
 	opts = opts.withDefaults()
+	compute.SetMaxThreads(opts.ComputeBudget)
 	s := &Server{
 		model:   model,
 		meta:    meta,

@@ -1,0 +1,87 @@
+package tensor
+
+import (
+	"runtime"
+	"testing"
+
+	"mega/internal/compute"
+)
+
+// Serial-vs-parallel kernel benchmarks. "Serial" pins the compute pool to
+// one thread (the pre-pool code path: every kernel runs inline on the
+// caller); "Parallel" opens it to every core. Because the kernels are
+// bit-deterministic at any thread count, the two configurations compute
+// identical results — these benchmarks measure pure scheduling win.
+// BENCH_tensor.json in the repo root records a reference run.
+
+func benchMatMul(b *testing.B, threads, size int) {
+	prev := compute.SetMaxThreads(threads)
+	defer compute.SetMaxThreads(prev)
+	x := randT(1001, size, size)
+	w := randT(1002, size, size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, w)
+	}
+	flops := 2 * float64(size) * float64(size) * float64(size)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+func BenchmarkMatMulSerial128(b *testing.B)   { benchMatMul(b, 1, 128) }
+func BenchmarkMatMulSerial256(b *testing.B)   { benchMatMul(b, 1, 256) }
+func BenchmarkMatMulSerial512(b *testing.B)   { benchMatMul(b, 1, 512) }
+func BenchmarkMatMulParallel128(b *testing.B) { benchMatMul(b, runtime.NumCPU(), 128) }
+func BenchmarkMatMulParallel256(b *testing.B) { benchMatMul(b, runtime.NumCPU(), 256) }
+func BenchmarkMatMulParallel512(b *testing.B) { benchMatMul(b, runtime.NumCPU(), 512) }
+
+func benchMatMulBackward(b *testing.B, threads, size int) {
+	prev := compute.SetMaxThreads(threads)
+	defer compute.SetMaxThreads(prev)
+	x := randT(1003, size, size).RequireGrad()
+	w := randT(1004, size, size).RequireGrad()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.ZeroGrad()
+		w.ZeroGrad()
+		Sum(MatMul(x, w)).Backward()
+	}
+}
+
+func BenchmarkMatMulBackwardSerial512(b *testing.B) { benchMatMulBackward(b, 1, 512) }
+func BenchmarkMatMulBackwardParallel512(b *testing.B) {
+	benchMatMulBackward(b, runtime.NumCPU(), 512)
+}
+
+// benchElementwise measures the flat-split ops on a tensor large enough
+// to cross elemGrain many times over.
+func benchElementwise(b *testing.B, threads int) {
+	prev := compute.SetMaxThreads(threads)
+	defer compute.SetMaxThreads(prev)
+	x := randT(1005, 1024, 512)
+	y := randT(1006, 1024, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Add(Mul(x, y), Tanh(x))
+	}
+}
+
+func BenchmarkElementwiseSerial(b *testing.B)   { benchElementwise(b, 1) }
+func BenchmarkElementwiseParallel(b *testing.B) { benchElementwise(b, runtime.NumCPU()) }
+
+func benchLayerNorm(b *testing.B, threads int) {
+	prev := compute.SetMaxThreads(threads)
+	defer compute.SetMaxThreads(prev)
+	x := randT(1007, 4096, 128).RequireGrad()
+	g := Full(1, 128, 1).RequireGrad()
+	bt := Zeros(1, 128).RequireGrad()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.ZeroGrad()
+		g.ZeroGrad()
+		bt.ZeroGrad()
+		Sum(LayerNorm(x, g, bt)).Backward()
+	}
+}
+
+func BenchmarkLayerNormSerial(b *testing.B)   { benchLayerNorm(b, 1) }
+func BenchmarkLayerNormParallel(b *testing.B) { benchLayerNorm(b, runtime.NumCPU()) }

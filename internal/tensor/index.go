@@ -1,30 +1,48 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"mega/internal/compute"
+)
 
 // Indexed and shifted-row operations: the graph side of the models. In the
 // DGL-style engine these back the gather/scatter aggregation; in the MEGA
 // engine Narrow/PadRows implement the banded diagonal sweeps and
 // SegmentMean implements duplicate synchronisation and graph readout.
+//
+// Gather directions split rows (each output row is owned by one chunk);
+// scatter directions split columns, because arbitrary index lists may send
+// many rows into one accumulator row — a column stripe is the only
+// partition whose writes stay disjoint while preserving the serial
+// ascending-i accumulation order.
 
 // GatherRows returns x[idx] — a len(idx)×cols tensor whose row i is
 // x.Row(idx[i]). The backward pass scatter-adds gradients.
 func GatherRows(x *Tensor, idx []int32) *Tensor {
 	out := newResult(len(idx), x.cols, x)
-	for i, id := range idx {
+	cols := x.cols
+	for _, id := range idx {
 		if id < 0 || int(id) >= x.rows {
 			panic(fmt.Sprintf("tensor: gather index %d out of %d rows", id, x.rows))
 		}
-		copy(out.Data[i*x.cols:(i+1)*x.cols], x.Data[int(id)*x.cols:(int(id)+1)*x.cols])
 	}
+	compute.ParallelGrain(len(idx), rowGrain(cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			id := int(idx[i])
+			copy(out.Data[i*cols:(i+1)*cols], x.Data[id*cols:(id+1)*cols])
+		}
+	})
 	if out.requiresGrad {
 		out.backFn = func() {
 			x.ensureGrad()
-			for i, id := range idx {
-				for j := 0; j < x.cols; j++ {
-					x.Grad[int(id)*x.cols+j] += out.Grad[i*x.cols+j]
+			compute.ParallelGrain(cols, workGrain(len(idx)), func(jlo, jhi int) {
+				for i, id := range idx {
+					for j := jlo; j < jhi; j++ {
+						x.Grad[int(id)*cols+j] += out.Grad[i*cols+j]
+					}
 				}
-			}
+			})
 		}
 	}
 	return out
@@ -37,22 +55,30 @@ func ScatterAddRows(x *Tensor, idx []int32, numRows int) *Tensor {
 		panic(fmt.Sprintf("tensor: scatter index count %d != rows %d", len(idx), x.rows))
 	}
 	out := newResult(numRows, x.cols, x)
-	for i, id := range idx {
+	cols := x.cols
+	for _, id := range idx {
 		if id < 0 || int(id) >= numRows {
 			panic(fmt.Sprintf("tensor: scatter index %d out of %d rows", id, numRows))
 		}
-		for j := 0; j < x.cols; j++ {
-			out.Data[int(id)*x.cols+j] += x.Data[i*x.cols+j]
-		}
 	}
+	compute.ParallelGrain(cols, workGrain(len(idx)), func(jlo, jhi int) {
+		for i, id := range idx {
+			for j := jlo; j < jhi; j++ {
+				out.Data[int(id)*cols+j] += x.Data[i*cols+j]
+			}
+		}
+	})
 	if out.requiresGrad {
 		out.backFn = func() {
 			x.ensureGrad()
-			for i, id := range idx {
-				for j := 0; j < x.cols; j++ {
-					x.Grad[i*x.cols+j] += out.Grad[int(id)*x.cols+j]
+			compute.ParallelGrain(len(idx), rowGrain(cols), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					id := int(idx[i])
+					for j := 0; j < cols; j++ {
+						x.Grad[i*cols+j] += out.Grad[id*cols+j]
+					}
 				}
-			}
+			})
 		}
 	}
 	return out
@@ -66,34 +92,41 @@ func SegmentMean(x *Tensor, seg []int32, numSeg int) *Tensor {
 		panic(fmt.Sprintf("tensor: segment count %d != rows %d", len(seg), x.rows))
 	}
 	out := newResult(numSeg, x.cols, x)
+	cols := x.cols
 	counts := make([]float64, numSeg)
-	for i, s := range seg {
+	for _, s := range seg {
 		if s < 0 || int(s) >= numSeg {
 			panic(fmt.Sprintf("tensor: segment id %d out of %d", s, numSeg))
 		}
 		counts[s]++
-		for j := 0; j < x.cols; j++ {
-			out.Data[int(s)*x.cols+j] += x.Data[i*x.cols+j]
-		}
 	}
-	for s := 0; s < numSeg; s++ {
-		if counts[s] == 0 {
-			continue
+	compute.ParallelGrain(cols, workGrain(len(seg)), func(jlo, jhi int) {
+		for i, s := range seg {
+			for j := jlo; j < jhi; j++ {
+				out.Data[int(s)*cols+j] += x.Data[i*cols+j]
+			}
 		}
-		inv := 1 / counts[s]
-		for j := 0; j < x.cols; j++ {
-			out.Data[s*x.cols+j] *= inv
+		for s := 0; s < numSeg; s++ {
+			if counts[s] == 0 {
+				continue
+			}
+			inv := 1 / counts[s]
+			for j := jlo; j < jhi; j++ {
+				out.Data[s*cols+j] *= inv
+			}
 		}
-	}
+	})
 	if out.requiresGrad {
 		out.backFn = func() {
 			x.ensureGrad()
-			for i, s := range seg {
-				inv := 1 / counts[s]
-				for j := 0; j < x.cols; j++ {
-					x.Grad[i*x.cols+j] += out.Grad[int(s)*x.cols+j] * inv
+			compute.ParallelGrain(len(seg), rowGrain(cols), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					inv := 1 / counts[seg[i]]
+					for j := 0; j < cols; j++ {
+						x.Grad[i*cols+j] += out.Grad[int(seg[i])*cols+j] * inv
+					}
 				}
-			}
+			})
 		}
 	}
 	return out
@@ -111,9 +144,12 @@ func Narrow(x *Tensor, start, n int) *Tensor {
 	if out.requiresGrad {
 		out.backFn = func() {
 			x.ensureGrad()
-			for i := 0; i < n*x.cols; i++ {
-				x.Grad[start*x.cols+i] += out.Grad[i]
-			}
+			base := start * x.cols
+			compute.ParallelGrain(n*x.cols, elemGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					x.Grad[base+i] += out.Grad[i]
+				}
+			})
 		}
 	}
 	return out
@@ -130,9 +166,12 @@ func PadRows(x *Tensor, before, after int) *Tensor {
 	if out.requiresGrad {
 		out.backFn = func() {
 			x.ensureGrad()
-			for i := 0; i < len(x.Data); i++ {
-				x.Grad[i] += out.Grad[before*x.cols+i]
-			}
+			base := before * x.cols
+			compute.ParallelGrain(len(x.Data), elemGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					x.Grad[i] += out.Grad[base+i]
+				}
+			})
 		}
 	}
 	return out

@@ -1,10 +1,19 @@
 package tensor
 
-import "math"
+import (
+	"math"
+
+	"mega/internal/compute"
+)
 
 // Fused normalisation ops with hand-written backward passes. Both models
 // use normalisation after every attention block (GatedGCN: batch norm;
 // Graph Transformer: layer norm), so these are hot paths worth fusing.
+//
+// LayerNorm statistics live per row, so it splits rows; BatchNorm
+// statistics live per column, so every stage of it splits columns. Either
+// way each mean/variance/gradient accumulator is owned by exactly one
+// chunk and accumulated in serial order — thread-count invariant.
 
 const normEps = 1e-5
 
@@ -16,65 +25,77 @@ func LayerNorm(x, gamma, beta *Tensor) *Tensor {
 		panic("tensor: layernorm affine shape mismatch")
 	}
 	n := float64(x.cols)
+	cols := x.cols
 	out := newResult(x.rows, x.cols, x, gamma, beta)
 	xhat := make([]float64, len(x.Data))
 	invStd := make([]float64, x.rows)
-	for i := 0; i < x.rows; i++ {
-		row := x.Data[i*x.cols : (i+1)*x.cols]
-		mean := 0.0
-		for _, v := range row {
-			mean += v
+	compute.ParallelGrain(x.rows, rowGrain(cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := x.Data[i*cols : (i+1)*cols]
+			mean := 0.0
+			for _, v := range row {
+				mean += v
+			}
+			mean /= n
+			vari := 0.0
+			for _, v := range row {
+				d := v - mean
+				vari += d * d
+			}
+			vari /= n
+			is := 1 / math.Sqrt(vari+normEps)
+			invStd[i] = is
+			for j, v := range row {
+				h := (v - mean) * is
+				xhat[i*cols+j] = h
+				out.Data[i*cols+j] = gamma.Data[j]*h + beta.Data[j]
+			}
 		}
-		mean /= n
-		vari := 0.0
-		for _, v := range row {
-			d := v - mean
-			vari += d * d
-		}
-		vari /= n
-		is := 1 / math.Sqrt(vari+normEps)
-		invStd[i] = is
-		for j, v := range row {
-			h := (v - mean) * is
-			xhat[i*x.cols+j] = h
-			out.Data[i*x.cols+j] = gamma.Data[j]*h + beta.Data[j]
-		}
-	}
+	})
 	if out.requiresGrad {
 		out.backFn = func() {
-			if gamma.requiresGrad {
-				gamma.ensureGrad()
-				for i := 0; i < x.rows; i++ {
-					for j := 0; j < x.cols; j++ {
-						gamma.Grad[j] += out.Grad[i*x.cols+j] * xhat[i*x.cols+j]
-					}
+			if gamma.requiresGrad || beta.requiresGrad {
+				if gamma.requiresGrad {
+					gamma.ensureGrad()
 				}
-			}
-			if beta.requiresGrad {
-				beta.ensureGrad()
-				for i := 0; i < x.rows; i++ {
-					for j := 0; j < x.cols; j++ {
-						beta.Grad[j] += out.Grad[i*x.cols+j]
-					}
+				if beta.requiresGrad {
+					beta.ensureGrad()
 				}
+				// gamma/beta gradients sum over rows: column split so each
+				// chunk owns disjoint accumulators.
+				compute.ParallelGrain(cols, workGrain(x.rows), func(jlo, jhi int) {
+					for i := 0; i < x.rows; i++ {
+						for j := jlo; j < jhi; j++ {
+							g := out.Grad[i*cols+j]
+							if gamma.requiresGrad {
+								gamma.Grad[j] += g * xhat[i*cols+j]
+							}
+							if beta.requiresGrad {
+								beta.Grad[j] += g
+							}
+						}
+					}
+				})
 			}
 			if x.requiresGrad {
 				x.ensureGrad()
-				for i := 0; i < x.rows; i++ {
-					// dxhat = dOut ⊙ gamma; standard layernorm backward:
-					// dx = invStd/n * (n·dxhat − Σdxhat − x̂·Σ(dxhat⊙x̂))
-					var sumD, sumDX float64
-					for j := 0; j < x.cols; j++ {
-						d := out.Grad[i*x.cols+j] * gamma.Data[j]
-						sumD += d
-						sumDX += d * xhat[i*x.cols+j]
+				compute.ParallelGrain(x.rows, rowGrain(cols), func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						// dxhat = dOut ⊙ gamma; standard layernorm backward:
+						// dx = invStd/n * (n·dxhat − Σdxhat − x̂·Σ(dxhat⊙x̂))
+						var sumD, sumDX float64
+						for j := 0; j < cols; j++ {
+							d := out.Grad[i*cols+j] * gamma.Data[j]
+							sumD += d
+							sumDX += d * xhat[i*cols+j]
+						}
+						for j := 0; j < cols; j++ {
+							d := out.Grad[i*cols+j] * gamma.Data[j]
+							x.Grad[i*cols+j] += invStd[i] / n *
+								(n*d - sumD - xhat[i*cols+j]*sumDX)
+						}
 					}
-					for j := 0; j < x.cols; j++ {
-						d := out.Grad[i*x.cols+j] * gamma.Data[j]
-						x.Grad[i*x.cols+j] += invStd[i] / n *
-							(n*d - sumD - xhat[i*x.cols+j]*sumDX)
-					}
-				}
+				})
 			}
 		}
 	}
@@ -90,65 +111,78 @@ func BatchNorm(x, gamma, beta *Tensor) *Tensor {
 		panic("tensor: batchnorm affine shape mismatch")
 	}
 	m := float64(x.rows)
+	cols := x.cols
 	out := newResult(x.rows, x.cols, x, gamma, beta)
 	xhat := make([]float64, len(x.Data))
 	invStd := make([]float64, x.cols)
 	means := make([]float64, x.cols)
-	for j := 0; j < x.cols; j++ {
-		mean := 0.0
-		for i := 0; i < x.rows; i++ {
-			mean += x.Data[i*x.cols+j]
+	colGrain := workGrain(x.rows)
+	compute.ParallelGrain(cols, colGrain, func(jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			mean := 0.0
+			for i := 0; i < x.rows; i++ {
+				mean += x.Data[i*cols+j]
+			}
+			mean /= m
+			means[j] = mean
+			vari := 0.0
+			for i := 0; i < x.rows; i++ {
+				d := x.Data[i*cols+j] - mean
+				vari += d * d
+			}
+			vari /= m
+			invStd[j] = 1 / math.Sqrt(vari+normEps)
 		}
-		mean /= m
-		means[j] = mean
-		vari := 0.0
-		for i := 0; i < x.rows; i++ {
-			d := x.Data[i*x.cols+j] - mean
-			vari += d * d
+	})
+	compute.ParallelGrain(x.rows, rowGrain(cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < cols; j++ {
+				h := (x.Data[i*cols+j] - means[j]) * invStd[j]
+				xhat[i*cols+j] = h
+				out.Data[i*cols+j] = gamma.Data[j]*h + beta.Data[j]
+			}
 		}
-		vari /= m
-		invStd[j] = 1 / math.Sqrt(vari+normEps)
-	}
-	for i := 0; i < x.rows; i++ {
-		for j := 0; j < x.cols; j++ {
-			h := (x.Data[i*x.cols+j] - means[j]) * invStd[j]
-			xhat[i*x.cols+j] = h
-			out.Data[i*x.cols+j] = gamma.Data[j]*h + beta.Data[j]
-		}
-	}
+	})
 	if out.requiresGrad {
 		out.backFn = func() {
-			if gamma.requiresGrad {
-				gamma.ensureGrad()
-				for i := 0; i < x.rows; i++ {
-					for j := 0; j < x.cols; j++ {
-						gamma.Grad[j] += out.Grad[i*x.cols+j] * xhat[i*x.cols+j]
-					}
+			if gamma.requiresGrad || beta.requiresGrad {
+				if gamma.requiresGrad {
+					gamma.ensureGrad()
 				}
-			}
-			if beta.requiresGrad {
-				beta.ensureGrad()
-				for i := 0; i < x.rows; i++ {
-					for j := 0; j < x.cols; j++ {
-						beta.Grad[j] += out.Grad[i*x.cols+j]
-					}
+				if beta.requiresGrad {
+					beta.ensureGrad()
 				}
+				compute.ParallelGrain(cols, colGrain, func(jlo, jhi int) {
+					for i := 0; i < x.rows; i++ {
+						for j := jlo; j < jhi; j++ {
+							g := out.Grad[i*cols+j]
+							if gamma.requiresGrad {
+								gamma.Grad[j] += g * xhat[i*cols+j]
+							}
+							if beta.requiresGrad {
+								beta.Grad[j] += g
+							}
+						}
+					}
+				})
 			}
 			if x.requiresGrad {
 				x.ensureGrad()
-				for j := 0; j < x.cols; j++ {
-					var sumD, sumDX float64
-					for i := 0; i < x.rows; i++ {
-						d := out.Grad[i*x.cols+j] * gamma.Data[j]
-						sumD += d
-						sumDX += d * xhat[i*x.cols+j]
+				compute.ParallelGrain(cols, colGrain, func(jlo, jhi int) {
+					for j := jlo; j < jhi; j++ {
+						var sumD, sumDX float64
+						for i := 0; i < x.rows; i++ {
+							d := out.Grad[i*cols+j] * gamma.Data[j]
+							sumD += d
+							sumDX += d * xhat[i*cols+j]
+						}
+						for i := 0; i < x.rows; i++ {
+							d := out.Grad[i*cols+j] * gamma.Data[j]
+							x.Grad[i*cols+j] += invStd[j] / m *
+								(m*d - sumD - xhat[i*cols+j]*sumDX)
+						}
 					}
-					for i := 0; i < x.rows; i++ {
-						d := out.Grad[i*x.cols+j] * gamma.Data[j]
-						x.Grad[i*x.cols+j] += invStd[j] / m *
-							(m*d - sumD - xhat[i*x.cols+j]*sumDX)
-					}
-				}
+				})
 			}
 		}
 	}

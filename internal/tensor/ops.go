@@ -3,90 +3,132 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"mega/internal/compute"
 )
 
-// MatMul returns a·b for a [m×k] and b [k×n].
+// MatMul returns a·b for a [m×k] and b [k×n]. The kernel is cache-blocked
+// over the shared dimension and row-parallel across the worker pool; each
+// output row is owned by one chunk and accumulated in ascending-k order,
+// so the result is bit-identical to the serial kernel at any thread count.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("tensor: matmul %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
 	m, k, n := a.rows, a.cols, b.cols
 	out := newResult(m, n, a, b)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
+	matmulForward(out.Data, a.Data, b.Data, m, k, n)
 	if out.requiresGrad {
 		out.backFn = func() {
 			if a.requiresGrad {
 				a.ensureGrad()
-				// dA = dOut · Bᵀ
-				for i := 0; i < m; i++ {
-					grow := out.Grad[i*n : (i+1)*n]
-					agrow := a.Grad[i*k : (i+1)*k]
-					for p := 0; p < k; p++ {
-						brow := b.Data[p*n : (p+1)*n]
-						s := 0.0
-						for j := 0; j < n; j++ {
-							s += grow[j] * brow[j]
-						}
-						agrow[p] += s
-					}
-				}
+				matmulGradA(a.Grad, out.Grad, b.Data, m, k, n)
 			}
 			if b.requiresGrad {
 				b.ensureGrad()
-				// dB = Aᵀ · dOut
-				for i := 0; i < m; i++ {
-					arow := a.Data[i*k : (i+1)*k]
-					grow := out.Grad[i*n : (i+1)*n]
-					for p := 0; p < k; p++ {
-						av := arow[p]
-						if av == 0 {
-							continue
-						}
-						bgrow := b.Grad[p*n : (p+1)*n]
-						for j := 0; j < n; j++ {
-							bgrow[j] += av * grow[j]
-						}
-					}
-				}
+				matmulGradB(b.Grad, a.Data, out.Grad, m, k, n)
 			}
 		}
 	}
 	return out
 }
 
+// matmulForward accumulates dst += a·b. Row-parallel over m; the k loop is
+// tiled so the active matmulKBlock×n block of b stays cache-resident while
+// a chunk of rows sweeps it. Per output element the adds happen in
+// ascending-p order regardless of tiling or thread count.
+func matmulForward(dst, a, b []float64, m, k, n int) {
+	compute.ParallelGrain(m, workGrain(k*n), func(lo, hi int) {
+		for kb := 0; kb < k; kb += matmulKBlock {
+			kend := kb + matmulKBlock
+			if kend > k {
+				kend = k
+			}
+			for i := lo; i < hi; i++ {
+				arow := a[i*k : (i+1)*k]
+				orow := dst[i*n : (i+1)*n]
+				for p := kb; p < kend; p++ {
+					av := arow[p]
+					if av == 0 {
+						continue
+					}
+					brow := b[p*n : (p+1)*n]
+					for j := range orow {
+						orow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	})
+}
+
+// matmulGradA accumulates dA += dOut·Bᵀ, row-parallel over m (each chunk
+// owns disjoint rows of dA).
+func matmulGradA(da, dout, b []float64, m, k, n int) {
+	compute.ParallelGrain(m, workGrain(k*n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			grow := dout[i*n : (i+1)*n]
+			agrow := da[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				brow := b[p*n : (p+1)*n]
+				s := 0.0
+				for j := range grow {
+					s += grow[j] * brow[j]
+				}
+				agrow[p] += s
+			}
+		}
+	})
+}
+
+// matmulGradB accumulates dB += Aᵀ·dOut. dB rows are hit by every i, so
+// the split is over columns: each chunk owns a disjoint column stripe of
+// dB and accumulates it in ascending-i order — the serial order.
+func matmulGradB(db, a, dout []float64, m, k, n int) {
+	compute.ParallelGrain(n, workGrain(m*k), func(jlo, jhi int) {
+		for i := 0; i < m; i++ {
+			arow := a[i*k : (i+1)*k]
+			grow := dout[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				bgrow := db[p*n : (p+1)*n]
+				for j := jlo; j < jhi; j++ {
+					bgrow[j] += av * grow[j]
+				}
+			}
+		}
+	})
+}
+
 // Add returns a + b (same shape).
 func Add(a, b *Tensor) *Tensor {
 	assertSameShape("add", a, b)
 	out := newResult(a.rows, a.cols, a, b)
-	for i := range out.Data {
-		out.Data[i] = a.Data[i] + b.Data[i]
-	}
+	compute.ParallelGrain(len(out.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] + b.Data[i]
+		}
+	})
 	if out.requiresGrad {
 		out.backFn = func() {
 			if a.requiresGrad {
 				a.ensureGrad()
-				for i := range out.Grad {
-					a.Grad[i] += out.Grad[i]
-				}
+				compute.ParallelGrain(len(out.Grad), elemGrain, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						a.Grad[i] += out.Grad[i]
+					}
+				})
 			}
 			if b.requiresGrad {
 				b.ensureGrad()
-				for i := range out.Grad {
-					b.Grad[i] += out.Grad[i]
-				}
+				compute.ParallelGrain(len(out.Grad), elemGrain, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						b.Grad[i] += out.Grad[i]
+					}
+				})
 			}
 		}
 	}
@@ -97,22 +139,28 @@ func Add(a, b *Tensor) *Tensor {
 func Sub(a, b *Tensor) *Tensor {
 	assertSameShape("sub", a, b)
 	out := newResult(a.rows, a.cols, a, b)
-	for i := range out.Data {
-		out.Data[i] = a.Data[i] - b.Data[i]
-	}
+	compute.ParallelGrain(len(out.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] - b.Data[i]
+		}
+	})
 	if out.requiresGrad {
 		out.backFn = func() {
 			if a.requiresGrad {
 				a.ensureGrad()
-				for i := range out.Grad {
-					a.Grad[i] += out.Grad[i]
-				}
+				compute.ParallelGrain(len(out.Grad), elemGrain, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						a.Grad[i] += out.Grad[i]
+					}
+				})
 			}
 			if b.requiresGrad {
 				b.ensureGrad()
-				for i := range out.Grad {
-					b.Grad[i] -= out.Grad[i]
-				}
+				compute.ParallelGrain(len(out.Grad), elemGrain, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						b.Grad[i] -= out.Grad[i]
+					}
+				})
 			}
 		}
 	}
@@ -123,22 +171,28 @@ func Sub(a, b *Tensor) *Tensor {
 func Mul(a, b *Tensor) *Tensor {
 	assertSameShape("mul", a, b)
 	out := newResult(a.rows, a.cols, a, b)
-	for i := range out.Data {
-		out.Data[i] = a.Data[i] * b.Data[i]
-	}
+	compute.ParallelGrain(len(out.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] * b.Data[i]
+		}
+	})
 	if out.requiresGrad {
 		out.backFn = func() {
 			if a.requiresGrad {
 				a.ensureGrad()
-				for i := range out.Grad {
-					a.Grad[i] += out.Grad[i] * b.Data[i]
-				}
+				compute.ParallelGrain(len(out.Grad), elemGrain, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						a.Grad[i] += out.Grad[i] * b.Data[i]
+					}
+				})
 			}
 			if b.requiresGrad {
 				b.ensureGrad()
-				for i := range out.Grad {
-					b.Grad[i] += out.Grad[i] * a.Data[i]
-				}
+				compute.ParallelGrain(len(out.Grad), elemGrain, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						b.Grad[i] += out.Grad[i] * a.Data[i]
+					}
+				})
 			}
 		}
 	}
@@ -152,26 +206,37 @@ func AddRowVec(a, v *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: addrowvec %dx%d + %dx%d", a.rows, a.cols, v.rows, v.cols))
 	}
 	out := newResult(a.rows, a.cols, a, v)
-	for i := 0; i < a.rows; i++ {
-		for j := 0; j < a.cols; j++ {
-			out.Data[i*a.cols+j] = a.Data[i*a.cols+j] + v.Data[j]
+	cols := a.cols
+	compute.ParallelGrain(a.rows, rowGrain(cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*cols : (i+1)*cols]
+			orow := out.Data[i*cols : (i+1)*cols]
+			for j := range orow {
+				orow[j] = arow[j] + v.Data[j]
+			}
 		}
-	}
+	})
 	if out.requiresGrad {
 		out.backFn = func() {
 			if a.requiresGrad {
 				a.ensureGrad()
-				for i := range out.Grad {
-					a.Grad[i] += out.Grad[i]
-				}
+				compute.ParallelGrain(len(out.Grad), elemGrain, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						a.Grad[i] += out.Grad[i]
+					}
+				})
 			}
 			if v.requiresGrad {
 				v.ensureGrad()
-				for i := 0; i < a.rows; i++ {
-					for j := 0; j < a.cols; j++ {
-						v.Grad[j] += out.Grad[i*a.cols+j]
+				// v.Grad[j] sums over every row: split the columns so each
+				// chunk owns disjoint accumulators, rows in serial order.
+				compute.ParallelGrain(cols, workGrain(a.rows), func(jlo, jhi int) {
+					for i := 0; i < a.rows; i++ {
+						for j := jlo; j < jhi; j++ {
+							v.Grad[j] += out.Grad[i*cols+j]
+						}
 					}
-				}
+				})
 			}
 		}
 	}
@@ -185,32 +250,39 @@ func MulColVec(a, c *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: mulcolvec %dx%d ⊙ %dx%d", a.rows, a.cols, c.rows, c.cols))
 	}
 	out := newResult(a.rows, a.cols, a, c)
-	for i := 0; i < a.rows; i++ {
-		cv := c.Data[i]
-		for j := 0; j < a.cols; j++ {
-			out.Data[i*a.cols+j] = a.Data[i*a.cols+j] * cv
+	cols := a.cols
+	compute.ParallelGrain(a.rows, rowGrain(cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cv := c.Data[i]
+			for j := 0; j < cols; j++ {
+				out.Data[i*cols+j] = a.Data[i*cols+j] * cv
+			}
 		}
-	}
+	})
 	if out.requiresGrad {
 		out.backFn = func() {
 			if a.requiresGrad {
 				a.ensureGrad()
-				for i := 0; i < a.rows; i++ {
-					cv := c.Data[i]
-					for j := 0; j < a.cols; j++ {
-						a.Grad[i*a.cols+j] += out.Grad[i*a.cols+j] * cv
+				compute.ParallelGrain(a.rows, rowGrain(cols), func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						cv := c.Data[i]
+						for j := 0; j < cols; j++ {
+							a.Grad[i*cols+j] += out.Grad[i*cols+j] * cv
+						}
 					}
-				}
+				})
 			}
 			if c.requiresGrad {
 				c.ensureGrad()
-				for i := 0; i < a.rows; i++ {
-					s := 0.0
-					for j := 0; j < a.cols; j++ {
-						s += out.Grad[i*a.cols+j] * a.Data[i*a.cols+j]
+				compute.ParallelGrain(a.rows, rowGrain(cols), func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						s := 0.0
+						for j := 0; j < cols; j++ {
+							s += out.Grad[i*cols+j] * a.Data[i*cols+j]
+						}
+						c.Grad[i] += s
 					}
-					c.Grad[i] += s
-				}
+				})
 			}
 		}
 	}
@@ -220,15 +292,19 @@ func MulColVec(a, c *Tensor) *Tensor {
 // Scale returns s·a for a constant s.
 func Scale(a *Tensor, s float64) *Tensor {
 	out := newResult(a.rows, a.cols, a)
-	for i := range out.Data {
-		out.Data[i] = a.Data[i] * s
-	}
+	compute.ParallelGrain(len(out.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] * s
+		}
+	})
 	if out.requiresGrad {
 		out.backFn = func() {
 			a.ensureGrad()
-			for i := range out.Grad {
-				a.Grad[i] += out.Grad[i] * s
-			}
+			compute.ParallelGrain(len(out.Grad), elemGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					a.Grad[i] += out.Grad[i] * s
+				}
+			})
 		}
 	}
 	return out
@@ -237,15 +313,19 @@ func Scale(a *Tensor, s float64) *Tensor {
 // unary builds an elementwise op with derivative df(x, f(x)).
 func unary(a *Tensor, f func(float64) float64, df func(x, y float64) float64) *Tensor {
 	out := newResult(a.rows, a.cols, a)
-	for i := range out.Data {
-		out.Data[i] = f(a.Data[i])
-	}
+	compute.ParallelGrain(len(out.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = f(a.Data[i])
+		}
+	})
 	if out.requiresGrad {
 		out.backFn = func() {
 			a.ensureGrad()
-			for i := range out.Grad {
-				a.Grad[i] += out.Grad[i] * df(a.Data[i], out.Data[i])
-			}
+			compute.ParallelGrain(len(out.Grad), elemGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					a.Grad[i] += out.Grad[i] * df(a.Data[i], out.Data[i])
+				}
+			})
 		}
 	}
 	return out
@@ -275,42 +355,48 @@ func Tanh(a *Tensor) *Tensor {
 	return unary(a, math.Tanh, func(_, y float64) float64 { return 1 - y*y })
 }
 
-// RowSoftmax returns softmax over each row.
+// RowSoftmax returns softmax over each row. Row-parallel: every row is
+// normalised entirely within one chunk.
 func RowSoftmax(a *Tensor) *Tensor {
 	out := newResult(a.rows, a.cols, a)
-	for i := 0; i < a.rows; i++ {
-		row := a.Data[i*a.cols : (i+1)*a.cols]
-		orow := out.Data[i*a.cols : (i+1)*a.cols]
-		mx := math.Inf(-1)
-		for _, v := range row {
-			if v > mx {
-				mx = v
+	cols := a.cols
+	compute.ParallelGrain(a.rows, rowGrain(cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.Data[i*cols : (i+1)*cols]
+			orow := out.Data[i*cols : (i+1)*cols]
+			mx := math.Inf(-1)
+			for _, v := range row {
+				if v > mx {
+					mx = v
+				}
+			}
+			sum := 0.0
+			for j, v := range row {
+				e := math.Exp(v - mx)
+				orow[j] = e
+				sum += e
+			}
+			for j := range orow {
+				orow[j] /= sum
 			}
 		}
-		sum := 0.0
-		for j, v := range row {
-			e := math.Exp(v - mx)
-			orow[j] = e
-			sum += e
-		}
-		for j := range orow {
-			orow[j] /= sum
-		}
-	}
+	})
 	if out.requiresGrad {
 		out.backFn = func() {
 			a.ensureGrad()
-			for i := 0; i < a.rows; i++ {
-				orow := out.Data[i*a.cols : (i+1)*a.cols]
-				grow := out.Grad[i*a.cols : (i+1)*a.cols]
-				dot := 0.0
-				for j := range orow {
-					dot += orow[j] * grow[j]
+			compute.ParallelGrain(a.rows, rowGrain(cols), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					orow := out.Data[i*cols : (i+1)*cols]
+					grow := out.Grad[i*cols : (i+1)*cols]
+					dot := 0.0
+					for j := range orow {
+						dot += orow[j] * grow[j]
+					}
+					for j := range orow {
+						a.Grad[i*cols+j] += orow[j] * (grow[j] - dot)
+					}
 				}
-				for j := range orow {
-					a.Grad[i*a.cols+j] += orow[j] * (grow[j] - dot)
-				}
-			}
+			})
 		}
 	}
 	return out
@@ -324,72 +410,83 @@ func MaskedRowSoftmax(a *Tensor, mask []bool) *Tensor {
 		panic(fmt.Sprintf("tensor: masked softmax mask len %d != %d", len(mask), len(a.Data)))
 	}
 	out := newResult(a.rows, a.cols, a)
-	for i := 0; i < a.rows; i++ {
-		row := a.Data[i*a.cols : (i+1)*a.cols]
-		mrow := mask[i*a.cols : (i+1)*a.cols]
-		orow := out.Data[i*a.cols : (i+1)*a.cols]
-		mx := math.Inf(-1)
-		any := false
-		for j, v := range row {
-			if mrow[j] && v > mx {
-				mx = v
-				any = true
+	cols := a.cols
+	compute.ParallelGrain(a.rows, rowGrain(cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.Data[i*cols : (i+1)*cols]
+			mrow := mask[i*cols : (i+1)*cols]
+			orow := out.Data[i*cols : (i+1)*cols]
+			mx := math.Inf(-1)
+			any := false
+			for j, v := range row {
+				if mrow[j] && v > mx {
+					mx = v
+					any = true
+				}
+			}
+			if !any {
+				continue
+			}
+			sum := 0.0
+			for j, v := range row {
+				if mrow[j] {
+					e := math.Exp(v - mx)
+					orow[j] = e
+					sum += e
+				}
+			}
+			for j := range orow {
+				orow[j] /= sum
 			}
 		}
-		if !any {
-			continue
-		}
-		sum := 0.0
-		for j, v := range row {
-			if mrow[j] {
-				e := math.Exp(v - mx)
-				orow[j] = e
-				sum += e
-			}
-		}
-		for j := range orow {
-			orow[j] /= sum
-		}
-	}
+	})
 	if out.requiresGrad {
 		out.backFn = func() {
 			a.ensureGrad()
-			for i := 0; i < a.rows; i++ {
-				orow := out.Data[i*a.cols : (i+1)*a.cols]
-				grow := out.Grad[i*a.cols : (i+1)*a.cols]
-				mrow := mask[i*a.cols : (i+1)*a.cols]
-				dot := 0.0
-				for j := range orow {
-					if mrow[j] {
-						dot += orow[j] * grow[j]
+			compute.ParallelGrain(a.rows, rowGrain(cols), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					orow := out.Data[i*cols : (i+1)*cols]
+					grow := out.Grad[i*cols : (i+1)*cols]
+					mrow := mask[i*cols : (i+1)*cols]
+					dot := 0.0
+					for j := range orow {
+						if mrow[j] {
+							dot += orow[j] * grow[j]
+						}
+					}
+					for j := range orow {
+						if mrow[j] {
+							a.Grad[i*cols+j] += orow[j] * (grow[j] - dot)
+						}
 					}
 				}
-				for j := range orow {
-					if mrow[j] {
-						a.Grad[i*a.cols+j] += orow[j] * (grow[j] - dot)
-					}
-				}
-			}
+			})
 		}
 	}
 	return out
 }
 
-// Sum returns the 1×1 sum of all elements.
+// Sum returns the 1×1 sum of all elements. The reduction uses the fixed
+// partition of compute.ReduceSum, so its value is independent of the
+// thread count.
 func Sum(a *Tensor) *Tensor {
 	out := newResult(1, 1, a)
-	s := 0.0
-	for _, v := range a.Data {
-		s += v
-	}
-	out.Data[0] = s
+	out.Data[0] = compute.ReduceSum(len(a.Data), func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += a.Data[i]
+		}
+		return s
+	})
 	if out.requiresGrad {
 		out.backFn = func() {
 			a.ensureGrad()
 			g := out.Grad[0]
-			for i := range a.Grad {
-				a.Grad[i] += g
-			}
+			compute.ParallelGrain(len(a.Grad), elemGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					a.Grad[i] += g
+				}
+			})
 		}
 	}
 	return out
@@ -417,9 +514,13 @@ func ConcatCols(ts ...*Tensor) *Tensor {
 	out := newResult(rows, total, ts...)
 	off := 0
 	for _, t := range ts {
-		for i := 0; i < rows; i++ {
-			copy(out.Data[i*total+off:i*total+off+t.cols], t.Data[i*t.cols:(i+1)*t.cols])
-		}
+		t := t
+		toff := off
+		compute.ParallelGrain(rows, rowGrain(t.cols), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				copy(out.Data[i*total+toff:i*total+toff+t.cols], t.Data[i*t.cols:(i+1)*t.cols])
+			}
+		})
 		off += t.cols
 	}
 	if out.requiresGrad {
@@ -428,11 +529,15 @@ func ConcatCols(ts ...*Tensor) *Tensor {
 			for _, t := range ts {
 				if t.requiresGrad {
 					t.ensureGrad()
-					for i := 0; i < rows; i++ {
-						for j := 0; j < t.cols; j++ {
-							t.Grad[i*t.cols+j] += out.Grad[i*total+off+j]
+					t := t
+					toff := off
+					compute.ParallelGrain(rows, rowGrain(t.cols), func(lo, hi int) {
+						for i := lo; i < hi; i++ {
+							for j := 0; j < t.cols; j++ {
+								t.Grad[i*t.cols+j] += out.Grad[i*total+toff+j]
+							}
 						}
-					}
+					})
 				}
 				off += t.cols
 			}

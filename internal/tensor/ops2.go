@@ -3,6 +3,8 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"mega/internal/compute"
 )
 
 // Additional ops used by the attention formulations.
@@ -32,25 +34,31 @@ func Div(a, b *Tensor) *Tensor {
 	return Mul(a, Reciprocal(b))
 }
 
-// RowSum returns the per-row sum as an m×1 tensor.
+// RowSum returns the per-row sum as an m×1 tensor. Row-parallel: each
+// row's sum stays a single serial accumulation.
 func RowSum(a *Tensor) *Tensor {
 	out := newResult(a.rows, 1, a)
-	for i := 0; i < a.rows; i++ {
-		s := 0.0
-		for j := 0; j < a.cols; j++ {
-			s += a.Data[i*a.cols+j]
+	cols := a.cols
+	compute.ParallelGrain(a.rows, rowGrain(cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			for j := 0; j < cols; j++ {
+				s += a.Data[i*cols+j]
+			}
+			out.Data[i] = s
 		}
-		out.Data[i] = s
-	}
+	})
 	if out.requiresGrad {
 		out.backFn = func() {
 			a.ensureGrad()
-			for i := 0; i < a.rows; i++ {
-				g := out.Grad[i]
-				for j := 0; j < a.cols; j++ {
-					a.Grad[i*a.cols+j] += g
+			compute.ParallelGrain(a.rows, rowGrain(cols), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					g := out.Grad[i]
+					for j := 0; j < cols; j++ {
+						a.Grad[i*cols+j] += g
+					}
 				}
-			}
+			})
 		}
 	}
 	return out
@@ -70,17 +78,21 @@ func NarrowCols(x *Tensor, start, n int) *Tensor {
 		panic(fmt.Sprintf("tensor: narrowcols [%d,%d) of %d cols", start, start+n, x.cols))
 	}
 	out := newResult(x.rows, n, x)
-	for i := 0; i < x.rows; i++ {
-		copy(out.Data[i*n:(i+1)*n], x.Data[i*x.cols+start:i*x.cols+start+n])
-	}
+	compute.ParallelGrain(x.rows, rowGrain(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(out.Data[i*n:(i+1)*n], x.Data[i*x.cols+start:i*x.cols+start+n])
+		}
+	})
 	if out.requiresGrad {
 		out.backFn = func() {
 			x.ensureGrad()
-			for i := 0; i < x.rows; i++ {
-				for j := 0; j < n; j++ {
-					x.Grad[i*x.cols+start+j] += out.Grad[i*n+j]
+			compute.ParallelGrain(x.rows, rowGrain(n), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					for j := 0; j < n; j++ {
+						x.Grad[i*x.cols+start+j] += out.Grad[i*n+j]
+					}
 				}
-			}
+			})
 		}
 	}
 	return out
@@ -92,19 +104,23 @@ func MulMask(a *Tensor, mask []bool) *Tensor {
 		panic(fmt.Sprintf("tensor: mask len %d != %d", len(mask), len(a.Data)))
 	}
 	out := newResult(a.rows, a.cols, a)
-	for i := range out.Data {
-		if mask[i] {
-			out.Data[i] = a.Data[i]
+	compute.ParallelGrain(len(out.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if mask[i] {
+				out.Data[i] = a.Data[i]
+			}
 		}
-	}
+	})
 	if out.requiresGrad {
 		out.backFn = func() {
 			a.ensureGrad()
-			for i := range out.Grad {
-				if mask[i] {
-					a.Grad[i] += out.Grad[i]
+			compute.ParallelGrain(len(out.Grad), elemGrain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if mask[i] {
+						a.Grad[i] += out.Grad[i]
+					}
 				}
-			}
+			})
 		}
 	}
 	return out

@@ -1,0 +1,56 @@
+package tensor
+
+// Parallelisation policy for the tensor kernels, built on the
+// internal/compute worker pool. Every kernel in this package follows one
+// of two deterministic decompositions:
+//
+//   - row/element split: each chunk owns a disjoint slice of the output
+//     (and of the gradient it writes), computed in exactly the serial
+//     order — bit-identical at any thread count;
+//   - column split: scatter-style accumulations (ScatterAddRows, MatMul's
+//     dB, gather backward) partition the *columns* so concurrent chunks
+//     never touch the same accumulator, while the row-ascending
+//     accumulation order per element stays the serial order.
+//
+// No kernel combines partial floating-point sums across chunks except via
+// compute.ReduceSum, whose partition is fixed independent of the thread
+// count. See DESIGN.md, "Threading model".
+
+const (
+	// elemGrain is the minimum number of elements per chunk for flat
+	// elementwise loops; below ~4k elements goroutine handoff costs more
+	// than the loop body.
+	elemGrain = 4096
+	// flopGrain is the minimum number of multiply-adds per chunk for
+	// matmul-like kernels.
+	flopGrain = 1 << 15
+	// matmulKBlock tiles the shared dimension so a block of B rows stays
+	// cache-resident while a row chunk sweeps it.
+	matmulKBlock = 64
+)
+
+// rowGrain returns the minimum rows per chunk for a row-split kernel over
+// cols-wide rows.
+func rowGrain(cols int) int {
+	if cols < 1 {
+		cols = 1
+	}
+	g := elemGrain / cols
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// workGrain returns the minimum outer iterations per chunk when each
+// iteration performs `inner` multiply-adds.
+func workGrain(inner int) int {
+	if inner < 1 {
+		inner = 1
+	}
+	g := flopGrain / inner
+	if g < 1 {
+		g = 1
+	}
+	return g
+}

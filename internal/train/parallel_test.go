@@ -1,0 +1,64 @@
+package train
+
+import (
+	"testing"
+
+	"mega/internal/compute"
+	"mega/internal/datasets"
+	"mega/internal/models"
+)
+
+// End-to-end thread-count equivalence: an identical GT training run must
+// produce bit-identical losses and metrics whether the compute pool runs
+// one thread or many. GT is the model with the guarantee — GatedGCN's
+// BatchNorm shares the same deterministic kernels, but GT exercises the
+// full attention path (softmax, layer norm, segment ops) end to end.
+func TestTrainingThreadEquivalence(t *testing.T) {
+	d, err := datasets.Generate("ZINC", datasets.Config{TrainSize: 16, ValSize: 8, TestSize: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(threads int, engine models.EngineKind) *Result {
+		res, err := Run(d, Options{
+			Model: "GT", Engine: engine,
+			Dim: 16, Layers: 2, Heads: 2,
+			BatchSize: 8, LR: 3e-3, Epochs: 2, Seed: 9,
+			Threads: threads,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, engine := range []models.EngineKind{models.EngineDGL, models.EngineMega} {
+		t.Run(engine.String(), func(t *testing.T) {
+			serial := run(1, engine)
+			for _, n := range []int{3, 8} {
+				par := run(n, engine)
+				for i, s := range serial.Stats {
+					p := par.Stats[i]
+					if p.TrainLoss != s.TrainLoss || p.ValLoss != s.ValLoss || p.ValMetric != s.ValMetric {
+						t.Errorf("threads=%d epoch %d: (train %v, val %v, metric %v) != serial (train %v, val %v, metric %v)",
+							n, s.Epoch, p.TrainLoss, p.ValLoss, p.ValMetric, s.TrainLoss, s.ValLoss, s.ValMetric)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestThreadsOptionRestoresBudget pins that Run's thread override is
+// scoped to the run.
+func TestThreadsOptionRestoresBudget(t *testing.T) {
+	before := compute.MaxThreads()
+	d, err := datasets.Generate("ZINC", datasets.Config{TrainSize: 8, ValSize: 4, TestSize: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(d, Options{Model: "GCN", Dim: 8, Layers: 1, Epochs: 1, BatchSize: 8, Threads: before + 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := compute.MaxThreads(); got != before {
+		t.Errorf("thread budget after Run = %d, want restored %d", got, before)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"time"
 
+	"mega/internal/compute"
 	"mega/internal/datasets"
 	"mega/internal/gpusim"
 	"mega/internal/models"
@@ -45,6 +46,11 @@ type Options struct {
 	// halve the learning rate after 5 epochs without validation-loss
 	// improvement.
 	LRPlateau bool
+	// Threads caps the compute worker pool for the duration of the run
+	// (0 = leave the process-wide budget alone; see internal/compute).
+	// Results are identical at any setting — the kernels partition work
+	// deterministically — so this is purely a resource-control knob.
+	Threads int
 }
 
 func (o Options) withDefaults() Options {
@@ -135,6 +141,10 @@ var ErrUnknownModel = errors.New("train: unknown model")
 // Run trains the configured model on ds and returns per-epoch statistics.
 func Run(ds *datasets.Dataset, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	if opts.Threads > 0 {
+		prev := compute.SetMaxThreads(opts.Threads)
+		defer compute.SetMaxThreads(prev)
+	}
 
 	cfg := models.Config{
 		Dim: opts.Dim, Layers: opts.Layers, Heads: opts.Heads,

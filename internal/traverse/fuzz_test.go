@@ -1,0 +1,94 @@
+package traverse
+
+import (
+	"math/rand"
+	"testing"
+
+	"mega/internal/graph"
+)
+
+// FuzzTraverse drives the objective traversal over fuzzer-chosen random
+// topologies, windows, and policies, and checks the structural invariants
+// every full-coverage path representation must satisfy:
+//
+//   - every vertex appears in the path, every entry is in range;
+//   - with θ = 1 every edge is covered (EdgeCoverageRatio exactly 1);
+//   - Revisits and VirtualEdges agree with the path itself;
+//   - the revisit count respects the two-sided coverage lower bound
+//     Σ⌈d_i/(2ω)⌉ − n: one appearance can band-cover at most ω preceding
+//     plus ω following neighbours, so full coverage forces at least that
+//     many appearances. (The paper's §III-B figure Σ⌈d_i/ω⌉ − n counts
+//     one-sided coverage and is routinely beaten by real paths.)
+func FuzzTraverse(f *testing.F) {
+	f.Add(uint8(10), uint16(15), int64(1), uint8(0), uint8(0))
+	f.Add(uint8(5), uint16(10), int64(2), uint8(1), uint8(1))
+	f.Add(uint8(30), uint16(200), int64(3), uint8(3), uint8(2))
+	f.Add(uint8(1), uint16(0), int64(4), uint8(2), uint8(3))
+	f.Add(uint8(17), uint16(40), int64(-5), uint8(5), uint8(4))
+
+	f.Fuzz(func(t *testing.T, nRaw uint8, mRaw uint16, seed int64, wRaw, policyRaw uint8) {
+		n := int(nRaw)%40 + 1
+		maxM := n * (n - 1) / 2
+		m := 0
+		if maxM > 0 {
+			m = int(mRaw) % (maxM + 1)
+		}
+		g := graph.ErdosRenyiM(rand.New(rand.NewSource(seed)), n, m)
+		opts := Options{
+			Window:        int(wRaw) % 6, // 0 selects the adaptive window
+			EdgeCoverage:  1,
+			Start:         -1,
+			RevisitPolicy: RevisitPolicy(int(policyRaw) % 3),
+			Objective:     Objective(int(policyRaw/3) % 2),
+		}
+		res, err := Run(g, opts)
+		if err != nil {
+			t.Fatalf("n=%d m=%d: %v", n, m, err)
+		}
+
+		if len(res.Virtual) != len(res.Path) {
+			t.Fatalf("virtual len %d != path len %d", len(res.Virtual), len(res.Path))
+		}
+		seen := make(map[graph.NodeID]bool, n)
+		virt := 0
+		for i, v := range res.Path {
+			if int(v) < 0 || int(v) >= n {
+				t.Fatalf("path[%d] = %d out of [0,%d)", i, v, n)
+			}
+			seen[v] = true
+			if res.Virtual[i] {
+				virt++
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("path covers %d of %d vertices", len(seen), n)
+		}
+		if len(res.Virtual) > 0 && res.Virtual[0] {
+			t.Fatal("Virtual[0] must be false")
+		}
+		if virt != res.VirtualEdges {
+			t.Fatalf("VirtualEdges = %d, path has %d", res.VirtualEdges, virt)
+		}
+		if got := len(res.Path) - len(seen); got != res.Revisits {
+			t.Fatalf("Revisits = %d, path implies %d", res.Revisits, got)
+		}
+
+		if res.Window < 1 {
+			t.Fatalf("effective window %d < 1", res.Window)
+		}
+		if res.TotalEdges != g.NumEdges() {
+			t.Fatalf("TotalEdges = %d, graph has %d", res.TotalEdges, g.NumEdges())
+		}
+		if res.CoveredEdges > res.TotalEdges {
+			t.Fatalf("covered %d > total %d", res.CoveredEdges, res.TotalEdges)
+		}
+		if res.EdgeCoverageRatio() != 1 {
+			t.Fatalf("θ=1 left coverage at %v (%d/%d)",
+				res.EdgeCoverageRatio(), res.CoveredEdges, res.TotalEdges)
+		}
+
+		if lb := RevisitLowerBound(g.Degrees(), 2*res.Window); res.Revisits < lb {
+			t.Fatalf("revisits %d below two-sided lower bound %d (ω=%d)", res.Revisits, lb, res.Window)
+		}
+	})
+}
