@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race race race-short bench bench-compute fuzz fuzz-smoke experiments examples clean
+.PHONY: all check build vet test test-race race race-short bench bench-compute bench-attention fuzz fuzz-smoke experiments examples clean
 
 all: check
 
@@ -44,6 +44,12 @@ bench:
 bench-compute:
 	$(GO) test ./internal/tensor/ -run '^$$' -bench 'MatMul|Elementwise|LayerNorm' -benchtime 2x
 	$(GO) test ./internal/models/ -run '^$$' -bench 'Mega' -benchtime 2x
+
+# bench-attention regenerates the fused-vs-staged attention numbers
+# recorded in BENCH_attention.json (fixed iteration count for comparable
+# runs; -benchmem because allocation counts are half the claim).
+bench-attention:
+	$(GO) test ./internal/models/ -run '^$$' -bench 'Attention' -benchtime 20x -benchmem
 
 # Short fuzzing passes over the binary decoder, the traversal, and the
 # graph hashes.

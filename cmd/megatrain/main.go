@@ -7,15 +7,20 @@
 //	megatrain [-dataset ZINC] [-model GCN|GT] [-engine dgl|mega]
 //	          [-dim d] [-layers L] [-batch B] [-epochs E] [-lr r]
 //	          [-train n] [-val n] [-drop f] [-seed s] [-profile]
-//	          [-checkpoint model.ckpt]
+//	          [-attention fused|staged] [-checkpoint model.ckpt]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With -checkpoint, the trained parameters are saved for cmd/megaserve.
+// -cpuprofile/-memprofile write Go pprof profiles covering the training
+// run (see DESIGN.md, "Profiling the Go implementation").
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"mega/internal/datasets"
 	"mega/internal/models"
@@ -46,9 +51,38 @@ func run(args []string) error {
 	drop := fs.Float64("drop", 0, "edge-drop fraction (mega engine)")
 	seed := fs.Int64("seed", 1, "seed")
 	profile := fs.Bool("profile", true, "attach the GPU simulator")
+	attention := fs.String("attention", "", "attention implementation: fused or staged (default: $MEGA_ATTENTION, then fused)")
 	ckpt := fs.String("checkpoint", "", "write the trained model here for megaserve")
+	cpuProfile := fs.String("cpuprofile", "", "write a Go CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a Go heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "megatrain: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // surface live allocations, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "megatrain: memprofile:", err)
+			}
+		}()
 	}
 
 	ds, err := datasets.Generate(*dsName, datasets.Config{
@@ -72,7 +106,7 @@ func run(args []string) error {
 		Model: *model, Engine: kind,
 		Dim: *dim, Layers: *layers,
 		BatchSize: *batch, LR: *lr, Epochs: *epochs, Seed: *seed,
-		Profile: *profile,
+		Profile: *profile, Attention: *attention,
 	}
 	if *drop > 0 {
 		opts.Mega.Traverse = traverse.Options{

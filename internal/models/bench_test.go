@@ -1,6 +1,7 @@
 package models
 
 import (
+	"math"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -79,3 +80,125 @@ func benchMegaPreprocess(b *testing.B, threads int) {
 
 func BenchmarkMegaPreprocessSerial(b *testing.B)   { benchMegaPreprocess(b, 1) }
 func BenchmarkMegaPreprocessParallel(b *testing.B) { benchMegaPreprocess(b, runtime.NumCPU()) }
+
+// Per-layer attention benchmarks: forward + backward of the attention
+// block alone (projections and FFNs excluded — they are identical dense
+// matmuls either way and would drown the comparison), fused kernel vs
+// staged pipeline, on both engines' pair lists. Allocation counts are
+// part of the result: the fused path with an arena is near allocation-
+// free in steady state, the staged path builds its whole pair-major
+// intermediate chain every step.
+func benchAttentionContext(b *testing.B, engine EngineKind) *Context {
+	b.Helper()
+	insts := benchInstances(b)
+	var ctx *Context
+	var err error
+	if engine == EngineMega {
+		ctx, err = NewMegaContext(insts, MegaOptions{}, nil, 64)
+	} else {
+		ctx, err = NewDGLContext(insts, nil, 64)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx.Scratch = tensor.NewArena()
+	return ctx
+}
+
+func benchAttentionGT(b *testing.B, engine EngineKind, fused bool) {
+	ctx := benchAttentionContext(b, engine)
+	const d, heads = 64, 4
+	dk := d / heads
+	rng := rand.New(rand.NewSource(7))
+	qh := tensor.Randn(rng, ctx.NumRows, d, 0.5).RequireGrad()
+	kh := tensor.Randn(rng, ctx.NumRows, d, 0.5).RequireGrad()
+	vh := tensor.Randn(rng, ctx.NumRows, d, 0.5).RequireGrad()
+	eh := tensor.Randn(rng, ctx.NumEdges, d, 0.5).RequireGrad()
+	leaves := []*tensor.Tensor{qh, kh, vh, eh}
+	step := func() {
+		for _, p := range leaves {
+			p.ZeroGrad()
+		}
+		var att, edgeAvg *tensor.Tensor
+		if fused {
+			att, edgeAvg = ctx.FusedGTAttention(qh, kh, vh, eh, heads)
+		} else {
+			qp := ctx.GatherRecv(qh)
+			kp := ctx.GatherSend(kh)
+			vp := ctx.GatherSend(vh)
+			ep := ctx.GatherEdges(eh)
+			kmod := tensor.Mul(kp, ep)
+			headOuts := make([]*tensor.Tensor, heads)
+			scale := 1 / math.Sqrt(float64(dk))
+			for a := 0; a < heads; a++ {
+				qa := tensor.NarrowCols(qp, a*dk, dk)
+				ka := tensor.NarrowCols(kmod, a*dk, dk)
+				va := tensor.NarrowCols(vp, a*dk, dk)
+				score := tensor.Scale(tensor.RowDot(qa, ka), scale)
+				alpha := ctx.SegmentSoftmaxByRecv(score)
+				headOuts[a] = ctx.AggregateByRecv(tensor.MulColVec(va, alpha))
+			}
+			att = tensor.ConcatCols(headOuts...)
+			edgeAvg = ctx.EdgeMean(kmod)
+		}
+		tensor.Add(tensor.Sum(att), tensor.Sum(edgeAvg)).Backward()
+	}
+	step() // warm the arena so the measured loop sees steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}
+
+func benchAttentionGAT(b *testing.B, engine EngineKind, fused bool) {
+	ctx := benchAttentionContext(b, engine)
+	const d, heads = 64, 4
+	dk := d / heads
+	rng := rand.New(rand.NewSource(8))
+	wh := tensor.Randn(rng, ctx.NumRows, d, 0.5).RequireGrad()
+	aL := tensor.Randn(rng, 1, d, 0.1).RequireGrad()
+	aR := tensor.Randn(rng, 1, d, 0.1).RequireGrad()
+	leaves := []*tensor.Tensor{wh, aL, aR}
+	step := func() {
+		for _, p := range leaves {
+			p.ZeroGrad()
+		}
+		var att *tensor.Tensor
+		if fused {
+			att = ctx.FusedGATAttention(wh, aL, aR, heads)
+		} else {
+			sL := tensor.Mul(wh, broadcastRow(aL, wh.Rows()))
+			sR := tensor.Mul(wh, broadcastRow(aR, wh.Rows()))
+			whSend := ctx.GatherSend(wh)
+			sLr := ctx.GatherRecv(sL)
+			sRs := ctx.GatherSend(sR)
+			headOuts := make([]*tensor.Tensor, heads)
+			for a := 0; a < heads; a++ {
+				lhs := tensor.RowSum(tensor.NarrowCols(sLr, a*dk, dk))
+				rhs := tensor.RowSum(tensor.NarrowCols(sRs, a*dk, dk))
+				score := ctx.Act(leakyReLU, tensor.Add(lhs, rhs))
+				alpha := ctx.SegmentSoftmaxByRecv(score)
+				va := tensor.NarrowCols(whSend, a*dk, dk)
+				headOuts[a] = ctx.AggregateByRecv(tensor.MulColVec(va, alpha))
+			}
+			att = tensor.ConcatCols(headOuts...)
+		}
+		tensor.Sum(att).Backward()
+	}
+	step()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}
+
+func BenchmarkAttentionGTMegaFused(b *testing.B)   { benchAttentionGT(b, EngineMega, true) }
+func BenchmarkAttentionGTMegaStaged(b *testing.B)  { benchAttentionGT(b, EngineMega, false) }
+func BenchmarkAttentionGTDGLFused(b *testing.B)    { benchAttentionGT(b, EngineDGL, true) }
+func BenchmarkAttentionGTDGLStaged(b *testing.B)   { benchAttentionGT(b, EngineDGL, false) }
+func BenchmarkAttentionGATMegaFused(b *testing.B)  { benchAttentionGAT(b, EngineMega, true) }
+func BenchmarkAttentionGATMegaStaged(b *testing.B) { benchAttentionGAT(b, EngineMega, false) }
+func BenchmarkAttentionGATDGLFused(b *testing.B)   { benchAttentionGAT(b, EngineDGL, true) }
+func BenchmarkAttentionGATDGLStaged(b *testing.B)  { benchAttentionGAT(b, EngineDGL, false) }

@@ -67,9 +67,42 @@ type Context struct {
 	Targets *tensor.Tensor // [NumGraphs,1] regression targets
 	Labels  []int          // classification labels
 
+	// Scratch pools the fused attention path's forward/backward scratch
+	// buffers across steps (owned by the train loop or the serve worker
+	// pool); nil falls back to plain allocation.
+	Scratch *tensor.Arena
+
 	// counter tallies abstract op calls for Table I; nil outside
 	// CountOps probes.
 	counter *opCounter
+
+	// Lazily-built CSR groupings of the pair list, shared by every fused
+	// attention layer and step over this context.
+	byRecv, bySend, byEdge *tensor.Segments
+}
+
+// recvSegments groups pairs by receiver row (built once, cached).
+func (c *Context) recvSegments() *tensor.Segments {
+	if c.byRecv == nil {
+		c.byRecv = tensor.BuildSegments(c.RecvIdx, c.NumRows)
+	}
+	return c.byRecv
+}
+
+// sendSegments groups pairs by sender row.
+func (c *Context) sendSegments() *tensor.Segments {
+	if c.bySend == nil {
+		c.bySend = tensor.BuildSegments(c.SendIdx, c.NumRows)
+	}
+	return c.bySend
+}
+
+// edgeSegments groups pairs by undirected edge ID.
+func (c *Context) edgeSegments() *tensor.Segments {
+	if c.byEdge == nil {
+		c.byEdge = tensor.BuildSegments(c.EdgeIdx, c.NumEdges)
+	}
+	return c.byEdge
 }
 
 // NumPairs returns the directed pair count.
@@ -179,6 +212,68 @@ func (c *Context) SyncDuplicates(h *tensor.Tensor) *tensor.Tensor {
 		return h
 	}
 	return c.Sync(h)
+}
+
+// FusedGTAttention runs the GT layer's whole attention block — per-pair
+// q/k/v/ê projections, edge-modulated scaled dot-product scores, segment
+// softmax, and per-head aggregation — as one fused kernel, plus the
+// per-edge mean of k⊙ê for the edge stream. Bit-identical to the staged
+// pipeline. It tallies the same abstract op counts and emits the same
+// simulated-kernel address streams as the staged ops it replaces (the
+// kernel reads the same rows in the same band order, so profiling stays
+// honest); only the edge-mean scatter is emitted separately, via
+// NoteEdgeMean at the staged pipeline's emission point.
+func (c *Context) FusedGTAttention(q, k, v, ew *tensor.Tensor, heads int) (att, edgeMean *tensor.Tensor) {
+	if c.counter != nil {
+		c.counter.gathers += 4 + heads
+		c.counter.scatters += 2 * heads
+	}
+	c.Prof.pairGatherNodes(c, c.RecvIdx, q.Cols())
+	c.Prof.pairGatherNodes(c, c.SendIdx, k.Cols())
+	c.Prof.pairGatherNodes(c, c.SendIdx, v.Cols())
+	c.Prof.pairGatherEdges(c, ew.Cols())
+	dk := q.Cols() / heads
+	for a := 0; a < heads; a++ {
+		c.Prof.pairScatter(c, 1)
+		c.Prof.pairGatherNodes(c, c.RecvIdx, 1)
+		c.Prof.pairScatter(c, dk)
+	}
+	return tensor.FusedSegmentAttention(q, k, v, ew, c.RecvIdx, c.SendIdx, c.EdgeIdx,
+		c.recvSegments(), c.sendSegments(), c.edgeSegments(), heads, c.Scratch)
+}
+
+// NoteEdgeMean accounts the edge-mean reduction already computed inside
+// FusedGTAttention, at the exact point the staged pipeline emitted it —
+// the simulated L2 is order-sensitive, so emission order is part of the
+// profiling contract.
+func (c *Context) NoteEdgeMean(cols int) {
+	if c.counter != nil {
+		c.counter.scatters++
+	}
+	c.Prof.edgeReduce(c, cols)
+}
+
+// FusedGATAttention runs the GAT layer's attention block — additive
+// leaky-ReLU scores from the aL/aR attention vectors, segment softmax,
+// per-head aggregation of Wh — as one fused kernel, bit-identical to the
+// staged pipeline, with the staged path's op counts and kernel emissions.
+func (c *Context) FusedGATAttention(wh, aL, aR *tensor.Tensor, heads int) *tensor.Tensor {
+	if c.counter != nil {
+		c.counter.gathers += 3 + heads
+		c.counter.scatters += 2 * heads
+	}
+	c.Prof.pairGatherNodes(c, c.SendIdx, wh.Cols())
+	c.Prof.pairGatherNodes(c, c.RecvIdx, wh.Cols())
+	c.Prof.pairGatherNodes(c, c.SendIdx, wh.Cols())
+	dk := wh.Cols() / heads
+	for a := 0; a < heads; a++ {
+		c.Prof.Elementwise(c.NumPairs())
+		c.Prof.pairScatter(c, 1)
+		c.Prof.pairGatherNodes(c, c.RecvIdx, 1)
+		c.Prof.pairScatter(c, dk)
+	}
+	return tensor.FusedAdditiveAttention(wh, aL, aR, c.RecvIdx, c.SendIdx,
+		c.recvSegments(), c.sendSegments(), heads, c.Scratch)
 }
 
 // Readout mean-pools working rows per member graph (or applies the

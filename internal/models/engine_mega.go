@@ -15,15 +15,39 @@ import (
 // MegaOptions configures the MEGA engine's preprocessing.
 type MegaOptions struct {
 	// Traverse controls the path construction (window, coverage, edge
-	// dropping). The zero value selects traverse.DefaultOptions.
+	// dropping). Zero-valued fields resolve per field to
+	// traverse.DefaultOptions: EdgeCoverage 0 means full coverage and
+	// Start 0 means highest-degree start — an explicit vertex-0 start
+	// must be requested via PinStart, since 0 is also the zero value.
 	Traverse traverse.Options
+
+	// startPinned marks Traverse.Start as explicitly set, so a zero
+	// Start means "vertex 0", not "use the default". Set via PinStart —
+	// the explicit-set marker idiom of serve.Options.WithCacheCapacity.
+	startPinned bool
 }
 
-// traverseOptions resolves the zero value to the engine defaults.
+// PinStart returns o with the traversal start pinned to v, unambiguously:
+// PinStart(0) starts at vertex 0, whereas a zero Traverse.Start without
+// PinStart resolves to the default (highest-degree) start.
+func (o MegaOptions) PinStart(v graph.NodeID) MegaOptions {
+	o.Traverse.Start = v
+	o.startPinned = true
+	return o
+}
+
+// traverseOptions resolves zero-valued fields to the engine defaults,
+// per field: previously the defaults applied only when EdgeCoverage,
+// Window, and Start were all zero, so an explicitly-set Window silently
+// turned EdgeCoverage 0 into "cover nothing" and Start 0 into "vertex 0".
 func (o MegaOptions) traverseOptions() traverse.Options {
 	t := o.Traverse
-	if t.EdgeCoverage == 0 && t.Window == 0 && t.Start == 0 {
-		t = traverse.DefaultOptions()
+	def := traverse.DefaultOptions()
+	if t.EdgeCoverage == 0 {
+		t.EdgeCoverage = def.EdgeCoverage
+	}
+	if t.Start == 0 && !o.startPinned {
+		t.Start = def.Start
 	}
 	return t
 }

@@ -1,0 +1,249 @@
+package models
+
+import (
+	"runtime"
+	"testing"
+
+	"mega/internal/compute"
+	"mega/internal/gpusim"
+	"mega/internal/tensor"
+)
+
+// Fused-vs-staged equivalence: the fused attention kernel must reproduce
+// the staged pipeline bit-for-bit — identical forward outputs, identical
+// gradients on every parameter, at any thread count, on both engines, for
+// both attention models. Exact equality, not tolerance: the kernel
+// replicates the staged ops' accumulation orders, so any drift is a bug.
+
+// buildEquivContext builds one context per engine over shared instances.
+func equivContexts(t *testing.T) map[string]*Context {
+	t.Helper()
+	insts := testInstances(t, 6)
+	megaCtx, err := NewMegaContext(insts, MegaOptions{}, nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dglCtx, err := NewDGLContext(insts, nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Context{"mega": megaCtx, "dgl": dglCtx}
+}
+
+// newAttnModel builds a GT or GAT with the given attention mode.
+func newAttnModel(t *testing.T, name, mode string) Model {
+	t.Helper()
+	cfg := smallConfig()
+	cfg.Attention = mode
+	switch name {
+	case "GT":
+		return NewGT(cfg)
+	case "GAT":
+		return NewGAT(cfg)
+	}
+	t.Fatalf("unknown model %q", name)
+	return nil
+}
+
+// stepExact runs steps forward+backward passes (simulating training by
+// scaling params with their gradients between steps, so later steps see
+// diverging inputs if anything drifts) and returns the final outputs and
+// parameter gradients.
+func stepExact(t *testing.T, m Model, ctx *Context, steps int) (*tensor.Tensor, [][]float64) {
+	t.Helper()
+	params := m.Params()
+	var out *tensor.Tensor
+	for s := 0; s < steps; s++ {
+		for _, p := range params {
+			p.ZeroGrad()
+		}
+		out = m.Forward(ctx)
+		loss := tensor.MAELoss(out, ctx.Targets)
+		loss.Backward()
+		if s+1 < steps {
+			// A deterministic SGD-flavoured update keeps the
+			// trajectories comparable across implementations.
+			for _, p := range params {
+				if p.Grad == nil {
+					continue
+				}
+				for i := range p.Data {
+					p.Data[i] -= 1e-3 * p.Grad[i]
+				}
+			}
+		}
+	}
+	grads := make([][]float64, len(params))
+	for i, p := range params {
+		if p.Grad != nil {
+			grads[i] = append([]float64(nil), p.Grad...)
+		}
+	}
+	return out, grads
+}
+
+func TestFusedMatchesStagedExactly(t *testing.T) {
+	ctxs := equivContexts(t)
+	for _, model := range []string{"GT", "GAT"} {
+		for engine, ctx := range ctxs {
+			t.Run(model+"/"+engine, func(t *testing.T) {
+				staged := newAttnModel(t, model, "staged")
+				fused := newAttnModel(t, model, "fused")
+				sOut, sGrads := stepExact(t, staged, ctx, 3)
+				fOut, fGrads := stepExact(t, fused, ctx, 3)
+				for i := range sOut.Data {
+					if sOut.Data[i] != fOut.Data[i] {
+						t.Fatalf("output %d: staged %v fused %v", i, sOut.Data[i], fOut.Data[i])
+					}
+				}
+				if len(sGrads) != len(fGrads) {
+					t.Fatalf("param count mismatch %d vs %d", len(sGrads), len(fGrads))
+				}
+				for pi := range sGrads {
+					if len(sGrads[pi]) != len(fGrads[pi]) {
+						t.Fatalf("param %d grad presence mismatch", pi)
+					}
+					for i := range sGrads[pi] {
+						if sGrads[pi][i] != fGrads[pi][i] {
+							t.Fatalf("param %d grad %d: staged %v fused %v",
+								pi, i, sGrads[pi][i], fGrads[pi][i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFusedThreadInvariant pins that the fused path is bit-identical at
+// any thread count (and so equal to the staged serial reference).
+func TestFusedThreadInvariant(t *testing.T) {
+	insts := testInstances(t, 6)
+	run := func(threads int, model string) (*tensor.Tensor, [][]float64) {
+		prev := compute.SetMaxThreads(threads)
+		defer compute.SetMaxThreads(prev)
+		ctx, err := NewMegaContext(insts, MegaOptions{}, nil, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx.Scratch = tensor.NewArena()
+		m := newAttnModel(t, model, "fused")
+		return stepExact(t, m, ctx, 2)
+	}
+	for _, model := range []string{"GT", "GAT"} {
+		base, baseG := run(1, model)
+		for _, threads := range []int{2, runtime.NumCPU()} {
+			out, grads := run(threads, model)
+			for i := range base.Data {
+				if base.Data[i] != out.Data[i] {
+					t.Fatalf("%s output %d differs at %d threads", model, i, threads)
+				}
+			}
+			for pi := range baseG {
+				for i := range baseG[pi] {
+					if baseG[pi][i] != grads[pi][i] {
+						t.Fatalf("%s param %d grad %d differs at %d threads", model, pi, i, threads)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFusedOpCountsMatchStaged pins that Table I's abstract op accounting
+// is independent of the attention implementation.
+func TestFusedOpCountsMatchStaged(t *testing.T) {
+	ctxs := equivContexts(t)
+	for _, model := range []string{"GT", "GAT"} {
+		for engine, ctx := range ctxs {
+			staged := newAttnModel(t, model, "staged")
+			fused := newAttnModel(t, model, "fused")
+			var sc, fc OpCounts
+			switch m := staged.(type) {
+			case *GT:
+				sc = m.CountOps(ctx)
+			case *GAT:
+				sc = m.CountOps(ctx)
+			}
+			switch m := fused.(type) {
+			case *GT:
+				fc = m.CountOps(ctx)
+			case *GAT:
+				fc = m.CountOps(ctx)
+			}
+			if sc != fc {
+				t.Fatalf("%s/%s op counts: staged %+v fused %+v", model, engine, sc, fc)
+			}
+		}
+	}
+}
+
+// TestFusedProfilingMatchesStaged pins that the fused path reports the
+// exact same simulated-kernel stream as the staged path: gpusim's L2 is
+// a real set-associative LRU, so identical cycle totals mean identical
+// address streams in identical order — the "profiling stays honest"
+// requirement.
+func TestFusedProfilingMatchesStaged(t *testing.T) {
+	insts := testInstances(t, 6)
+	cycles := func(engine EngineKind, mode string) (float64, float64) {
+		sim := gpusim.New(gpusim.GTX1080())
+		var ctx *Context
+		var err error
+		if engine == EngineMega {
+			ctx, err = NewMegaContext(insts, MegaOptions{}, sim, 16)
+		} else {
+			ctx, err = NewDGLContext(insts, sim, 16)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := newAttnModel(t, "GT", mode)
+		out := m.Forward(ctx)
+		fwd := sim.TotalCycles()
+		tensor.MAELoss(out, ctx.Targets).Backward()
+		ctx.Prof.Backward()
+		return fwd, sim.TotalCycles()
+	}
+	for _, engine := range []EngineKind{EngineMega, EngineDGL} {
+		sf, st := cycles(engine, "staged")
+		ff, ft := cycles(engine, "fused")
+		if sf != ff || st != ft {
+			t.Fatalf("%v cycles differ: staged fwd %v total %v, fused fwd %v total %v",
+				engine, sf, st, ff, ft)
+		}
+	}
+}
+
+// TestFusedArenaReuseIsExact pins that reusing pooled scratch across many
+// steps cannot perturb results: the second and later steps (served from
+// the arena) must match a fresh-allocation run bit-for-bit.
+func TestFusedArenaReuseIsExact(t *testing.T) {
+	insts := testInstances(t, 4)
+	run := func(arena *tensor.Arena) (*tensor.Tensor, [][]float64) {
+		ctx, err := NewMegaContext(insts, MegaOptions{}, nil, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx.Scratch = arena
+		m := newAttnModel(t, "GT", "fused")
+		return stepExact(t, m, ctx, 4)
+	}
+	base, baseG := run(nil)
+	arena := tensor.NewArena()
+	out, grads := run(arena)
+	for i := range base.Data {
+		if base.Data[i] != out.Data[i] {
+			t.Fatalf("output %d differs under arena reuse", i)
+		}
+	}
+	for pi := range baseG {
+		for i := range baseG[pi] {
+			if baseG[pi][i] != grads[pi][i] {
+				t.Fatalf("param %d grad %d differs under arena reuse", pi, i)
+			}
+		}
+	}
+	if arena.Buffered() == 0 {
+		t.Fatal("arena never reclaimed any scratch buffer")
+	}
+}

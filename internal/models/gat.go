@@ -23,6 +23,7 @@ import (
 // directly into the DGL-vs-MEGA comparison.
 type GAT struct {
 	cfg     Config
+	fused   bool
 	enc     *encoder
 	layers  []*gatLayer
 	readout *nn.MLP
@@ -45,6 +46,7 @@ func NewGAT(cfg Config) *GAT {
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x6A7))
 	m := &GAT{
 		cfg:     cfg,
+		fused:   cfg.fusedAttention(),
 		enc:     newEncoder(rng, cfg),
 		readout: nn.NewMLP(rng, cfg.Dim, cfg.Dim/2, cfg.OutDim),
 	}
@@ -79,7 +81,7 @@ func (m *GAT) Params() []*tensor.Tensor {
 func (m *GAT) Forward(ctx *Context) *tensor.Tensor {
 	h, _ := m.enc.forward(ctx)
 	for _, l := range m.layers {
-		h = l.forward(ctx, h, m.cfg.Heads)
+		h = l.forward(ctx, h, m.cfg.Heads, m.fused)
 	}
 	pooled := ctx.Readout(h)
 	ctx.Prof.Linear(pooled.Rows(), pooled.Cols(), m.cfg.OutDim)
@@ -92,31 +94,39 @@ func leakyReLU(x *tensor.Tensor) *tensor.Tensor {
 }
 
 // forward runs one GAT block.
-func (l *gatLayer) forward(ctx *Context, h *tensor.Tensor, heads int) *tensor.Tensor {
+func (l *gatLayer) forward(ctx *Context, h *tensor.Tensor, heads int, fused bool) *tensor.Tensor {
 	ctx.Prof.LayerStart()
 	d := h.Cols()
 	dk := d / heads
 
 	wh := ctx.Linear(l.w, h)
-	// Per-row score halves: sL[i] = a_l·(Wh)_i per head, computed densely
-	// then gathered per pair — the neural-then-graph split of §II-A.
-	sL := tensor.Mul(wh, broadcastRow(l.aL, wh.Rows()))
-	sR := tensor.Mul(wh, broadcastRow(l.aR, wh.Rows()))
+	var att *tensor.Tensor
+	if fused {
+		// One kernel for score halves, leaky scores, softmax, and
+		// aggregation; bit-identical to the staged pipeline below.
+		att = ctx.FusedGATAttention(wh, l.aL, l.aR, heads)
+	} else {
+		// Per-row score halves: sL[i] = a_l·(Wh)_i per head, computed
+		// densely then gathered per pair — the neural-then-graph split
+		// of §II-A.
+		sL := tensor.Mul(wh, broadcastRow(l.aL, wh.Rows()))
+		sR := tensor.Mul(wh, broadcastRow(l.aR, wh.Rows()))
 
-	whSend := ctx.GatherSend(wh)
-	sLr := ctx.GatherRecv(sL)
-	sRs := ctx.GatherSend(sR)
+		whSend := ctx.GatherSend(wh)
+		sLr := ctx.GatherRecv(sL)
+		sRs := ctx.GatherSend(sR)
 
-	headOuts := make([]*tensor.Tensor, heads)
-	for a := 0; a < heads; a++ {
-		lhs := tensor.RowSum(tensor.NarrowCols(sLr, a*dk, dk))
-		rhs := tensor.RowSum(tensor.NarrowCols(sRs, a*dk, dk))
-		score := ctx.Act(leakyReLU, tensor.Add(lhs, rhs))
-		alpha := ctx.SegmentSoftmaxByRecv(score)
-		va := tensor.NarrowCols(whSend, a*dk, dk)
-		headOuts[a] = ctx.AggregateByRecv(tensor.MulColVec(va, alpha))
+		headOuts := make([]*tensor.Tensor, heads)
+		for a := 0; a < heads; a++ {
+			lhs := tensor.RowSum(tensor.NarrowCols(sLr, a*dk, dk))
+			rhs := tensor.RowSum(tensor.NarrowCols(sRs, a*dk, dk))
+			score := ctx.Act(leakyReLU, tensor.Add(lhs, rhs))
+			alpha := ctx.SegmentSoftmaxByRecv(score)
+			va := tensor.NarrowCols(whSend, a*dk, dk)
+			headOuts[a] = ctx.AggregateByRecv(tensor.MulColVec(va, alpha))
+		}
+		att = tensor.ConcatCols(headOuts...)
 	}
-	att := tensor.ConcatCols(headOuts...)
 	out := ctx.Act(tensor.ReLU, ctx.Norm(l.bn, tensor.Add(h, att)))
 	return ctx.SyncDuplicates(out)
 }

@@ -22,6 +22,7 @@ import (
 // normalised by softmax over each receiver's pairs.
 type GT struct {
 	cfg     Config
+	fused   bool
 	enc     *encoder
 	layers  []*gtLayer
 	readout *nn.MLP
@@ -46,6 +47,7 @@ func NewGT(cfg Config) *GT {
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x67))
 	m := &GT{
 		cfg:     cfg,
+		fused:   cfg.fusedAttention(),
 		enc:     newEncoder(rng, cfg),
 		readout: nn.NewMLP(rng, cfg.Dim, cfg.Dim/2, cfg.OutDim),
 	}
@@ -92,7 +94,7 @@ func (m *GT) Params() []*tensor.Tensor {
 func (m *GT) Forward(ctx *Context) *tensor.Tensor {
 	h, e := m.enc.forward(ctx)
 	for _, l := range m.layers {
-		h, e = l.forward(ctx, h, e, m.cfg.Heads)
+		h, e = l.forward(ctx, h, e, m.cfg.Heads, m.fused)
 	}
 	pooled := ctx.Readout(h)
 	ctx.Prof.Linear(pooled.Rows(), pooled.Cols(), m.cfg.OutDim)
@@ -100,7 +102,7 @@ func (m *GT) Forward(ctx *Context) *tensor.Tensor {
 }
 
 // forward runs one GT block.
-func (l *gtLayer) forward(ctx *Context, h, e *tensor.Tensor, heads int) (hOut, eOut *tensor.Tensor) {
+func (l *gtLayer) forward(ctx *Context, h, e *tensor.Tensor, heads int, fused bool) (hOut, eOut *tensor.Tensor) {
 	ctx.Prof.LayerStart()
 	d := h.Cols()
 	dk := d / heads
@@ -110,25 +112,33 @@ func (l *gtLayer) forward(ctx *Context, h, e *tensor.Tensor, heads int) (hOut, e
 	vh := ctx.Linear(l.v, h)
 	eh := ctx.Linear(l.we, e)
 
-	// Per-pair projections (the GT's five edge-indexed scatters of
-	// Table I: q, k, v, ê fetch plus the aggregation below).
-	qp := ctx.GatherRecv(qh)
-	kp := ctx.GatherSend(kh)
-	vp := ctx.GatherSend(vh)
-	ep := ctx.GatherEdges(eh)
+	var att, edgeAvg, kmod *tensor.Tensor
+	if fused {
+		// One kernel for the whole attention block (plus the per-edge
+		// mean of k⊙ê consumed by the edge stream below); bit-identical
+		// to the staged pipeline it replaces.
+		att, edgeAvg = ctx.FusedGTAttention(qh, kh, vh, eh, heads)
+	} else {
+		// Per-pair projections (the GT's five edge-indexed scatters of
+		// Table I: q, k, v, ê fetch plus the aggregation below).
+		qp := ctx.GatherRecv(qh)
+		kp := ctx.GatherSend(kh)
+		vp := ctx.GatherSend(vh)
+		ep := ctx.GatherEdges(eh)
 
-	kmod := tensor.Mul(kp, ep) // edge features modulate keys
-	headOuts := make([]*tensor.Tensor, heads)
-	scale := 1 / math.Sqrt(float64(dk))
-	for a := 0; a < heads; a++ {
-		qa := tensor.NarrowCols(qp, a*dk, dk)
-		ka := tensor.NarrowCols(kmod, a*dk, dk)
-		va := tensor.NarrowCols(vp, a*dk, dk)
-		score := tensor.Scale(tensor.RowDot(qa, ka), scale)
-		alpha := ctx.SegmentSoftmaxByRecv(score)
-		headOuts[a] = ctx.AggregateByRecv(tensor.MulColVec(va, alpha))
+		kmod = tensor.Mul(kp, ep) // edge features modulate keys
+		headOuts := make([]*tensor.Tensor, heads)
+		scale := 1 / math.Sqrt(float64(dk))
+		for a := 0; a < heads; a++ {
+			qa := tensor.NarrowCols(qp, a*dk, dk)
+			ka := tensor.NarrowCols(kmod, a*dk, dk)
+			va := tensor.NarrowCols(vp, a*dk, dk)
+			score := tensor.Scale(tensor.RowDot(qa, ka), scale)
+			alpha := ctx.SegmentSoftmaxByRecv(score)
+			headOuts[a] = ctx.AggregateByRecv(tensor.MulColVec(va, alpha))
+		}
+		att = tensor.ConcatCols(headOuts...)
 	}
-	att := tensor.ConcatCols(headOuts...)
 
 	// Node stream: O projection, residual + LN, FFN, residual + LN.
 	h1 := ctx.Norm(l.lnH1, tensor.Add(h, ctx.Linear(l.o, att)))
@@ -136,8 +146,15 @@ func (l *gtLayer) forward(ctx *Context, h, e *tensor.Tensor, heads int) (hOut, e
 	hOut = ctx.Norm(l.lnH2, tensor.Add(h1, ffn))
 
 	// Edge stream: per-pair interaction reduced per edge, O_e projection,
-	// residual + LN, FFN, residual + LN.
-	eAgg := ctx.Linear(l.oe, ctx.EdgeMean(kmod))
+	// residual + LN, FFN, residual + LN. The fused path computed the
+	// reduction already; account it here, at the staged emission point.
+	var eAgg *tensor.Tensor
+	if fused {
+		ctx.NoteEdgeMean(d)
+		eAgg = ctx.Linear(l.oe, edgeAvg)
+	} else {
+		eAgg = ctx.Linear(l.oe, ctx.EdgeMean(kmod))
+	}
 	e1 := ctx.Norm(l.lnE1, tensor.Add(e, eAgg))
 	ffnE := ctx.Linear(l.ffnE2, ctx.Act(tensor.ReLU, ctx.Linear(l.ffnE1, e1)))
 	eOut = ctx.Norm(l.lnE2, tensor.Add(e1, ffnE))

@@ -1,0 +1,63 @@
+package models
+
+import (
+	"testing"
+
+	"mega/internal/traverse"
+)
+
+// Regression tests for MegaOptions default resolution. The old logic
+// applied traverse defaults only when EdgeCoverage, Window, and Start
+// were ALL zero, so any partially-set Options silently turned the other
+// zero fields into their literal (and usually nonsensical) values:
+// EdgeCoverage 0 covered nothing, Start 0 pinned the walk to vertex 0.
+// Defaults now resolve per field, with PinStart disambiguating the
+// legitimate "start at vertex 0" request from the zero value.
+func TestMegaOptionsTraverseDefaults(t *testing.T) {
+	def := traverse.DefaultOptions()
+
+	t.Run("zero value", func(t *testing.T) {
+		got := MegaOptions{}.traverseOptions()
+		if got != def {
+			t.Fatalf("zero MegaOptions resolved to %+v, want defaults %+v", got, def)
+		}
+	})
+
+	t.Run("window alone keeps other defaults", func(t *testing.T) {
+		got := MegaOptions{Traverse: traverse.Options{Window: 3}}.traverseOptions()
+		if got.Window != 3 {
+			t.Fatalf("Window = %d, want 3", got.Window)
+		}
+		if got.EdgeCoverage != def.EdgeCoverage {
+			t.Fatalf("EdgeCoverage = %v, want default %v", got.EdgeCoverage, def.EdgeCoverage)
+		}
+		if got.Start != def.Start {
+			t.Fatalf("Start = %v, want default %v", got.Start, def.Start)
+		}
+	})
+
+	t.Run("explicit fields survive", func(t *testing.T) {
+		in := traverse.Options{Window: 2, EdgeCoverage: 0.5, DropEdges: 0.1, Start: 7, Seed: 9}
+		got := MegaOptions{Traverse: in}.traverseOptions()
+		if got != in {
+			t.Fatalf("explicit options changed: %+v -> %+v", in, got)
+		}
+	})
+
+	t.Run("PinStart zero means vertex 0", func(t *testing.T) {
+		got := MegaOptions{}.PinStart(0).traverseOptions()
+		if got.Start != 0 {
+			t.Fatalf("PinStart(0) resolved Start to %v, want 0", got.Start)
+		}
+		if got.EdgeCoverage != def.EdgeCoverage {
+			t.Fatalf("PinStart must not disturb EdgeCoverage: got %v", got.EdgeCoverage)
+		}
+	})
+
+	t.Run("unpinned zero start is adaptive", func(t *testing.T) {
+		got := MegaOptions{Traverse: traverse.Options{EdgeCoverage: 1}}.traverseOptions()
+		if got.Start != def.Start {
+			t.Fatalf("unpinned Start = %v, want default %v", got.Start, def.Start)
+		}
+	})
+}

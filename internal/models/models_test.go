@@ -191,8 +191,8 @@ func TestEnginesAgreeOnRevisitFreeGraph(t *testing.T) {
 		t.Fatal(err)
 	}
 	megaCtx, err := NewMegaContext(insts, MegaOptions{
-		Traverse: traverse.Options{Window: 1, EdgeCoverage: 1, Start: 0},
-	}, nil, 16)
+		Traverse: traverse.Options{Window: 1, EdgeCoverage: 1},
+	}.PinStart(0), nil, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -449,8 +449,8 @@ func starInstance(spokes int) datasets.Instance {
 func TestSyncDuplicatesEqualisesRows(t *testing.T) {
 	insts := []datasets.Instance{starInstance(6)}
 	ctx, err := NewMegaContext(insts, MegaOptions{
-		Traverse: traverse.Options{Window: 1, EdgeCoverage: 1, Start: 0},
-	}, nil, 4)
+		Traverse: traverse.Options{Window: 1, EdgeCoverage: 1},
+	}.PinStart(0), nil, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -496,8 +496,8 @@ func TestMegaReadoutWeighsNodesEqually(t *testing.T) {
 	// two-stage readout is used.
 	insts := []datasets.Instance{starInstance(5)}
 	ctx, err := NewMegaContext(insts, MegaOptions{
-		Traverse: traverse.Options{Window: 1, EdgeCoverage: 1, Start: 0},
-	}, nil, 1)
+		Traverse: traverse.Options{Window: 1, EdgeCoverage: 1},
+	}.PinStart(0), nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -558,8 +558,8 @@ func TestEnginesAgreeProperty(t *testing.T) {
 			return false
 		}
 		megaCtx, err := NewMegaContext(insts, MegaOptions{
-			Traverse: traverse.Options{Window: 1, EdgeCoverage: 1, Start: 0},
-		}, nil, 16)
+			Traverse: traverse.Options{Window: 1, EdgeCoverage: 1},
+		}.PinStart(0), nil, 16)
 		if err != nil {
 			return false
 		}
@@ -624,8 +624,8 @@ func TestGATEnginesAgreeOnRevisitFreeGraph(t *testing.T) {
 		t.Fatal(err)
 	}
 	megaCtx, err := NewMegaContext(insts, MegaOptions{
-		Traverse: traverse.Options{Window: 1, EdgeCoverage: 1, Start: 0},
-	}, nil, 16)
+		Traverse: traverse.Options{Window: 1, EdgeCoverage: 1},
+	}.PinStart(0), nil, 16)
 	if err != nil {
 		t.Fatal(err)
 	}

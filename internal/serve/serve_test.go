@@ -328,3 +328,44 @@ func TestHTTPRejectsBadRequests(t *testing.T) {
 		t.Errorf("GET /predict status = %d, want 405", resp.StatusCode)
 	}
 }
+
+// TestConcurrentServingSharedArena hammers the service from many client
+// goroutines so several workers run fused-attention forwards against the
+// shared scratch arena at once. Predictions must stay bit-identical to a
+// direct forward regardless of which pooled buffers each batch drew —
+// and, under -race, the pool itself must be data-race-free.
+func TestConcurrentServingSharedArena(t *testing.T) {
+	s, ds, model := trainedServer(t, Options{MaxBatch: 1, Workers: 4})
+	dim := s.Meta().Config.Dim
+	want := make([][]float64, len(ds.Val))
+	for i, inst := range ds.Val {
+		want[i] = directForward(t, model, models.EngineMega, inst, dim)
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				for i, inst := range ds.Val {
+					pred, err := s.Predict(inst)
+					if err != nil {
+						t.Errorf("client %d predict %d: %v", c, i, err)
+						return
+					}
+					for j := range want[i] {
+						if pred.Output[j] != want[i][j] {
+							t.Errorf("client %d inst %d: output[%d] = %v, want %v",
+								c, i, j, pred.Output[j], want[i][j])
+							return
+						}
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if s.arena.Buffered() == 0 {
+		t.Error("serve workers never returned scratch to the shared arena")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"mega/internal/datasets"
 	"mega/internal/graph"
 	"mega/internal/models"
+	"mega/internal/tensor"
 	"mega/internal/train"
 )
 
@@ -111,6 +112,10 @@ type Server struct {
 	cache   *RepCache
 	metrics *Metrics
 	batcher *batcher
+	// arena pools fused-attention scratch across batches; shared by all
+	// workers (Arena is concurrency-safe), so steady-state serving stops
+	// allocating in the attention path.
+	arena *tensor.Arena
 
 	mu     sync.RWMutex // guards closed vs. in-flight enqueues
 	closed bool
@@ -136,6 +141,7 @@ func New(model models.Model, meta train.Checkpoint, opts Options) *Server {
 		cache:   NewRepCache(opts.CacheCapacity),
 		metrics: NewMetrics(),
 		batcher: newBatcher(opts.MaxBatch, opts.MaxWait, opts.QueueDepth),
+		arena:   tensor.NewArena(),
 	}
 	s.wg.Add(1)
 	go func() {
@@ -311,6 +317,7 @@ func (s *Server) forward(batch []*pending) (preds []Prediction, err error) {
 	if err != nil {
 		return nil, err
 	}
+	ctx.Scratch = s.arena
 	out := s.model.Forward(ctx)
 	cols := out.Cols()
 	preds = make([]Prediction, len(batch))

@@ -1,0 +1,72 @@
+package tensor
+
+import "sync"
+
+// Arena is a step-scoped pool of float64 scratch buffers for the fused
+// attention path. Training steps and serve batches allocate the same
+// buffer shapes over and over; checking them out of a pool instead of
+// the heap makes the steady-state attention path allocation-free.
+//
+// Buffers are bucketed by exact length. Get returns a zeroed buffer (the
+// fused kernels accumulate into their scratch, so a dirty buffer would be
+// a correctness bug, not just noise). Put zeroes before parking so the
+// cost is paid off the critical Get path of the next step.
+//
+// An Arena is safe for concurrent use: serve workers running forwards in
+// parallel share one arena per server. A nil *Arena is valid and degrades
+// to plain make, so the staged path and tests pay nothing.
+type Arena struct {
+	mu    sync.Mutex
+	pools map[int][][]float64
+}
+
+// NewArena creates an empty arena.
+func NewArena() *Arena {
+	return &Arena{pools: make(map[int][][]float64)}
+}
+
+// Get checks out a zeroed buffer of length n.
+func (a *Arena) Get(n int) []float64 {
+	if a == nil || n == 0 {
+		return make([]float64, n)
+	}
+	a.mu.Lock()
+	bucket := a.pools[n]
+	if len(bucket) == 0 {
+		a.mu.Unlock()
+		return make([]float64, n)
+	}
+	buf := bucket[len(bucket)-1]
+	a.pools[n] = bucket[:len(bucket)-1]
+	a.mu.Unlock()
+	return buf
+}
+
+// Put zeroes buf and parks it for reuse. Putting a buffer twice, or using
+// it after Put, is a caller bug (the usual pool contract). A nil arena
+// drops the buffer for the GC.
+func (a *Arena) Put(buf []float64) {
+	if a == nil || len(buf) == 0 {
+		return
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	a.mu.Lock()
+	a.pools[len(buf)] = append(a.pools[len(buf)], buf)
+	a.mu.Unlock()
+}
+
+// Buffered reports how many buffers are currently parked (test hook).
+func (a *Arena) Buffered() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, b := range a.pools {
+		n += len(b)
+	}
+	return n
+}

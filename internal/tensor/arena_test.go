@@ -1,0 +1,88 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestArenaGetPutReuse(t *testing.T) {
+	a := NewArena()
+	buf := a.Get(16)
+	if len(buf) != 16 {
+		t.Fatalf("Get(16) returned len %d", len(buf))
+	}
+	for i := range buf {
+		buf[i] = float64(i + 1)
+	}
+	a.Put(buf)
+	if n := a.Buffered(); n != 1 {
+		t.Fatalf("Buffered = %d after one Put", n)
+	}
+	again := a.Get(16)
+	if &again[0] != &buf[0] {
+		t.Fatal("Get did not reuse the parked buffer")
+	}
+	for i, v := range again {
+		if v != 0 {
+			t.Fatalf("reused buffer dirty at %d: %v", i, v)
+		}
+	}
+	// Different length must come from a different bucket.
+	other := a.Get(8)
+	if len(other) != 8 {
+		t.Fatalf("Get(8) returned len %d", len(other))
+	}
+	if n := a.Buffered(); n != 0 {
+		t.Fatalf("Buffered = %d after draining", n)
+	}
+}
+
+func TestArenaNilSafe(t *testing.T) {
+	var a *Arena
+	buf := a.Get(4)
+	if len(buf) != 4 {
+		t.Fatalf("nil arena Get(4) returned len %d", len(buf))
+	}
+	a.Put(buf) // must not panic
+	if n := a.Buffered(); n != 0 {
+		t.Fatalf("nil arena Buffered = %d", n)
+	}
+}
+
+func TestArenaZeroLength(t *testing.T) {
+	a := NewArena()
+	buf := a.Get(0)
+	if len(buf) != 0 {
+		t.Fatalf("Get(0) returned len %d", len(buf))
+	}
+	a.Put(buf)
+	if n := a.Buffered(); n != 0 {
+		t.Fatalf("zero-length buffer was parked: Buffered = %d", n)
+	}
+}
+
+// TestArenaConcurrent exercises the pool under parallel checkout/return,
+// mirroring serve workers sharing one server-owned arena. Run with -race.
+func TestArenaConcurrent(t *testing.T) {
+	a := NewArena()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := 8 << (uint(i+w) % 3)
+				buf := a.Get(n)
+				for j := range buf {
+					if buf[j] != 0 {
+						t.Errorf("dirty buffer from concurrent Get")
+						return
+					}
+					buf[j] = float64(w)
+				}
+				a.Put(buf)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

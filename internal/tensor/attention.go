@@ -1,0 +1,423 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"mega/internal/compute"
+)
+
+// Fused banded attention. The staged pipeline materialises five pair-major
+// intermediates per head per layer (gathered q/k/v/e rows, scores, exps,
+// alphas, weighted values); this file computes the same arithmetic —
+// bit-identically — as one custom autograd node that sweeps the pair list
+// segment-by-segment and keeps only an [R,heads] max/denominator pair
+// between forward and backward. The backward recomputes scores and alphas
+// per segment instead of storing them.
+//
+// Bit-exactness contract: every multi-term accumulation below replicates
+// the staged ops' accumulation order (ascending global pair index within
+// each segment, the order ScatterAddRows/GatherRows-backward use) and
+// their exact multiplication groupings. Parallel sweeps split over
+// segment owners — each output row is written by exactly one chunk — so
+// results are identical at any thread count, like every kernel in this
+// package.
+
+// Segments groups pair indices by an int32 key (receiver row, sender row,
+// or edge ID) as a CSR: pairs of key k are Order[Start[k]:Start[k+1]],
+// in ascending pair order. Built once per context via a stable counting
+// sort and reused across layers and steps.
+type Segments struct {
+	Order []int32
+	Start []int32
+}
+
+// BuildSegments groups pair indices 0..len(keys)-1 by keys[p] into
+// numKeys segments, preserving ascending pair order within each segment.
+func BuildSegments(keys []int32, numKeys int) *Segments {
+	for _, k := range keys {
+		if k < 0 || int(k) >= numKeys {
+			panic(fmt.Sprintf("tensor: segment key %d out of %d", k, numKeys))
+		}
+	}
+	start := make([]int32, numKeys+1)
+	for _, k := range keys {
+		start[k+1]++
+	}
+	for i := 0; i < numKeys; i++ {
+		start[i+1] += start[i]
+	}
+	order := make([]int32, len(keys))
+	next := make([]int32, numKeys)
+	copy(next, start[:numKeys])
+	for p, k := range keys {
+		order[next[k]] = int32(p)
+		next[k]++
+	}
+	return &Segments{Order: order, Start: start}
+}
+
+// Len returns the number of pairs in segment k.
+func (s *Segments) Len(k int) int { return int(s.Start[k+1] - s.Start[k]) }
+
+// FusedSegmentAttention computes multi-head scaled dot-product attention
+// over a directed pair list in one pass: per pair p with receiver
+// r=recv[p], sender s=send[p], edge e=edgeIdx[p],
+//
+//	score_p^a = ( q_r^a · (k_s^a ⊙ w_e^a) ) / √dk
+//
+// softmax-normalised per receiver (numerically stable via the per-segment
+// max), aggregating alpha·v_s into att[r]. When ew is non-nil it also
+// returns the per-edge mean of k⊙w (the GT edge stream input); edgeOut's
+// gradient, if any, is folded into the single hand-written backward.
+// When ew is nil the keys are unmodulated and edgeOut is nil.
+//
+// q, k, v are node-major [R,d]; ew is [numEdges,d] or nil. byRecv/bySend
+// must group pair indices by recv/send; byEdge (required iff ew != nil)
+// groups by edgeIdx. arena (optional) pools the scratch buffers.
+func FusedSegmentAttention(q, k, v, ew *Tensor, recv, send, edgeIdx []int32,
+	byRecv, bySend, byEdge *Segments, heads int, arena *Arena) (att, edgeOut *Tensor) {
+
+	rows, d := q.rows, q.cols
+	assertSameShape("fusedattn q/k", q, k)
+	assertSameShape("fusedattn q/v", q, v)
+	if heads < 1 || d%heads != 0 {
+		panic(fmt.Sprintf("tensor: fusedattn %d cols with %d heads", d, heads))
+	}
+	P := len(recv)
+	if len(send) != P || len(edgeIdx) != P {
+		panic(fmt.Sprintf("tensor: fusedattn index lengths %d/%d/%d", len(recv), len(send), len(edgeIdx)))
+	}
+	numEdges := 0
+	if ew != nil {
+		if ew.cols != d {
+			panic(fmt.Sprintf("tensor: fusedattn edge cols %d != %d", ew.cols, d))
+		}
+		numEdges = ew.rows
+		if byEdge == nil || len(byEdge.Start) != numEdges+1 {
+			panic("tensor: fusedattn missing/mis-sized edge segments")
+		}
+	}
+	if byRecv == nil || len(byRecv.Start) != rows+1 || bySend == nil || len(bySend.Start) != rows+1 {
+		panic("tensor: fusedattn missing/mis-sized recv/send segments")
+	}
+	for p := 0; p < P; p++ {
+		if r := recv[p]; r < 0 || int(r) >= rows {
+			panic(fmt.Sprintf("tensor: fusedattn recv %d out of %d rows", r, rows))
+		}
+		if s := send[p]; s < 0 || int(s) >= rows {
+			panic(fmt.Sprintf("tensor: fusedattn send %d out of %d rows", s, rows))
+		}
+		if ew != nil {
+			if e := edgeIdx[p]; e < 0 || int(e) >= numEdges {
+				panic(fmt.Sprintf("tensor: fusedattn edge %d out of %d", e, numEdges))
+			}
+		}
+	}
+
+	dk := d / heads
+	scale := 1 / math.Sqrt(float64(dk))
+	// Parent order mirrors the staged graph's DFS order (value chain
+	// first, then query, key, edge modulation) so the reverse-topological
+	// backward visits every upstream node in exactly the staged order —
+	// gradient accumulation into shared ancestors (e.g. the layer input
+	// h feeding all three projections) is order-sensitive.
+	parents := []*Tensor{v, q, k}
+	if ew != nil {
+		parents = append(parents, ew)
+	}
+	att = newResult(rows, d, parents...)
+
+	// Scores: sBuf[p*heads+a], pair-parallel (each entry owned by one
+	// chunk; the j-sum is a serial ascending register accumulation, the
+	// RowSum∘Mul order of the staged path).
+	sBuf := arena.Get(P * heads)
+	pairGrain := workGrain(d)
+	compute.ParallelGrain(P, pairGrain, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			r, s := int(recv[p])*d, int(send[p])*d
+			var eOff int
+			if ew != nil {
+				eOff = int(edgeIdx[p]) * d
+			}
+			for a := 0; a < heads; a++ {
+				base := a * dk
+				sum := 0.0
+				if ew != nil {
+					for j := base; j < base+dk; j++ {
+						sum += q.Data[r+j] * (k.Data[s+j] * ew.Data[eOff+j])
+					}
+				} else {
+					for j := base; j < base+dk; j++ {
+						sum += q.Data[r+j] * k.Data[s+j]
+					}
+				}
+				sBuf[p*heads+a] = sum * scale
+			}
+		}
+	})
+
+	// Softmax + aggregation, receiver-segment-parallel: each receiver row
+	// of att (and its max/denom) is owned by one chunk. Within a segment
+	// pairs run in ascending global order — the ScatterAddRows order.
+	maxBuf := arena.Get(rows * heads)
+	denomBuf := arena.Get(rows * heads)
+	segGrain := workGrain(2 * d * (P/rows + 1))
+	compute.ParallelGrain(rows, segGrain, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			seg := byRecv.Order[byRecv.Start[r]:byRecv.Start[r+1]]
+			if len(seg) == 0 {
+				continue
+			}
+			for a := 0; a < heads; a++ {
+				mx := math.Inf(-1)
+				for _, p := range seg {
+					if sv := sBuf[int(p)*heads+a]; sv > mx {
+						mx = sv
+					}
+				}
+				maxBuf[r*heads+a] = mx
+				denom := 0.0
+				for _, p := range seg {
+					ex := math.Exp(sBuf[int(p)*heads+a] - mx)
+					sBuf[int(p)*heads+a] = ex
+					denom += ex
+				}
+				denomBuf[r*heads+a] = denom
+				recip := 1 / (denom + 1e-9)
+				base := a * dk
+				for _, p := range seg {
+					alpha := sBuf[int(p)*heads+a] * recip
+					s := int(send[p]) * d
+					o := r * d
+					for j := base; j < base+dk; j++ {
+						att.Data[o+j] += v.Data[s+j] * alpha
+					}
+				}
+			}
+		}
+	})
+	arena.Put(sBuf)
+
+	// Edge stream: per-edge mean of k⊙w, edge-segment-parallel. Sum in
+	// ascending pair order, then scale by 1/count — SegmentMean's order.
+	if ew != nil {
+		edgeOut = newResult(numEdges, d, att)
+		edgeOut.backFn = func() {} // gradient consumed by att's backward
+		compute.ParallelGrain(numEdges, segGrain, func(lo, hi int) {
+			for e := lo; e < hi; e++ {
+				seg := byEdge.Order[byEdge.Start[e]:byEdge.Start[e+1]]
+				if len(seg) == 0 {
+					continue
+				}
+				o, eOff := e*d, e*d
+				for _, p := range seg {
+					s := int(send[p]) * d
+					for j := 0; j < d; j++ {
+						edgeOut.Data[o+j] += k.Data[s+j] * ew.Data[eOff+j]
+					}
+				}
+				inv := 1 / float64(len(seg))
+				for j := 0; j < d; j++ {
+					edgeOut.Data[o+j] *= inv
+				}
+			}
+		})
+	}
+
+	if !att.requiresGrad {
+		arena.Put(maxBuf)
+		arena.Put(denomBuf)
+		return att, edgeOut
+	}
+
+	att.backFn = func() {
+		fusedAttentionBackward(q, k, v, ew, att, edgeOut, recv, send, edgeIdx,
+			byRecv, bySend, byEdge, heads, dk, scale, maxBuf, denomBuf, arena)
+		arena.Put(maxBuf)
+		arena.Put(denomBuf)
+	}
+	return att, edgeOut
+}
+
+// fusedAttentionBackward recomputes per-segment exps/alphas from the saved
+// [R,heads] max/denominator and accumulates gradients into the node-major
+// inputs, replicating the staged chain's accumulation orders exactly:
+// receiver-segment sweeps for dQ (gather-backward order over recv),
+// sender-segment sweeps for dK/dV, edge-segment sweeps for dW.
+func fusedAttentionBackward(q, k, v, ew, att, edgeOut *Tensor,
+	recv, send, edgeIdx []int32, byRecv, bySend, byEdge *Segments,
+	heads, dk int, scale float64, maxBuf, denomBuf []float64, arena *Arena) {
+
+	if att.Grad == nil {
+		return
+	}
+	d := q.cols
+	rows := q.rows
+	P := len(recv)
+	dAtt := att.Grad
+	var dEdge []float64 // nil when the edge output is unused (last layer)
+	if edgeOut != nil {
+		dEdge = edgeOut.Grad
+	}
+
+	// Pass 0, pair-parallel: recompute ex_p^a = exp(score-max) and the
+	// alpha-gradient g_p^a = Σ_j dAtt[r]·v_s (MulColVec's c-grad order).
+	exBuf := arena.Get(P * heads)
+	gBuf := arena.Get(P * heads)
+	pairGrain := workGrain(d)
+	compute.ParallelGrain(P, pairGrain, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			r, s := int(recv[p]), int(send[p])*d
+			var eOff int
+			if ew != nil {
+				eOff = int(edgeIdx[p]) * d
+			}
+			for a := 0; a < heads; a++ {
+				base := a * dk
+				sum := 0.0
+				if ew != nil {
+					for j := base; j < base+dk; j++ {
+						sum += q.Data[r*d+j] * (k.Data[s+j] * ew.Data[eOff+j])
+					}
+				} else {
+					for j := base; j < base+dk; j++ {
+						sum += q.Data[r*d+j] * k.Data[s+j]
+					}
+				}
+				exBuf[p*heads+a] = math.Exp(sum*scale - maxBuf[r*heads+a])
+				g := 0.0
+				for j := base; j < base+dk; j++ {
+					g += dAtt[r*d+j] * v.Data[s+j]
+				}
+				gBuf[p*heads+a] = g
+			}
+		}
+	})
+
+	// Pass 1, receiver-segment-parallel: denominator gradient, then the
+	// score gradient (overwriting gBuf with d(q·k̂)) and dQ. Orders match
+	// the staged chain: the denom sum and the dQ accumulation both run in
+	// ascending pair order within the segment.
+	if q.requiresGrad {
+		q.ensureGrad()
+	}
+	segGrain := workGrain(2 * d * (P/rows + 1))
+	compute.ParallelGrain(rows, segGrain, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			seg := byRecv.Order[byRecv.Start[r]:byRecv.Start[r+1]]
+			if len(seg) == 0 {
+				continue
+			}
+			for a := 0; a < heads; a++ {
+				recip := 1 / (denomBuf[r*heads+a] + 1e-9)
+				dDenom := 0.0
+				for _, p := range seg {
+					rg := gBuf[int(p)*heads+a] * exBuf[int(p)*heads+a]
+					dDenom += rg * ((-recip) * recip)
+				}
+				base := a * dk
+				for _, p := range seg {
+					pi := int(p)
+					exg := gBuf[pi*heads+a]*recip + dDenom
+					rdg := (exg * exBuf[pi*heads+a]) * scale
+					gBuf[pi*heads+a] = rdg
+					if q.Grad != nil {
+						s := int(send[pi]) * d
+						var eOff int
+						if ew != nil {
+							eOff = int(edgeIdx[pi]) * d
+						}
+						for j := base; j < base+dk; j++ {
+							if ew != nil {
+								q.Grad[r*d+j] += rdg * (k.Data[s+j] * ew.Data[eOff+j])
+							} else {
+								q.Grad[r*d+j] += rdg * k.Data[s+j]
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+
+	// Pass 2, sender-segment-parallel: dV (alpha-weighted output grads)
+	// and dK (score grads plus the edge-mean term), ascending pair order
+	// within each sender segment — the gather-backward order over send.
+	if k.requiresGrad || v.requiresGrad {
+		k.ensureGrad()
+		v.ensureGrad()
+		compute.ParallelGrain(rows, segGrain, func(lo, hi int) {
+			for s := lo; s < hi; s++ {
+				seg := bySend.Order[bySend.Start[s]:bySend.Start[s+1]]
+				for _, p := range seg {
+					pi := int(p)
+					r := int(recv[pi])
+					var eOff int
+					var einv float64
+					if ew != nil {
+						e := int(edgeIdx[pi])
+						eOff = e * d
+						if dEdge != nil {
+							einv = 1 / float64(byEdge.Len(e))
+						}
+					}
+					for a := 0; a < heads; a++ {
+						alpha := exBuf[pi*heads+a] * (1 / (denomBuf[r*heads+a] + 1e-9))
+						rdg := gBuf[pi*heads+a]
+						base := a * dk
+						for j := base; j < base+dk; j++ {
+							v.Grad[s*d+j] += dAtt[r*d+j] * alpha
+							km := rdg * q.Data[r*d+j]
+							if dEdge != nil {
+								km += dEdge[eOff+j] * einv
+							}
+							if ew != nil {
+								k.Grad[s*d+j] += km * ew.Data[eOff+j]
+							} else {
+								k.Grad[s*d+j] += km
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+
+	// Pass 3, edge-segment-parallel: dW, ascending pair order within each
+	// edge segment — the gather-backward order over edgeIdx.
+	if ew != nil && ew.requiresGrad {
+		ew.ensureGrad()
+		compute.ParallelGrain(ew.rows, segGrain, func(lo, hi int) {
+			for e := lo; e < hi; e++ {
+				seg := byEdge.Order[byEdge.Start[e]:byEdge.Start[e+1]]
+				if len(seg) == 0 {
+					continue
+				}
+				var einv float64
+				if dEdge != nil {
+					einv = 1 / float64(len(seg))
+				}
+				eOff := e * d
+				for _, p := range seg {
+					pi := int(p)
+					r, s := int(recv[pi])*d, int(send[pi])*d
+					for a := 0; a < heads; a++ {
+						rdg := gBuf[pi*heads+a]
+						base := a * dk
+						for j := base; j < base+dk; j++ {
+							km := rdg * q.Data[r+j]
+							if dEdge != nil {
+								km += dEdge[eOff+j] * einv
+							}
+							ew.Grad[eOff+j] += km * k.Data[s+j]
+						}
+					}
+				}
+			}
+		})
+	}
+
+	arena.Put(exBuf)
+	arena.Put(gBuf)
+}

@@ -1,0 +1,275 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"mega/internal/compute"
+)
+
+// FusedAdditiveAttention is the GAT-style counterpart of
+// FusedSegmentAttention: per pair p with receiver r and sender s,
+//
+//	score_p^a = LeakyReLU( a_l^a · w_r + a_r^a · w_s )   (slope 0.2)
+//
+// softmax-normalised per receiver, aggregating alpha·w_s per head. wh is
+// node-major [R,d]; aL/aR are the 1×d attention vectors (one dk block per
+// head). The node subsumes the staged path's broadcast row products,
+// per-pair gathers, row sums, leaky activation, softmax, and aggregation,
+// and its backward replicates that chain's accumulation orders exactly —
+// including the order the three staged consumers of wh (the aR product,
+// the aL product, then the value gather) accumulate into wh.Grad.
+func FusedAdditiveAttention(wh, aL, aR *Tensor, recv, send []int32,
+	byRecv, bySend *Segments, heads int, arena *Arena) *Tensor {
+
+	rows, d := wh.rows, wh.cols
+	if heads < 1 || d%heads != 0 {
+		panic(fmt.Sprintf("tensor: fusedattn %d cols with %d heads", d, heads))
+	}
+	if aL.rows != 1 || aL.cols != d || aR.rows != 1 || aR.cols != d {
+		panic(fmt.Sprintf("tensor: fusedattn attention vectors %dx%d/%dx%d for dim %d",
+			aL.rows, aL.cols, aR.rows, aR.cols, d))
+	}
+	P := len(recv)
+	if len(send) != P {
+		panic(fmt.Sprintf("tensor: fusedattn index lengths %d/%d", len(recv), len(send)))
+	}
+	if byRecv == nil || len(byRecv.Start) != rows+1 || bySend == nil || len(bySend.Start) != rows+1 {
+		panic("tensor: fusedattn missing/mis-sized recv/send segments")
+	}
+	for p := 0; p < P; p++ {
+		if r := recv[p]; r < 0 || int(r) >= rows {
+			panic(fmt.Sprintf("tensor: fusedattn recv %d out of %d rows", r, rows))
+		}
+		if s := send[p]; s < 0 || int(s) >= rows {
+			panic(fmt.Sprintf("tensor: fusedattn send %d out of %d rows", s, rows))
+		}
+	}
+
+	dk := d / heads
+	att := newResult(rows, d, wh, aL, aR)
+
+	// Per-row score halves rs[r,a] = Σ_j ascending wh[r,aj]·a[aj] — the
+	// same products and the same j-order the staged RowSum over the
+	// broadcast Mul accumulates per pair, hoisted node-major.
+	rsL := arena.Get(rows * heads)
+	rsR := arena.Get(rows * heads)
+	rowG := workGrain(d)
+	compute.ParallelGrain(rows, rowG, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for a := 0; a < heads; a++ {
+				base := a * dk
+				sl, sr := 0.0, 0.0
+				for j := base; j < base+dk; j++ {
+					sl += wh.Data[i*d+j] * aL.Data[j]
+					sr += wh.Data[i*d+j] * aR.Data[j]
+				}
+				rsL[i*heads+a] = sl
+				rsR[i*heads+a] = sr
+			}
+		}
+	})
+
+	// Softmax + aggregation, receiver-segment-parallel, ascending pair
+	// order within each segment (the staged ScatterAddRows order).
+	maxBuf := arena.Get(rows * heads)
+	denomBuf := arena.Get(rows * heads)
+	segGrain := workGrain(2 * d * (P/rows + 1))
+	compute.ParallelGrain(rows, segGrain, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			seg := byRecv.Order[byRecv.Start[r]:byRecv.Start[r+1]]
+			if len(seg) == 0 {
+				continue
+			}
+			for a := 0; a < heads; a++ {
+				mx := math.Inf(-1)
+				for _, p := range seg {
+					if sv := gatScore(rsL[r*heads+a] + rsR[int(send[p])*heads+a]); sv > mx {
+						mx = sv
+					}
+				}
+				maxBuf[r*heads+a] = mx
+				denom := 0.0
+				for _, p := range seg {
+					denom += math.Exp(gatScore(rsL[r*heads+a]+rsR[int(send[p])*heads+a]) - mx)
+				}
+				denomBuf[r*heads+a] = denom
+				recip := 1 / (denom + 1e-9)
+				base := a * dk
+				for _, p := range seg {
+					ex := math.Exp(gatScore(rsL[r*heads+a]+rsR[int(send[p])*heads+a]) - mx)
+					alpha := ex * recip
+					s := int(send[p]) * d
+					for j := base; j < base+dk; j++ {
+						att.Data[r*d+j] += wh.Data[s+j] * alpha
+					}
+				}
+			}
+		}
+	})
+
+	if !att.requiresGrad {
+		arena.Put(rsL)
+		arena.Put(rsR)
+		arena.Put(maxBuf)
+		arena.Put(denomBuf)
+		return att
+	}
+
+	att.backFn = func() {
+		fusedAdditiveBackward(wh, aL, aR, att, recv, send, byRecv, bySend,
+			heads, dk, rsL, rsR, maxBuf, denomBuf, arena)
+		arena.Put(rsL)
+		arena.Put(rsR)
+		arena.Put(maxBuf)
+		arena.Put(denomBuf)
+	}
+	return att
+}
+
+// gatScore is LeakyReLU with slope 0.2, computed with the exact staged
+// decomposition relu + (x-relu)·0.2 (two ReLU nodes in the staged graph;
+// the formula reproduces their combined value bit-for-bit).
+func gatScore(x float64) float64 {
+	relu := math.Max(0, x)
+	return relu + (x-relu)*0.2
+}
+
+// fusedAdditiveBackward recomputes the per-pair exps from the saved
+// node-major buffers and accumulates dWh/dAL/dAR in the staged orders.
+func fusedAdditiveBackward(wh, aL, aR, att *Tensor, recv, send []int32,
+	byRecv, bySend *Segments, heads, dk int,
+	rsL, rsR, maxBuf, denomBuf []float64, arena *Arena) {
+
+	if att.Grad == nil {
+		return
+	}
+	d := wh.cols
+	rows := wh.rows
+	P := len(recv)
+	dAtt := att.Grad
+
+	// Pass 0, pair-parallel: ex and the alpha-gradient Σ_j dAtt·wh_s.
+	exBuf := arena.Get(P * heads)
+	gBuf := arena.Get(P * heads)
+	compute.ParallelGrain(P, workGrain(d), func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			r, s := int(recv[p]), int(send[p])
+			for a := 0; a < heads; a++ {
+				sc := gatScore(rsL[r*heads+a] + rsR[s*heads+a])
+				exBuf[p*heads+a] = math.Exp(sc - maxBuf[r*heads+a])
+				base := a * dk
+				g := 0.0
+				for j := base; j < base+dk; j++ {
+					g += dAtt[r*d+j] * wh.Data[s*d+j]
+				}
+				gBuf[p*heads+a] = g
+			}
+		}
+	})
+
+	// Pass 1, receiver-segment-parallel: softmax backward to the score
+	// gradient, gated through the leaky slope to dx (overwriting gBuf),
+	// plus the receiver-side sum dsL[r,a] = Σ ascending dx.
+	dsL := arena.Get(rows * heads)
+	segGrain := workGrain(2 * d * (P/rows + 1))
+	compute.ParallelGrain(rows, segGrain, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			seg := byRecv.Order[byRecv.Start[r]:byRecv.Start[r+1]]
+			if len(seg) == 0 {
+				continue
+			}
+			for a := 0; a < heads; a++ {
+				recip := 1 / (denomBuf[r*heads+a] + 1e-9)
+				dDenom := 0.0
+				for _, p := range seg {
+					rg := gBuf[int(p)*heads+a] * exBuf[int(p)*heads+a]
+					dDenom += rg * ((-recip) * recip)
+				}
+				sum := 0.0
+				for _, p := range seg {
+					pi := int(p)
+					exg := gBuf[pi*heads+a]*recip + dDenom
+					sg := exg * exBuf[pi*heads+a]
+					dx := sg
+					if rsL[r*heads+a]+rsR[int(send[pi])*heads+a] <= 0 {
+						dx = sg * 0.2
+					}
+					gBuf[pi*heads+a] = dx
+					sum += dx
+				}
+				dsL[r*heads+a] = sum
+			}
+		}
+	})
+
+	// Pass 2, sender-segment-parallel: dWh. The staged path accumulates
+	// three terms per element in reverse-topological order — the aR
+	// product, the aL product, then the value-gather terms in ascending
+	// pair order — so replicate exactly that sequence per sender row.
+	if wh.requiresGrad {
+		wh.ensureGrad()
+	}
+	dsR := arena.Get(rows * heads)
+	compute.ParallelGrain(rows, segGrain, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			seg := bySend.Order[bySend.Start[s]:bySend.Start[s+1]]
+			for a := 0; a < heads; a++ {
+				sum := 0.0
+				for _, p := range seg {
+					sum += gBuf[int(p)*heads+a]
+				}
+				dsR[s*heads+a] = sum
+			}
+			if wh.Grad == nil {
+				continue
+			}
+			for a := 0; a < heads; a++ {
+				base := a * dk
+				for j := base; j < base+dk; j++ {
+					wh.Grad[s*d+j] += dsR[s*heads+a] * aR.Data[j]
+					wh.Grad[s*d+j] += dsL[s*heads+a] * aL.Data[j]
+				}
+			}
+			for _, p := range seg {
+				pi := int(p)
+				r := int(recv[pi])
+				for a := 0; a < heads; a++ {
+					alpha := exBuf[pi*heads+a] * (1 / (denomBuf[r*heads+a] + 1e-9))
+					base := a * dk
+					for j := base; j < base+dk; j++ {
+						wh.Grad[s*d+j] += dAtt[r*d+j] * alpha
+					}
+				}
+			}
+		}
+	})
+
+	// Pass 3, column-striped: dAL/dAR accumulate over rows in ascending
+	// order — the staged broadcast-gather backward order.
+	if aL.requiresGrad {
+		aL.ensureGrad()
+		compute.ParallelGrain(d, workGrain(rows), func(jlo, jhi int) {
+			for i := 0; i < rows; i++ {
+				for j := jlo; j < jhi; j++ {
+					aL.Grad[j] += dsL[i*heads+j/dk] * wh.Data[i*d+j]
+				}
+			}
+		})
+	}
+	if aR.requiresGrad {
+		aR.ensureGrad()
+		compute.ParallelGrain(d, workGrain(rows), func(jlo, jhi int) {
+			for i := 0; i < rows; i++ {
+				for j := jlo; j < jhi; j++ {
+					aR.Grad[j] += dsR[i*heads+j/dk] * wh.Data[i*d+j]
+				}
+			}
+		})
+	}
+
+	arena.Put(exBuf)
+	arena.Put(gBuf)
+	arena.Put(dsL)
+	arena.Put(dsR)
+}

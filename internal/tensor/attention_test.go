@@ -1,0 +1,143 @@
+package tensor
+
+import "testing"
+
+// Fixture graph for the fused-attention tests: 5 nodes, 7 directed pairs,
+// 4 edges (pairs 5 and 6 share edge 3, modelling MEGA's duplicated
+// undirected edges). Node 3 receives nothing — its attention row must
+// stay zero — and node 2 sends nothing.
+var (
+	attnRecv = []int32{0, 0, 1, 2, 2, 2, 4}
+	attnSend = []int32{1, 3, 0, 1, 3, 4, 0}
+	attnEdge = []int32{0, 1, 0, 2, 1, 3, 3}
+)
+
+func attnSegments() (byRecv, bySend, byEdge *Segments) {
+	return BuildSegments(attnRecv, 5), BuildSegments(attnSend, 5), BuildSegments(attnEdge, 4)
+}
+
+func TestBuildSegments(t *testing.T) {
+	seg := BuildSegments(attnRecv, 5)
+	wantStart := []int32{0, 2, 3, 6, 6, 7}
+	if len(seg.Start) != len(wantStart) {
+		t.Fatalf("Start length %d, want %d", len(seg.Start), len(wantStart))
+	}
+	for i, w := range wantStart {
+		if seg.Start[i] != w {
+			t.Fatalf("Start[%d] = %d, want %d", i, seg.Start[i], w)
+		}
+	}
+	// The sort must be stable: within each segment, pair indices ascend,
+	// so a serial sweep over a segment reproduces the staged ops' global
+	// ascending-pair accumulation order bit for bit.
+	for k := 0; k < 5; k++ {
+		for i := int(seg.Start[k]) + 1; i < int(seg.Start[k+1]); i++ {
+			if seg.Order[i-1] >= seg.Order[i] {
+				t.Fatalf("segment %d not ascending: Order[%d]=%d, Order[%d]=%d",
+					k, i-1, seg.Order[i-1], i, seg.Order[i])
+			}
+		}
+		if got := seg.Len(k); got != int(seg.Start[k+1]-seg.Start[k]) {
+			t.Fatalf("Len(%d) = %d", k, got)
+		}
+	}
+	for i, p := range seg.Order {
+		if attnRecv[p] != func() int32 {
+			for k := 0; k < 5; k++ {
+				if int32(i) >= seg.Start[k] && int32(i) < seg.Start[k+1] {
+					return int32(k)
+				}
+			}
+			return -1
+		}() {
+			t.Fatalf("Order[%d]=%d landed in the wrong segment", i, p)
+		}
+	}
+}
+
+// TestFusedAttentionGradients central-difference-checks the hand-written
+// backward passes. The models-package tests pin bit-exact equality against
+// the staged pipeline; these pin that the shared chain is itself correct
+// calculus, independent of any reference implementation.
+func TestFusedAttentionGradients(t *testing.T) {
+	byRecv, bySend, byEdge := attnSegments()
+	cases := []gradCase{
+		{name: "FusedSegmentAttention", tol: 1e-5,
+			inputs: []*Tensor{randT(60, 5, 4), randT(61, 5, 4), randT(62, 5, 4), randT(63, 4, 4)},
+			build: func(ins []*Tensor) *Tensor {
+				att, edgeOut := FusedSegmentAttention(ins[0], ins[1], ins[2], ins[3],
+					attnRecv, attnSend, attnEdge, byRecv, bySend, byEdge, 2, nil)
+				// Tap both outputs so the edge-stream gradient folds into
+				// the shared backward, as it does inside the GT layer.
+				return Add(weightedSum(att), weightedSum(edgeOut))
+			}},
+		{name: "FusedSegmentAttention/noEdge", tol: 1e-5,
+			inputs: []*Tensor{randT(64, 5, 4), randT(65, 5, 4), randT(66, 5, 4)},
+			build: func(ins []*Tensor) *Tensor {
+				att, _ := FusedSegmentAttention(ins[0], ins[1], ins[2], nil,
+					attnRecv, attnSend, attnEdge, byRecv, bySend, nil, 2, nil)
+				return weightedSum(att)
+			}},
+		{name: "FusedSegmentAttention/deadEdgeBranch", tol: 1e-5,
+			// edgeOut is discarded (the GT's last layer drops its edge
+			// stream); its nil gradient must read as zero, not crash.
+			inputs: []*Tensor{randT(67, 5, 4), randT(68, 5, 4), randT(69, 5, 4), randT(70, 4, 4)},
+			build: func(ins []*Tensor) *Tensor {
+				att, _ := FusedSegmentAttention(ins[0], ins[1], ins[2], ins[3],
+					attnRecv, attnSend, attnEdge, byRecv, bySend, byEdge, 2, nil)
+				return weightedSum(att)
+			}},
+		{name: "FusedAdditiveAttention", tol: 1e-5,
+			inputs: []*Tensor{randT(71, 5, 4), randT(72, 1, 4), randT(73, 1, 4)},
+			build: func(ins []*Tensor) *Tensor {
+				att := FusedAdditiveAttention(ins[0], ins[1], ins[2],
+					attnRecv, attnSend, byRecv, bySend, 2, nil)
+				return weightedSum(att)
+			}},
+		{name: "FusedAdditiveAttention/oneHead", tol: 1e-5,
+			inputs: []*Tensor{randT(74, 5, 3), randT(75, 1, 3), randT(76, 1, 3)},
+			build: func(ins []*Tensor) *Tensor {
+				att := FusedAdditiveAttention(ins[0], ins[1], ins[2],
+					attnRecv, attnSend, byRecv, bySend, 1, nil)
+				return weightedSum(att)
+			}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) { checkGradients(t, tc) })
+	}
+}
+
+// TestFusedAttentionEmptyReceiver pins the zero-degree convention: a node
+// with no incoming pairs contributes a zero attention row (no NaNs from
+// the empty softmax) and receives no gradient through the kernel.
+func TestFusedAttentionEmptyReceiver(t *testing.T) {
+	byRecv, bySend, byEdge := attnSegments()
+	q := randT(80, 5, 4).RequireGrad()
+	k := randT(81, 5, 4).RequireGrad()
+	v := randT(82, 5, 4).RequireGrad()
+	ew := randT(83, 4, 4).RequireGrad()
+	att, edgeOut := FusedSegmentAttention(q, k, v, ew,
+		attnRecv, attnSend, attnEdge, byRecv, bySend, byEdge, 2, nil)
+	for j := 0; j < 4; j++ {
+		if got := att.Data[3*4+j]; got != 0 {
+			t.Fatalf("receiver 3 has no pairs but att[3,%d] = %v", j, got)
+		}
+	}
+	Add(weightedSum(att), weightedSum(edgeOut)).Backward()
+	for i := range att.Data {
+		if att.Data[i] != att.Data[i] { // NaN check
+			t.Fatalf("NaN in attention output at %d", i)
+		}
+	}
+	for _, in := range []*Tensor{q, k, v, ew} {
+		if in.Grad == nil {
+			t.Fatal("input missing gradient")
+		}
+		for i, g := range in.Grad {
+			if g != g {
+				t.Fatalf("NaN gradient at %d", i)
+			}
+		}
+	}
+}

@@ -51,6 +51,10 @@ type Options struct {
 	// Results are identical at any setting — the kernels partition work
 	// deterministically — so this is purely a resource-control knob.
 	Threads int
+	// Attention selects the attention implementation ("fused"/"staged");
+	// empty defers to MEGA_ATTENTION then the fused default. Both paths
+	// are bit-identical, so this is a performance knob, not a result knob.
+	Attention string
 }
 
 func (o Options) withDefaults() Options {
@@ -149,7 +153,7 @@ func Run(ds *datasets.Dataset, opts Options) (*Result, error) {
 	cfg := models.Config{
 		Dim: opts.Dim, Layers: opts.Layers, Heads: opts.Heads,
 		NodeTypes: ds.NumNodeTypes, EdgeTypes: ds.NumEdgeTypes,
-		OutDim: 1, Seed: opts.Seed,
+		OutDim: 1, Seed: opts.Seed, Attention: opts.Attention,
 	}
 	if ds.Task == datasets.TaskClassification {
 		cfg.OutDim = ds.NumClasses
@@ -166,11 +170,14 @@ func Run(ds *datasets.Dataset, opts Options) (*Result, error) {
 
 	trainInsts := capInstances(ds.Train, opts.MaxTrain)
 	valInsts := capInstances(ds.Val, opts.MaxVal)
-	trainCtxs, err := buildContexts(trainInsts, opts, sim)
+	// One arena for the whole run: every batch reuses the same scratch
+	// buffers, so the steady-state fused-attention path allocates nothing.
+	arena := tensor.NewArena()
+	trainCtxs, err := buildContexts(trainInsts, opts, sim, arena)
 	if err != nil {
 		return nil, err
 	}
-	valCtxs, err := buildContexts(valInsts, opts, sim)
+	valCtxs, err := buildContexts(valInsts, opts, sim, arena)
 	if err != nil {
 		return nil, err
 	}
@@ -262,8 +269,9 @@ func lossFor(task datasets.Task, out *tensor.Tensor, ctx *models.Context) *tenso
 	return tensor.MAELoss(out, ctx.Targets)
 }
 
-// buildContexts batches instances and constructs per-batch engine contexts.
-func buildContexts(insts []datasets.Instance, opts Options, sim *gpusim.Sim) ([]*models.Context, error) {
+// buildContexts batches instances and constructs per-batch engine contexts
+// sharing one scratch arena.
+func buildContexts(insts []datasets.Instance, opts Options, sim *gpusim.Sim, arena *tensor.Arena) ([]*models.Context, error) {
 	var out []*models.Context
 	for lo := 0; lo < len(insts); lo += opts.BatchSize {
 		hi := lo + opts.BatchSize
@@ -280,6 +288,7 @@ func buildContexts(insts []datasets.Instance, opts Options, sim *gpusim.Sim) ([]
 		if err != nil {
 			return nil, err
 		}
+		ctx.Scratch = arena
 		out = append(out, ctx)
 	}
 	return out, nil
