@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race race race-short bench bench-compute bench-attention fuzz fuzz-smoke experiments examples clean
+.PHONY: all check build vet test test-race race race-short chaos chaos-short bench bench-compute bench-attention fuzz fuzz-smoke experiments examples clean
 
 all: check
 
@@ -35,6 +35,16 @@ test-race:
 # `make race` stays the push/nightly job.
 race-short:
 	$(GO) test -race -short ./internal/compute/ ./internal/tensor/ ./internal/nn/ ./internal/models/ ./internal/train/ ./internal/serve/ ./internal/dist/ ./internal/dynamic/
+
+# chaos runs the fault-injection end-to-end harness (train → checkpoint →
+# serve under injected faults) under the race detector with a fixed seed,
+# writing the fault-point coverage log to chaos-report.log. chaos-short is
+# the PR-sized variant CI runs.
+chaos:
+	CHAOS_REPORT=$(CURDIR)/chaos-report.log $(GO) test -race -run TestChaosEndToEnd -count=1 -v ./internal/serve/
+
+chaos-short:
+	CHAOS_REPORT=$(CURDIR)/chaos-report.log $(GO) test -race -short -run TestChaosEndToEnd -count=1 -v ./internal/serve/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

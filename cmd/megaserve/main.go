@@ -15,9 +15,21 @@
 //	megaserve -checkpoint model.ckpt [-addr :8391] [-engine mega|dgl]
 //	          [-max-batch 16] [-max-wait 2ms] [-workers 0]
 //	          [-cache 4096] [-log-every 30s]
+//	          [-checkpoint-dir dir] [-queue 256] [-deadline 0]
+//	          [-max-deadline 0] [-breaker-threshold 5]
+//	          [-breaker-cooldown 500ms] [-grace 5s]
+//
+// -checkpoint-dir serves the newest good checkpoint from a megatrain
+// checkpoint directory (corrupt files are quarantined, not fatal) instead
+// of a single -checkpoint file. The remaining flags tune the
+// fault-tolerance layer: bounded admission queue (full → 429), per-request
+// deadlines (server default plus a cap on the wire's timeout_ms override),
+// the circuit breaker that falls back to the DGL engine when MEGA
+// preprocessing keeps failing, and the shutdown drain grace.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -25,6 +37,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mega/internal/models"
@@ -43,7 +57,8 @@ func main() {
 // down gracefully. Both hooks exist for tests; main passes nil.
 func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("megaserve", flag.ContinueOnError)
-	ckpt := fs.String("checkpoint", "", "trained model checkpoint written by megatrain -checkpoint (required)")
+	ckpt := fs.String("checkpoint", "", "trained model checkpoint written by megatrain -checkpoint")
+	ckptDir := fs.String("checkpoint-dir", "", "megatrain checkpoint directory; serves the newest good checkpoint (alternative to -checkpoint)")
 	addr := fs.String("addr", ":8391", "HTTP listen address")
 	engine := fs.String("engine", "mega", "attention engine: dgl or mega")
 	maxBatch := fs.Int("max-batch", 16, "max requests packed into one forward pass")
@@ -51,17 +66,29 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 	workers := fs.Int("workers", 0, "forward-pass workers (0 = GOMAXPROCS)")
 	cacheCap := fs.Int("cache", 4096, "path-representation cache capacity in graphs (0 disables)")
 	logEvery := fs.Duration("log-every", 30*time.Second, "metrics log interval (0 disables)")
+	queue := fs.Int("queue", 256, "admission queue depth; a full queue sheds requests with HTTP 429")
+	deadline := fs.Duration("deadline", 0, "default per-request deadline (0 disables)")
+	maxDeadline := fs.Duration("max-deadline", 0, "cap on any request deadline, including timeout_ms overrides (0 = uncapped)")
+	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive preprocessing failures that trip the fallback circuit breaker")
+	breakerCooldown := fs.Duration("breaker-cooldown", 500*time.Millisecond, "first breaker open window before a half-open probe")
+	grace := fs.Duration("grace", 5*time.Second, "shutdown drain grace before queued requests are failed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *ckpt == "" {
-		return errors.New("-checkpoint is required")
+	if (*ckpt == "") == (*ckptDir == "") {
+		return errors.New("exactly one of -checkpoint or -checkpoint-dir is required")
 	}
 
 	opts := serve.Options{
-		MaxBatch: *maxBatch,
-		MaxWait:  *maxWait,
-		Workers:  *workers,
+		MaxBatch:         *maxBatch,
+		MaxWait:          *maxWait,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		DefaultTimeout:   *deadline,
+		MaxTimeout:       *maxDeadline,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		ShutdownGrace:    *grace,
 	}.WithCacheCapacity(*cacheCap)
 	switch *engine {
 	case "dgl":
@@ -72,7 +99,15 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 		return fmt.Errorf("unknown engine %q (want dgl or mega)", *engine)
 	}
 
-	s, err := serve.NewFromCheckpointFile(*ckpt, opts)
+	var s *serve.Server
+	var err error
+	source := *ckpt
+	if *ckptDir != "" {
+		source = *ckptDir
+		s, err = serve.NewFromCheckpointDir(*ckptDir, opts)
+	} else {
+		s, err = serve.NewFromCheckpointFile(*ckpt, opts)
+	}
 	if err != nil {
 		return err
 	}
@@ -80,7 +115,10 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 
 	meta := s.Meta()
 	fmt.Fprintf(stdout, "serving %s (%s, dim %d, %d layers, task %s) from %s\n",
-		meta.Model, meta.Dataset, meta.Config.Dim, meta.Config.Layers, meta.Task, *ckpt)
+		meta.Model, meta.Dataset, meta.Config.Dim, meta.Config.Layers, meta.Task, source)
+	if n := s.MetricsSnapshot(false).CheckpointRecoveries; n > 0 {
+		fmt.Fprintf(stdout, "quarantined %d corrupt checkpoint(s) while loading\n", n)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -100,12 +138,20 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 	}
 	defer close(logDone)
 
-	if stop != nil {
-		go func() {
-			<-stop
-			srv.Close()
-		}()
-	}
+	// SIGINT/SIGTERM (or the test stop hook) trigger a graceful drain:
+	// stop accepting, let in-flight HTTP finish within the grace window,
+	// then the deferred s.Close drains the batcher the same way.
+	sigCtx, cancelSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancelSig()
+	go func() {
+		select {
+		case <-stop: // nil channel when unused: blocks forever
+		case <-sigCtx.Done():
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
 	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

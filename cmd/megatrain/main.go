@@ -8,9 +8,14 @@
 //	          [-dim d] [-layers L] [-batch B] [-epochs E] [-lr r]
 //	          [-train n] [-val n] [-drop f] [-seed s] [-profile]
 //	          [-attention fused|staged] [-checkpoint model.ckpt]
+//	          [-checkpoint-dir dir] [-checkpoint-every 1] [-resume]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With -checkpoint, the trained parameters are saved for cmd/megaserve.
+// With -checkpoint-dir, training additionally writes a crash-safe
+// checkpoint (atomic rename, CRC-verified) every -checkpoint-every epochs;
+// -resume continues from the newest good checkpoint in that directory,
+// quarantining corrupt files instead of failing.
 // -cpuprofile/-memprofile write Go pprof profiles covering the training
 // run (see DESIGN.md, "Profiling the Go implementation").
 package main
@@ -53,6 +58,9 @@ func run(args []string) error {
 	profile := fs.Bool("profile", true, "attach the GPU simulator")
 	attention := fs.String("attention", "", "attention implementation: fused or staged (default: $MEGA_ATTENTION, then fused)")
 	ckpt := fs.String("checkpoint", "", "write the trained model here for megaserve")
+	ckptDir := fs.String("checkpoint-dir", "", "directory for periodic crash-safe checkpoints")
+	ckptEvery := fs.Int("checkpoint-every", 1, "epochs between periodic checkpoints (with -checkpoint-dir)")
+	resume := fs.Bool("resume", false, "resume from the newest good checkpoint in -checkpoint-dir")
 	cpuProfile := fs.String("cpuprofile", "", "write a Go CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a Go heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
@@ -102,11 +110,15 @@ func run(args []string) error {
 		return fmt.Errorf("unknown engine %q (want dgl or mega)", *engine)
 	}
 
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
 	opts := train.Options{
 		Model: *model, Engine: kind,
 		Dim: *dim, Layers: *layers,
 		BatchSize: *batch, LR: *lr, Epochs: *epochs, Seed: *seed,
 		Profile: *profile, Attention: *attention,
+		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, Resume: *resume,
 	}
 	if *drop > 0 {
 		opts.Mega.Traverse = traverse.Options{
@@ -124,6 +136,13 @@ func run(args []string) error {
 			return fmt.Errorf("write checkpoint: %w", err)
 		}
 		fmt.Printf("checkpoint written to %s (%d params)\n", *ckpt, res.Params)
+	}
+	if res.ResumedEpoch > 0 {
+		fmt.Printf("resumed from epoch %d\n", res.ResumedEpoch)
+	}
+	if res.LastCheckpoint != "" {
+		fmt.Printf("periodic checkpoint: %s (save failures %d, quarantined %d)\n",
+			res.LastCheckpoint, res.CheckpointFailures, res.QuarantinedCheckpoints)
 	}
 
 	metricName := "valMAE"

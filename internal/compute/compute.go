@@ -22,11 +22,75 @@
 package compute
 
 import (
+	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 )
+
+// PanicError carries a panic raised inside a parallel region back to the
+// goroutine that called Parallel/ParallelGrain/ReduceSum. Panics on helper
+// goroutines cannot be recovered by the submitter's own deferred recover —
+// Go recovers only same-goroutine panics — so without this capture a panic
+// deep in a kernel would crash the whole process no matter how carefully
+// the serving layer guards its forward passes. Every chunk (helper or
+// inline) runs under a collector; the first panic wins, remaining chunks
+// finish, and the submitter re-panics with the value and original stack.
+type PanicError struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the stack of the panicking goroutine, captured at the
+	// panic site.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("compute: panic in parallel region: %v", e.Value)
+}
+
+// Unwrap exposes a wrapped error panic value to errors.Is/As chains.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// panicCollector records the first panic from any chunk of one parallel
+// region.
+type panicCollector struct {
+	mu  sync.Mutex
+	err *PanicError
+}
+
+// run executes fn(lo, hi), converting a panic into a recorded PanicError.
+func (c *panicCollector) run(fn func(lo, hi int), lo, hi int) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		pe, ok := r.(*PanicError)
+		if !ok {
+			pe = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+		c.mu.Lock()
+		if c.err == nil {
+			c.err = pe
+		}
+		c.mu.Unlock()
+	}()
+	fn(lo, hi)
+}
+
+// rethrow re-raises the recorded panic, if any, on the calling goroutine.
+func (c *panicCollector) rethrow() {
+	if c.err != nil {
+		panic(c.err)
+	}
+}
 
 // EnvNumThreads is the environment variable consulted at startup for the
 // initial thread budget (like OMP_NUM_THREADS for OpenMP programs).
@@ -119,9 +183,13 @@ func ParallelGrain(n, grain int, fn func(lo, hi int)) {
 	}
 	chunk := (n + p - 1) / p
 	var wg sync.WaitGroup
+	var col panicCollector
 	// Hand chunks after the first to helpers when tokens allow; the first
 	// chunk always runs on the caller, guaranteeing progress even when the
-	// bucket is exhausted by concurrent Parallel calls.
+	// bucket is exhausted by concurrent Parallel calls. Every chunk runs
+	// under the collector so a panic anywhere — helper or inline — lets
+	// the remaining chunks finish and then re-raises on the caller, where
+	// an ordinary deferred recover can see it.
 	for lo := chunk; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
@@ -133,14 +201,15 @@ func ParallelGrain(n, grain int, fn func(lo, hi int)) {
 			go func(lo, hi int) {
 				defer wg.Done()
 				defer func() { tok <- struct{}{} }()
-				fn(lo, hi)
+				col.run(fn, lo, hi)
 			}(lo, hi)
 		default:
-			fn(lo, hi)
+			col.run(fn, lo, hi)
 		}
 	}
-	fn(0, chunk)
+	col.run(fn, 0, chunk)
 	wg.Wait()
+	col.rethrow()
 }
 
 // reduceChunks is the fixed partition width for ReduceSum. It is a

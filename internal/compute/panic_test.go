@@ -1,0 +1,163 @@
+package compute
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// recoverParallel runs fn and returns what a deferred recover on the
+// submitting goroutine sees.
+func recoverParallel(fn func()) (r any) {
+	defer func() { r = recover() }()
+	fn()
+	return nil
+}
+
+// TestParallelPropagatesHelperPanic is the regression test for the PR 2
+// gotcha: a panic raised on a pool helper goroutine must surface on the
+// submitting goroutine — with the original panic value and stack — so a
+// caller's recover() (e.g. serve's guarded forward pass) actually protects
+// the process. Run under -race this also checks the collector is race-free.
+func TestParallelPropagatesHelperPanic(t *testing.T) {
+	for _, threads := range []int{2, 4, 8} {
+		withThreads(t, threads, func() {
+			var ran atomic.Int32
+			r := recoverParallel(func() {
+				Parallel(1024, func(lo, hi int) {
+					ran.Add(1)
+					if lo >= 512 {
+						panic(errors.New("kernel exploded"))
+					}
+				})
+			})
+			pe, ok := r.(*PanicError)
+			if !ok {
+				t.Fatalf("threads=%d: recovered %#v, want *PanicError", threads, r)
+			}
+			if err, ok := pe.Value.(error); !ok || err.Error() != "kernel exploded" {
+				t.Errorf("panic value = %#v", pe.Value)
+			}
+			if !errors.Is(pe, pe.Value.(error)) {
+				t.Error("PanicError should unwrap to the original error value")
+			}
+			if !strings.Contains(string(pe.Stack), "panic_test.go") {
+				t.Errorf("stack does not point at the panic site:\n%s", pe.Stack)
+			}
+			if ran.Load() == 0 {
+				t.Error("no chunks ran")
+			}
+		})
+	}
+}
+
+// TestParallelSingleThreadPanicStillRecoverable covers the p<=1 inline
+// path: the panic propagates natively (same goroutine), no wrapping
+// needed, but it must still be catchable.
+func TestParallelSingleThreadPanicStillRecoverable(t *testing.T) {
+	withThreads(t, 1, func() {
+		r := recoverParallel(func() {
+			Parallel(100, func(lo, hi int) { panic("inline") })
+		})
+		if r == nil {
+			t.Fatal("panic lost on single-thread path")
+		}
+	})
+}
+
+// TestParallelPanicDoesNotLeakTokens drives many panicking regions and
+// then a normal one: if a panicking helper failed to return its admission
+// token, the pool would degrade to serial (or deadlock a waiter).
+func TestParallelPanicDoesNotLeakTokens(t *testing.T) {
+	withThreads(t, 4, func() {
+		for i := 0; i < 50; i++ {
+			recoverParallel(func() {
+				Parallel(256, func(lo, hi int) {
+					if lo == 0 {
+						panic(i)
+					}
+				})
+			})
+		}
+		var hits atomic.Int32
+		Parallel(256, func(lo, hi int) { hits.Add(int32(hi - lo)) })
+		if hits.Load() != 256 {
+			t.Fatalf("post-panic Parallel covered %d of 256", hits.Load())
+		}
+	})
+}
+
+// TestReduceSumPropagatesPanic: ReduceSum builds on Parallel and must
+// inherit the capture behaviour.
+func TestReduceSumPropagatesPanic(t *testing.T) {
+	withThreads(t, 4, func() {
+		r := recoverParallel(func() {
+			ReduceSum(10000, func(lo, hi int) float64 {
+				if lo > 5000 {
+					panic("partial failed")
+				}
+				return 1
+			})
+		})
+		if r == nil {
+			t.Fatal("ReduceSum swallowed the panic")
+		}
+		if pe, ok := r.(*PanicError); !ok || pe.Value != "partial failed" {
+			t.Fatalf("recovered %#v", r)
+		}
+	})
+}
+
+// TestConcurrentRegionsIsolatePanics: a panic in one goroutine's region
+// must not disturb healthy regions running concurrently on the shared
+// token bucket.
+func TestConcurrentRegionsIsolatePanics(t *testing.T) {
+	withThreads(t, 4, func() {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					if g%2 == 0 {
+						r := recoverParallel(func() {
+							Parallel(128, func(lo, hi int) { panic("odd one out") })
+						})
+						if r == nil {
+							t.Error("panic lost in concurrent region")
+						}
+					} else {
+						var total atomic.Int64
+						Parallel(128, func(lo, hi int) { total.Add(int64(hi - lo)) })
+						if total.Load() != 128 {
+							t.Errorf("healthy region covered %d of 128", total.Load())
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	})
+}
+
+// TestNestedParallelPanicKeepsOriginal: a panic inside a nested region is
+// wrapped once and re-raised verbatim by the outer region.
+func TestNestedParallelPanicKeepsOriginal(t *testing.T) {
+	withThreads(t, 4, func() {
+		r := recoverParallel(func() {
+			Parallel(64, func(lo, hi int) {
+				Parallel(64, func(lo2, hi2 int) {
+					if lo2 == 0 && lo == 0 {
+						panic("deep")
+					}
+				})
+			})
+		})
+		pe, ok := r.(*PanicError)
+		if !ok || pe.Value != "deep" {
+			t.Fatalf("recovered %#v, want PanicError{deep}", r)
+		}
+	})
+}

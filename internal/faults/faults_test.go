@@ -1,0 +1,175 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNoOp(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled() after Disable")
+	}
+	for _, name := range Names() {
+		if err := Inject(name); err != nil {
+			t.Fatalf("disabled Inject(%s) = %v", name, err)
+		}
+	}
+	if r := Report(); r != nil {
+		t.Fatalf("disabled Report = %v", r)
+	}
+}
+
+func TestErrorActionAndTyping(t *testing.T) {
+	defer Disable()
+	Enable(Plan{Seed: 1, Points: []PointConfig{{Name: ServePrepare, Prob: 1}}})
+	err := Inject(ServePrepare)
+	if err == nil {
+		t.Fatal("prob 1 did not fire")
+	}
+	if !IsInjected(err) || !errors.Is(err, Injected()) {
+		t.Fatalf("injected error not recognised: %v", err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Point != ServePrepare {
+		t.Fatalf("err = %#v", err)
+	}
+	// Unarmed points stay silent under an active plan.
+	if err := Inject(ServeForward); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	defer Disable()
+	Enable(Plan{Seed: 1, Points: []PointConfig{{Name: ServeForward, Prob: 1, Action: ActPanic}}})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		fe, ok := r.(*Error)
+		if !ok || fe.Point != ServeForward || !fe.Panicked {
+			t.Fatalf("panic value = %#v", r)
+		}
+	}()
+	Inject(ServeForward)
+}
+
+func TestDelayAction(t *testing.T) {
+	defer Disable()
+	const d = 20 * time.Millisecond
+	Enable(Plan{Seed: 1, Points: []PointConfig{{Name: ServeDispatch, Prob: 1, Action: ActDelay, Delay: d}}})
+	start := time.Now()
+	if err := Inject(ServeDispatch); err != nil {
+		t.Fatalf("delay action returned error: %v", err)
+	}
+	if got := time.Since(start); got < d {
+		t.Fatalf("delay %v < configured %v", got, d)
+	}
+}
+
+func TestBudgetCapsFires(t *testing.T) {
+	defer Disable()
+	Enable(Plan{Seed: 1, Points: []PointConfig{{Name: ServeCacheGet, Prob: 1, Budget: 3}}})
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if Inject(ServeCacheGet) != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times with budget 3", fired)
+	}
+	rep := Report()
+	if len(rep) != 1 || rep[0].Hits != 10 || rep[0].Fired != 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+// TestDeterministicPattern pins that the fire pattern is a pure function
+// of (seed, name, hit index): two runs agree hit-for-hit, and a different
+// seed produces a different pattern.
+func TestDeterministicPattern(t *testing.T) {
+	defer Disable()
+	pattern := func(seed int64) string {
+		Enable(Plan{Seed: seed, Points: []PointConfig{{Name: ServeCachePut, Prob: 0.5}}})
+		var b strings.Builder
+		for i := 0; i < 64; i++ {
+			if Inject(ServeCachePut) != nil {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		return b.String()
+	}
+	a, b := pattern(42), pattern(42)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if c := pattern(43); c == a {
+		t.Fatalf("different seeds produced identical 64-hit patterns: %s", a)
+	}
+	ones := strings.Count(a, "1")
+	if ones < 16 || ones > 48 {
+		t.Errorf("prob 0.5 fired %d/64 times — decide() looks biased", ones)
+	}
+}
+
+func TestConcurrentInjectIsSafe(t *testing.T) {
+	defer Disable()
+	Enable(Plan{Seed: 7, Points: []PointConfig{
+		{Name: ServeCacheGet, Prob: 0.3},
+		{Name: ServeCachePut, Prob: 0.3},
+	}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				Inject(ServeCacheGet)
+				Inject(ServeCachePut)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, p := range Report() {
+		if p.Hits != 1600 {
+			t.Errorf("%s hits = %d, want 1600", p.Name, p.Hits)
+		}
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	defer Disable()
+	Enable(Plan{Seed: 1, Points: []PointConfig{
+		{Name: TrainCkptSave, Prob: 1},
+		{Name: TrainCkptLoad, Prob: 0},
+	}})
+	Inject(TrainCkptSave)
+	Inject(TrainCkptLoad)
+	var buf bytes.Buffer
+	if err := WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "train.ckpt.save hits=1 fired=1") ||
+		!strings.Contains(got, "train.ckpt.load hits=1 fired=0") {
+		t.Fatalf("report:\n%s", got)
+	}
+}
+
+// BenchmarkInjectDisabled documents the disabled fast path the acceptance
+// criteria lean on: one atomic load and a nil check.
+func BenchmarkInjectDisabled(b *testing.B) {
+	Disable()
+	for i := 0; i < b.N; i++ {
+		Inject(ServeForward)
+	}
+}

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"sync"
 	"time"
 
 	"mega/internal/datasets"
@@ -9,11 +11,27 @@ import (
 
 // pending is one enqueued request travelling through the micro-batcher.
 type pending struct {
+	// ctx carries the request deadline/cancellation from the caller
+	// through the queue to the worker, which drops expired requests
+	// before they burn a forward pass.
+	ctx      context.Context
 	inst     datasets.Instance
-	prep     *models.PreparedRep // MEGA engine only; nil under DGL
+	prep     *models.PreparedRep // MEGA engine only; nil under DGL or degraded
 	cacheHit bool
+	// degraded marks a request served by the fallback engine because MEGA
+	// preprocessing failed or the circuit breaker is open.
+	degraded bool
 	enqueued time.Time
-	done     chan outcome // buffered(1); exactly one send per request
+	done     chan outcome // buffered(1); finish sends exactly once
+	once     sync.Once
+}
+
+// finish resolves the request exactly once; later calls are dropped. Both
+// the normal completion path and crash/shutdown sweeps go through here, so
+// double-answering (e.g. a worker recovering after partially answering a
+// batch) cannot deadlock or misroute outcomes.
+func (p *pending) finish(o outcome) {
+	p.once.Do(func() { p.done <- o })
 }
 
 // outcome is the worker's reply to one pending request.

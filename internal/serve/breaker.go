@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"mega/internal/retry"
+)
+
+// Circuit breaker around MEGA preprocessing. PrepareMega is the one
+// serving-path stage with real failure surface (traversal of hostile
+// topologies, injected faults, future remote preprocessors); when it
+// fails repeatedly the breaker opens and requests skip straight to the
+// degraded fallback engine instead of burning a doomed traversal per
+// request. After a cooldown the breaker half-opens and lets exactly one
+// probe attempt through; success closes it, failure re-opens it with the
+// next backoff step (retry.Backoff, so repeated trips space their probes
+// exponentially up to a cap).
+//
+// State machine:
+//
+//	closed --threshold consecutive failures--> open
+//	open --cooldown elapsed--> half-open (one probe allowed)
+//	half-open --probe success--> closed
+//	half-open --probe failure--> open (longer cooldown)
+
+// BreakerState names the breaker's position for /healthz and /metrics.
+type BreakerState string
+
+const (
+	BreakerClosed   BreakerState = "closed"
+	BreakerOpen     BreakerState = "open"
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+type breaker struct {
+	mu sync.Mutex
+	// threshold is the consecutive-failure count that trips the breaker.
+	threshold int
+	// backoff shapes successive open windows: open #k lasts
+	// retry.Backoff(k, backoff).
+	backoff retry.Config
+
+	state       BreakerState
+	consecutive int       // failures since the last success (closed state)
+	opens       int       // consecutive opens without an intervening close
+	reopenAt    time.Time // when the open state half-opens
+	probing     bool      // a half-open probe is in flight
+
+	now func() time.Time // injectable clock for tests
+	// onTransition observes every state change (metrics).
+	onTransition func(from, to BreakerState)
+}
+
+func newBreaker(threshold int, cooldown time.Duration, onTransition func(from, to BreakerState)) *breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 500 * time.Millisecond
+	}
+	return &breaker{
+		threshold: threshold,
+		backoff: retry.Config{
+			Attempts: 1, // unused by Backoff; Do is never called here
+			Base:     cooldown,
+			Max:      60 * cooldown,
+			Jitter:   0.1,
+			Seed:     1,
+		},
+		state:        BreakerClosed,
+		now:          time.Now,
+		onTransition: onTransition,
+	}
+}
+
+func (b *breaker) transition(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}
+
+// State reports the current state, promoting open→half-open if the
+// cooldown has elapsed (so observers see the truth even with no traffic).
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && !b.now().Before(b.reopenAt) {
+		b.transition(BreakerHalfOpen)
+		b.probing = false
+	}
+	return b.state
+}
+
+// allow reports whether a preprocessing attempt may proceed. In half-open
+// it admits exactly one probe at a time; callers that get true must report
+// the outcome via success or failure.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Before(b.reopenAt) {
+			return false
+		}
+		b.transition(BreakerHalfOpen)
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a completed preprocessing attempt.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.probing = false
+	if b.state != BreakerClosed {
+		b.opens = 0
+		b.transition(BreakerClosed)
+	}
+}
+
+// failure records a failed preprocessing attempt, tripping or re-opening
+// the breaker as the state machine dictates.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	switch b.state {
+	case BreakerClosed:
+		b.consecutive++
+		if b.consecutive >= b.threshold {
+			b.open()
+		}
+	case BreakerHalfOpen:
+		b.open()
+	case BreakerOpen:
+		// Late failure from an attempt admitted before the trip; the
+		// breaker is already open.
+	}
+}
+
+// open (re)enters the open state with the next backoff window. Caller
+// holds the lock.
+func (b *breaker) open() {
+	b.opens++
+	b.consecutive = 0
+	b.reopenAt = b.now().Add(retry.Backoff(b.opens, b.backoff))
+	b.transition(BreakerOpen)
+}

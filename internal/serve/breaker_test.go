@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's time by hand.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testBreaker(threshold int, cooldown time.Duration) (*breaker, *fakeClock, *[]string) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	var transitions []string
+	b := newBreaker(threshold, cooldown, func(from, to BreakerState) {
+		transitions = append(transitions, string(from)+"->"+string(to))
+	})
+	b.now = clock.now
+	return b, clock, &transitions
+}
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	b, _, trans := testBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.failure()
+		if b.State() != BreakerClosed {
+			t.Fatalf("opened after %d failures, threshold 3", i+1)
+		}
+	}
+	b.allow()
+	b.failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("did not open at threshold")
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted an attempt before cooldown")
+	}
+	if len(*trans) != 1 || (*trans)[0] != "closed->open" {
+		t.Fatalf("transitions = %v", *trans)
+	}
+}
+
+func TestBreakerSuccessResetsConsecutive(t *testing.T) {
+	b, _, _ := testBreaker(3, time.Second)
+	for i := 0; i < 10; i++ {
+		b.allow()
+		if i%2 == 0 {
+			b.failure()
+		} else {
+			b.success()
+		}
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("interleaved successes should keep the breaker closed")
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b, clock, _ := testBreaker(1, time.Second)
+	b.allow()
+	b.failure() // trips immediately (threshold 1)
+	if b.State() != BreakerOpen {
+		t.Fatal("not open")
+	}
+	// Backoff(1) with 10% jitter is within [0.9s, 1.1s]; advance past it.
+	clock.advance(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed: probe should be admitted")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %s, want half-open", b.State())
+	}
+	if b.allow() {
+		t.Fatal("second concurrent probe admitted in half-open")
+	}
+	b.success()
+	if b.State() != BreakerClosed || !b.allow() {
+		t.Fatal("probe success should close the breaker")
+	}
+}
+
+func TestBreakerReopensWithLongerCooldown(t *testing.T) {
+	b, clock, trans := testBreaker(1, time.Second)
+	b.allow()
+	b.failure()
+	first := b.reopenAt.Sub(clock.now())
+
+	clock.advance(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("probe not admitted")
+	}
+	b.failure() // probe fails: reopen with backoff step 2
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe should reopen")
+	}
+	second := b.reopenAt.Sub(clock.now())
+	if second <= first {
+		t.Fatalf("cooldown did not grow: first %v, second %v", first, second)
+	}
+	want := []string{"closed->open", "open->half-open", "half-open->open"}
+	if len(*trans) != len(want) {
+		t.Fatalf("transitions = %v, want %v", *trans, want)
+	}
+	for i := range want {
+		if (*trans)[i] != want[i] {
+			t.Fatalf("transition %d = %s, want %s", i, (*trans)[i], want[i])
+		}
+	}
+}
+
+func TestBreakerStatePromotesOpenToHalfOpen(t *testing.T) {
+	b, clock, _ := testBreaker(1, time.Second)
+	b.allow()
+	b.failure()
+	clock.advance(5 * time.Second)
+	// State() alone (no traffic) must surface the half-open promotion.
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("State() = %s, want half-open after cooldown", got)
+	}
+}

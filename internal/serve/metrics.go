@@ -121,6 +121,19 @@ type Metrics struct {
 	batched  atomic.Uint64 // graphs summed over batches
 	maxBatch atomic.Uint64
 
+	// Failure-domain counters (PR 4): each names one way a request can
+	// deviate from the happy path, so load tests and the chaos harness can
+	// assert that every deviation is accounted for.
+	shed                 atomic.Uint64 // admission queue full → ErrOverloaded
+	deadlineExceeded     atomic.Uint64 // caller deadline fired before the answer
+	canceled             atomic.Uint64 // caller context canceled
+	degraded             atomic.Uint64 // served by the fallback engine
+	prepareFailures      atomic.Uint64 // MEGA preprocessing attempts that failed
+	breakerTransitions   atomic.Uint64 // every breaker state change
+	breakerOpens         atomic.Uint64 // transitions into open specifically
+	workerRestarts       atomic.Uint64 // panicked workers replaced
+	checkpointRecoveries atomic.Uint64 // corrupt checkpoints quarantined at load
+
 	queue      histogram
 	preprocess histogram
 	forward    histogram
@@ -155,6 +168,21 @@ type Snapshot struct {
 	MeanBatchSize float64 `json:"mean_batch_size"`
 	MaxBatchSize  uint64  `json:"max_batch_size"`
 
+	// Failure-domain counters and state (see Metrics).
+	Shed                 uint64 `json:"shed"`
+	DeadlineExceeded     uint64 `json:"deadline_exceeded"`
+	Canceled             uint64 `json:"canceled"`
+	Degraded             uint64 `json:"degraded"`
+	PrepareFailures      uint64 `json:"prepare_failures"`
+	BreakerTransitions   uint64 `json:"breaker_transitions"`
+	BreakerOpens         uint64 `json:"breaker_opens"`
+	WorkerRestarts       uint64 `json:"worker_restarts"`
+	CheckpointRecoveries uint64 `json:"checkpoint_recoveries"`
+	Breaker              string `json:"breaker"`
+	QueueDepth           int    `json:"queue_depth"`
+	QueueCapacity        int    `json:"queue_capacity"`
+	Workers              int    `json:"workers"`
+
 	Cache CacheStats `json:"cache"`
 
 	QueueLatency      HistogramStats `json:"queue_latency"`
@@ -174,6 +202,16 @@ func (m *Metrics) Snapshot(cache CacheStats, withBuckets bool) Snapshot {
 		Batches:      m.batches.Load(),
 		MaxBatchSize: m.maxBatch.Load(),
 		Cache:        cache,
+
+		Shed:                 m.shed.Load(),
+		DeadlineExceeded:     m.deadlineExceeded.Load(),
+		Canceled:             m.canceled.Load(),
+		Degraded:             m.degraded.Load(),
+		PrepareFailures:      m.prepareFailures.Load(),
+		BreakerTransitions:   m.breakerTransitions.Load(),
+		BreakerOpens:         m.breakerOpens.Load(),
+		WorkerRestarts:       m.workerRestarts.Load(),
+		CheckpointRecoveries: m.checkpointRecoveries.Load(),
 
 		QueueLatency:      m.queue.snapshot(withBuckets),
 		PreprocessLatency: m.preprocess.snapshot(withBuckets),

@@ -1,0 +1,327 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"mega/internal/faults"
+	"mega/internal/models"
+)
+
+// Robustness tests for the serving failure domains (PR 4): deadlines and
+// cancellation, load shedding, degraded fallback behind the circuit
+// breaker, worker crash replacement, bounded shutdown drain, and the
+// metrics that account for each. Faults are process-global, so none of
+// these tests run in parallel; each disables injection on exit.
+
+func enableFaults(t *testing.T, points ...faults.PointConfig) {
+	t.Helper()
+	faults.Enable(faults.Plan{Seed: 1, Points: points})
+	t.Cleanup(faults.Disable)
+}
+
+func TestPredictDeadlineExceeded(t *testing.T) {
+	s, ds, _ := trainedServer(t, Options{MaxBatch: 1, Workers: 1, DefaultTimeout: 30 * time.Millisecond})
+	enableFaults(t, faults.PointConfig{
+		Name: faults.ServeForward, Prob: 1, Action: faults.ActDelay, Delay: 300 * time.Millisecond,
+	})
+	_, err := s.Predict(ds.Val[0])
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if got := s.MetricsSnapshot(false).DeadlineExceeded; got != 1 {
+		t.Fatalf("deadline_exceeded = %d, want 1", got)
+	}
+	faults.Disable()
+	// The server must survive an abandoned request: once the delayed
+	// forward drains, fresh requests succeed again.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := s.Predict(ds.Val[0]); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never recovered after an abandoned request")
+		}
+	}
+}
+
+func TestPredictCancellation(t *testing.T) {
+	s, ds, _ := trainedServer(t, Options{MaxBatch: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.PredictCtx(ctx, ds.Val[0])
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if got := s.MetricsSnapshot(false).Canceled; got != 1 {
+		t.Fatalf("canceled = %d, want 1", got)
+	}
+}
+
+func TestOverloadSheds(t *testing.T) {
+	s, ds, _ := trainedServer(t, Options{MaxBatch: 1, Workers: 1, QueueDepth: 1})
+	enableFaults(t, faults.PointConfig{
+		Name: faults.ServeForward, Prob: 1, Action: faults.ActDelay, Delay: 500 * time.Millisecond,
+	})
+	// Saturate the pipeline: worker (1 delayed batch) + dispatcher (1 held
+	// batch) + queue (QueueDepth=1). Once the queue channel is full it
+	// stays full until the worker's 500ms delay elapses, so the next
+	// request deterministically sheds.
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Fillers retry their own sheds until served, so exactly
+			// three requests occupy the pipeline's three slots.
+			for {
+				if _, err := s.Predict(ds.Val[0]); !errors.Is(err, ErrOverloaded) {
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.batcher.in) < cap(s.batcher.in) {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled to the shedding point")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Predict(ds.Val[0]); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded with a full queue", err)
+	}
+	if got := s.MetricsSnapshot(false).Shed; got == 0 {
+		t.Fatal("shed counter not incremented")
+	}
+	wg.Wait()
+}
+
+func TestDegradedFallbackOnPrepareFailure(t *testing.T) {
+	s, ds, model := trainedServer(t, Options{MaxBatch: 1})
+	enableFaults(t, faults.PointConfig{
+		Name: faults.ServePrepare, Prob: 1, Budget: 1, Action: faults.ActError,
+	})
+	inst := ds.Val[0]
+	pred, err := s.Predict(inst)
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	if !pred.Degraded {
+		t.Fatal("prepare failure should yield a degraded prediction")
+	}
+	// Degraded answers are exact for the fallback engine.
+	want := directForward(t, model, models.EngineDGL, inst, s.Meta().Config.Dim)
+	for i := range want {
+		if math.Abs(pred.Output[i]-want[i]) > 1e-12 {
+			t.Fatalf("degraded output[%d] = %v, DGL direct = %v", i, pred.Output[i], want[i])
+		}
+	}
+	snap := s.MetricsSnapshot(false)
+	if snap.Degraded != 1 || snap.PrepareFailures != 1 {
+		t.Fatalf("degraded = %d, prepare_failures = %d, want 1, 1", snap.Degraded, snap.PrepareFailures)
+	}
+	// Budget exhausted: the next request preprocesses normally and, with a
+	// sub-threshold failure count, the breaker stays closed.
+	pred, err = s.Predict(inst)
+	if err != nil || pred.Degraded {
+		t.Fatalf("after budget: pred = %+v, err = %v", pred, err)
+	}
+	if st := s.BreakerState(); st != BreakerClosed {
+		t.Fatalf("breaker = %s, want closed below threshold", st)
+	}
+}
+
+func TestBreakerOpensAndShortCircuits(t *testing.T) {
+	s, ds, _ := trainedServer(t, Options{
+		MaxBatch: 1, BreakerThreshold: 2, BreakerCooldown: time.Hour,
+	}.WithCacheCapacity(0))
+	enableFaults(t, faults.PointConfig{
+		Name: faults.ServePrepare, Prob: 1, Action: faults.ActError,
+	})
+	for i := 0; i < 2; i++ {
+		if pred, err := s.Predict(ds.Val[0]); err != nil || !pred.Degraded {
+			t.Fatalf("request %d: pred = %+v, err = %v", i, pred, err)
+		}
+	}
+	if st := s.BreakerState(); st != BreakerOpen {
+		t.Fatalf("breaker = %s, want open at threshold", st)
+	}
+	hitsBefore := prepareHits(t)
+	// Open breaker: requests skip preprocessing entirely.
+	if pred, err := s.Predict(ds.Val[0]); err != nil || !pred.Degraded {
+		t.Fatalf("open-breaker request: pred = %+v, err = %v", pred, err)
+	}
+	if got := prepareHits(t); got != hitsBefore {
+		t.Fatalf("open breaker still consulted prepare: hits %d -> %d", hitsBefore, got)
+	}
+	snap := s.MetricsSnapshot(false)
+	if snap.BreakerOpens != 1 || snap.BreakerTransitions == 0 || snap.Breaker != string(BreakerOpen) {
+		t.Fatalf("snapshot breaker fields = opens %d, transitions %d, state %q",
+			snap.BreakerOpens, snap.BreakerTransitions, snap.Breaker)
+	}
+	// /healthz reflects the degradation.
+	h := s.HealthSnapshot()
+	if h.Status != "degraded" || h.Breaker != string(BreakerOpen) {
+		t.Fatalf("health = %+v, want degraded/open", h)
+	}
+}
+
+// prepareHits reads the injection-point hit count for serve.prepare.
+func prepareHits(t *testing.T) int {
+	t.Helper()
+	for _, r := range faults.Report() {
+		if r.Name == faults.ServePrepare {
+			return r.Hits
+		}
+	}
+	t.Fatal("no report entry for serve.prepare")
+	return 0
+}
+
+func TestFaultyCacheDegradesToMisses(t *testing.T) {
+	s, ds, _ := trainedServer(t, Options{MaxBatch: 1})
+	enableFaults(t,
+		faults.PointConfig{Name: faults.ServeCacheGet, Prob: 1, Action: faults.ActError},
+		faults.PointConfig{Name: faults.ServeCachePut, Prob: 1, Action: faults.ActError},
+	)
+	// A broken cache must cost only latency, never correctness.
+	for i := 0; i < 2; i++ {
+		pred, err := s.Predict(ds.Val[0])
+		if err != nil || pred.CacheHit || pred.Degraded {
+			t.Fatalf("request %d: pred = %+v, err = %v, want clean miss", i, pred, err)
+		}
+	}
+	if st := s.CacheStats(); st.Hits != 0 || st.Size != 0 {
+		t.Fatalf("cache stats = %+v, want untouched", st)
+	}
+}
+
+func TestWorkerCrashIsIsolatedAndReplaced(t *testing.T) {
+	s, ds, _ := trainedServer(t, Options{MaxBatch: 1, Workers: 1})
+	enableFaults(t, faults.PointConfig{
+		Name: faults.ServeDispatch, Prob: 1, Budget: 1, Action: faults.ActPanic,
+	})
+	_, err := s.Predict(ds.Val[0])
+	if !errors.Is(err, ErrWorkerCrashed) {
+		t.Fatalf("err = %v, want ErrWorkerCrashed", err)
+	}
+	// The replacement worker serves the next request.
+	if _, err := s.Predict(ds.Val[0]); err != nil {
+		t.Fatalf("predict after crash: %v", err)
+	}
+	snap := s.MetricsSnapshot(false)
+	if snap.WorkerRestarts != 1 {
+		t.Fatalf("worker_restarts = %d, want 1", snap.WorkerRestarts)
+	}
+	if h := s.HealthSnapshot(); h.WorkerRestarts != 1 || h.Workers != 1 {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+func TestShutdownDrainsInFlight(t *testing.T) {
+	s, ds, _ := trainedServer(t, Options{MaxBatch: 1, Workers: 1, ShutdownGrace: 5 * time.Second})
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Predict(ds.Val[0])
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("clean shutdown returned %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", err)
+	}
+}
+
+func TestShutdownGraceAbortsQueued(t *testing.T) {
+	s, ds, _ := trainedServer(t, Options{MaxBatch: 1, Workers: 1, QueueDepth: 4, ShutdownGrace: 30 * time.Millisecond})
+	enableFaults(t, faults.PointConfig{
+		Name: faults.ServeForward, Prob: 1, Budget: 1, Action: faults.ActDelay, Delay: 300 * time.Millisecond,
+	})
+	errs := make(chan error, 2)
+	go func() { _, err := s.Predict(ds.Val[0]); errs <- err }()
+	time.Sleep(50 * time.Millisecond) // first request is inside its delayed forward
+	go func() { _, err := s.Predict(ds.Val[0]); errs <- err }()
+	time.Sleep(20 * time.Millisecond) // second request is queued behind it
+	if err := s.Shutdown(context.Background()); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("shutdown = %v, want ErrShuttingDown after grace lapsed", err)
+	}
+	var aborted, served int
+	for i := 0; i < 2; i++ {
+		switch err := <-errs; {
+		case err == nil:
+			served++
+		case errors.Is(err, ErrShuttingDown):
+			aborted++
+		default:
+			t.Fatalf("unexpected request error: %v", err)
+		}
+	}
+	// The in-flight request finishes; the queued one is aborted with a
+	// typed error. Nothing is silently dropped.
+	if served != 1 || aborted != 1 {
+		t.Fatalf("served = %d, aborted = %d, want 1 and 1", served, aborted)
+	}
+}
+
+func TestHTTPTimeoutAndHealth(t *testing.T) {
+	s, ds, _ := trainedServer(t, Options{MaxBatch: 1, Workers: 1})
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+
+	enableFaults(t, faults.PointConfig{
+		Name: faults.ServeForward, Prob: 1, Budget: 1, Action: faults.ActDelay, Delay: 300 * time.Millisecond,
+	})
+	inst := ds.Val[0]
+	req := GraphRequest{NumNodes: inst.G.NumNodes(), NodeFeats: inst.NodeFeat, EdgeFeats: inst.EdgeFeat, TimeoutMs: 30}
+	for _, e := range inst.G.Edges() {
+		req.Edges = append(req.Edges, [2]int32{e.Src, e.Dst})
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(srv.URL+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 on request timeout", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" || h.QueueCapacity == 0 {
+		t.Fatalf("healthz = %d %+v", resp.StatusCode, h)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("metrics decode: %v", err)
+	}
+	resp.Body.Close()
+	if snap.DeadlineExceeded != 1 || snap.Breaker == "" {
+		t.Fatalf("metrics snapshot = %+v", snap)
+	}
+}

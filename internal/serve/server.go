@@ -1,16 +1,19 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mega/internal/compute"
 	"mega/internal/datasets"
+	"mega/internal/faults"
 	"mega/internal/graph"
 	"mega/internal/models"
 	"mega/internal/tensor"
@@ -42,8 +45,26 @@ type Options struct {
 	// CacheCapacity bounds the path-representation LRU in entries
 	// (default 4096; <=0 after explicit set disables caching).
 	CacheCapacity int
-	// QueueDepth is the pending-request channel capacity (default 256).
+	// QueueDepth is the pending-request channel capacity; when it is
+	// full, new requests are shed with ErrOverloaded instead of blocking
+	// (default 256).
 	QueueDepth int
+	// DefaultTimeout is the per-request deadline applied when the
+	// caller's context carries none (0 = no default deadline).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps every request deadline, including per-request
+	// overrides from the wire (0 = uncapped).
+	MaxTimeout time.Duration
+	// BreakerThreshold is the consecutive MEGA-preprocessing failures
+	// that trip the circuit breaker to the fallback engine (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is the first open window before a half-open probe;
+	// successive trips back off exponentially from it (default 500ms).
+	BreakerCooldown time.Duration
+	// ShutdownGrace bounds how long Close/Shutdown drains queued and
+	// in-flight requests before failing the rest with ErrShuttingDown
+	// (default 5s).
+	ShutdownGrace time.Duration
 	// Mega configures traversal options for the MEGA engine. Must match
 	// across the server's lifetime: cache keys cover topology only, so
 	// options are per-server, not per-request.
@@ -87,6 +108,15 @@ func (o Options) withDefaults() Options {
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 256
 	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 500 * time.Millisecond
+	}
+	if o.ShutdownGrace <= 0 {
+		o.ShutdownGrace = 5 * time.Second
+	}
 	return o
 }
 
@@ -100,6 +130,12 @@ type Prediction struct {
 	// CacheHit reports whether preprocessing was served from the
 	// path-representation cache.
 	CacheHit bool `json:"cache_hit"`
+	// Degraded reports that MEGA preprocessing was unavailable (failure
+	// or open circuit breaker) and the prediction came from the fallback
+	// engine instead. Degraded answers are exact for that engine — a
+	// different attention layout, not an approximation — but may differ
+	// numerically from the MEGA-engine answer on graphs with revisits.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Server is a concurrent batched inference service over one trained model.
@@ -112,6 +148,7 @@ type Server struct {
 	cache   *RepCache
 	metrics *Metrics
 	batcher *batcher
+	breaker *breaker
 	// arena pools fused-attention scratch across batches; shared by all
 	// workers (Arena is concurrency-safe), so steady-state serving stops
 	// allocating in the attention path.
@@ -120,12 +157,31 @@ type Server struct {
 	mu     sync.RWMutex // guards closed vs. in-flight enqueues
 	closed bool
 	wg     sync.WaitGroup // dispatcher + workers
+
+	// aborting flips when the shutdown grace window lapses: workers stop
+	// forwarding and fail remaining requests with ErrShuttingDown.
+	aborting atomic.Bool
+	// graceExceeded records that Shutdown had to abort queued requests.
+	graceExceeded atomic.Bool
+	shutdownOnce  sync.Once
+	shutdownDone  chan struct{}
 }
 
-// Service errors.
+// Service errors. Every request resolves to a prediction or exactly one of
+// these (or a context error for deadline/cancellation) — the "no lost
+// responses" contract the chaos harness pins.
 var (
 	ErrClosed          = errors.New("serve: server is closed")
 	ErrInvalidInstance = errors.New("serve: invalid instance")
+	// ErrOverloaded sheds a request because the admission queue is full;
+	// HTTP maps it to 429 with Retry-After.
+	ErrOverloaded = errors.New("serve: overloaded, request shed")
+	// ErrShuttingDown fails requests still queued when the shutdown grace
+	// window lapses; HTTP maps it to 503.
+	ErrShuttingDown = errors.New("serve: shutting down")
+	// ErrWorkerCrashed wraps a worker panic that escaped the guarded
+	// forward pass; the worker is replaced automatically.
+	ErrWorkerCrashed = errors.New("serve: worker crashed")
 )
 
 // New starts the dispatcher and worker pool around a loaded model. meta
@@ -135,29 +191,59 @@ func New(model models.Model, meta train.Checkpoint, opts Options) *Server {
 	opts = opts.withDefaults()
 	compute.SetMaxThreads(opts.ComputeBudget)
 	s := &Server{
-		model:   model,
-		meta:    meta,
-		opts:    opts,
-		cache:   NewRepCache(opts.CacheCapacity),
-		metrics: NewMetrics(),
-		batcher: newBatcher(opts.MaxBatch, opts.MaxWait, opts.QueueDepth),
-		arena:   tensor.NewArena(),
+		model:        model,
+		meta:         meta,
+		opts:         opts,
+		cache:        NewRepCache(opts.CacheCapacity),
+		metrics:      NewMetrics(),
+		batcher:      newBatcher(opts.MaxBatch, opts.MaxWait, opts.QueueDepth),
+		arena:        tensor.NewArena(),
+		shutdownDone: make(chan struct{}),
 	}
+	s.breaker = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, func(from, to BreakerState) {
+		s.metrics.breakerTransitions.Add(1)
+		if to == BreakerOpen {
+			s.metrics.breakerOpens.Add(1)
+		}
+	})
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		s.batcher.run()
 	}()
 	for i := 0; i < opts.Workers; i++ {
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			for batch := range s.batcher.out {
-				s.runBatch(batch)
-			}
-		}()
+		s.startWorker()
 	}
 	return s
+}
+
+// startWorker launches one forward-pass worker. A panic that escapes the
+// guarded forward (e.g. raised outside the recover, or during dispatch)
+// fails the in-flight batch with ErrWorkerCrashed and spawns a
+// replacement, so the pool never silently shrinks.
+func (s *Server) startWorker() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		var cur []*pending
+		defer func() {
+			if r := recover(); r != nil {
+				for _, p := range cur {
+					p.finish(outcome{err: fmt.Errorf("%w: %v", ErrWorkerCrashed, r)})
+				}
+				s.metrics.workerRestarts.Add(1)
+				// Replace before this goroutine exits; wg.Add happens
+				// while our own slot is still held, so Close's Wait
+				// cannot observe a zero in between.
+				s.startWorker()
+			}
+		}()
+		for batch := range s.batcher.out {
+			cur = batch
+			s.runBatch(batch)
+			cur = nil
+		}
+	}()
 }
 
 // NewFromCheckpointFile loads a megatrain checkpoint and serves it.
@@ -169,76 +255,212 @@ func NewFromCheckpointFile(path string, opts Options) (*Server, error) {
 	return New(model, meta, opts), nil
 }
 
+// NewFromCheckpointDir serves the newest good checkpoint in a megatrain
+// checkpoint directory (train.Options.CheckpointDir), quarantining corrupt
+// files along the way; the number of quarantined files is surfaced on
+// /metrics as checkpoint_recoveries.
+func NewFromCheckpointDir(dir string, opts Options) (*Server, error) {
+	meta, model, rep, err := train.LoadLatestCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := New(model, meta, opts)
+	s.metrics.checkpointRecoveries.Add(uint64(len(rep.Quarantined)))
+	return s, nil
+}
+
 // Meta returns the checkpoint description being served.
 func (s *Server) Meta() train.Checkpoint { return s.meta }
 
 // CacheStats snapshots the path-representation cache counters.
 func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 
+// BreakerState reports the preprocessing circuit breaker's position.
+func (s *Server) BreakerState() BreakerState { return s.breaker.State() }
+
 // MetricsSnapshot freezes the service counters and latency histograms.
 func (s *Server) MetricsSnapshot(withBuckets bool) Snapshot {
-	return s.metrics.Snapshot(s.cache.Stats(), withBuckets)
+	snap := s.metrics.Snapshot(s.cache.Stats(), withBuckets)
+	snap.Breaker = string(s.breaker.State())
+	snap.QueueDepth = len(s.batcher.in)
+	snap.QueueCapacity = cap(s.batcher.in)
+	snap.Workers = s.opts.Workers
+	return snap
 }
 
-// Close stops accepting requests, drains in-flight batches, and waits for
-// the worker pool to exit. It is idempotent.
-func (s *Server) Close() {
-	s.mu.Lock()
-	if s.closed {
+// Close shuts the server down with the configured grace period
+// (Options.ShutdownGrace). It is idempotent.
+func (s *Server) Close() { s.Shutdown(context.Background()) }
+
+// Shutdown stops accepting requests and drains queued and in-flight work.
+// Requests still unanswered when the grace window (Options.ShutdownGrace,
+// or ctx, whichever ends first) lapses are failed with ErrShuttingDown —
+// bounded, and never silent. It returns ErrShuttingDown if any requests
+// were aborted, nil on a clean drain. Idempotent; concurrent callers all
+// block until shutdown completes.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		close(s.batcher.in)
 		s.mu.Unlock()
-		return
+
+		drained := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(drained)
+		}()
+		timer := time.NewTimer(s.opts.ShutdownGrace)
+		defer timer.Stop()
+		select {
+		case <-drained:
+		case <-timer.C:
+			s.abortDrain(drained)
+		case <-ctx.Done():
+			s.abortDrain(drained)
+		}
+		close(s.shutdownDone)
+	})
+	<-s.shutdownDone
+	if s.graceExceeded.Load() {
+		return ErrShuttingDown
 	}
-	s.closed = true
-	close(s.batcher.in)
-	s.mu.Unlock()
-	s.wg.Wait()
+	return nil
 }
 
-// Predict runs one graph through the service: validate, preprocess (cache
-// hit or fresh traversal), enqueue into the micro-batcher, and wait for
-// the batched forward pass. Safe for arbitrary concurrent callers.
+// abortDrain flips workers into fail-fast mode and waits for the pipeline
+// to finish flushing typed errors to the remaining requests.
+func (s *Server) abortDrain(drained <-chan struct{}) {
+	s.graceExceeded.Store(true)
+	s.aborting.Store(true)
+	<-drained
+}
+
+// Predict runs one graph through the service with no caller context; the
+// server's DefaultTimeout still applies. Safe for arbitrary concurrent
+// callers.
 func (s *Server) Predict(inst datasets.Instance) (Prediction, error) {
+	return s.PredictCtx(context.Background(), inst)
+}
+
+// PredictCtx runs one graph through the service: validate, apply the
+// request deadline, preprocess (cache hit, fresh traversal, or degraded
+// fallback), enqueue into the micro-batcher with load shedding, and wait
+// for the batched forward pass or the context, whichever finishes first.
+func (s *Server) PredictCtx(ctx context.Context, inst datasets.Instance) (Prediction, error) {
 	s.metrics.requests.Add(1)
 	start := time.Now()
 	if err := s.validate(inst); err != nil {
 		s.metrics.errors.Add(1)
 		return Prediction{}, err
 	}
-	p := &pending{inst: inst, enqueued: start, done: make(chan outcome, 1)}
+	ctx, cancel := s.requestContext(ctx)
+	defer cancel()
 
+	p := &pending{ctx: ctx, inst: inst, enqueued: start, done: make(chan outcome, 1)}
 	if s.opts.Engine == models.EngineMega {
-		key := inst.G.Fingerprint()
-		if prep, ok := s.cache.Get(key); ok {
-			p.prep, p.cacheHit = prep, true
-		} else {
-			t0 := time.Now()
-			prep, err := models.PrepareMega(inst.G, s.opts.Mega)
-			s.metrics.preprocess.observe(time.Since(t0))
-			if err != nil {
-				s.metrics.errors.Add(1)
-				return Prediction{}, err
-			}
-			s.cache.Put(key, prep)
-			p.prep = prep
-		}
+		s.prepare(p)
 	}
 
+	// Admission: never block on a full queue — shed with a typed error
+	// the client can back off on.
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
 		s.metrics.errors.Add(1)
 		return Prediction{}, ErrClosed
 	}
-	s.batcher.in <- p
-	s.mu.RUnlock()
-
-	out := <-p.done
-	s.metrics.total.observe(time.Since(start))
-	if out.err != nil {
+	select {
+	case s.batcher.in <- p:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.metrics.shed.Add(1)
 		s.metrics.errors.Add(1)
-		return Prediction{}, out.err
+		return Prediction{}, ErrOverloaded
 	}
-	return out.pred, nil
+
+	select {
+	case out := <-p.done:
+		s.metrics.total.observe(time.Since(start))
+		if out.err != nil {
+			s.metrics.errors.Add(1)
+			return Prediction{}, out.err
+		}
+		return out.pred, nil
+	case <-ctx.Done():
+		// The worker may still answer into the buffered channel; the
+		// caller stops waiting now. Workers drop expired requests before
+		// forwarding, so an abandoned request does not burn a pass.
+		s.metrics.errors.Add(1)
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.metrics.deadlineExceeded.Add(1)
+		} else {
+			s.metrics.canceled.Add(1)
+		}
+		return Prediction{}, fmt.Errorf("serve: request abandoned: %w", ctx.Err())
+	}
+}
+
+// requestContext applies the server's deadline policy: the caller's
+// deadline wins when present (capped at MaxTimeout); otherwise
+// DefaultTimeout applies.
+func (s *Server) requestContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	limit := time.Duration(0)
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		limit = s.opts.DefaultTimeout
+	}
+	if s.opts.MaxTimeout > 0 && (limit == 0 || limit > s.opts.MaxTimeout) {
+		if d, ok := ctx.Deadline(); !ok || time.Until(d) > s.opts.MaxTimeout {
+			limit = s.opts.MaxTimeout
+		}
+	}
+	if limit <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, limit)
+}
+
+// prepare resolves the MEGA path representation for one request: cache
+// hit, fresh traversal behind the circuit breaker, or — when
+// preprocessing fails or the breaker is open — the degraded fallback
+// (served by the GAT-free engine without a path representation). The
+// request always proceeds; degradation is visible in the Prediction.
+func (s *Server) prepare(p *pending) {
+	key := p.inst.G.Fingerprint()
+	if faults.Inject(faults.ServeCacheGet) == nil {
+		if prep, ok := s.cache.Get(key); ok {
+			p.prep, p.cacheHit = prep, true
+			return
+		}
+	}
+	if !s.breaker.allow() {
+		s.degrade(p)
+		return
+	}
+	t0 := time.Now()
+	err := faults.Inject(faults.ServePrepare)
+	var prep *models.PreparedRep
+	if err == nil {
+		prep, err = models.PrepareMega(p.inst.G, s.opts.Mega)
+	}
+	s.metrics.preprocess.observe(time.Since(t0))
+	if err != nil {
+		s.breaker.failure()
+		s.metrics.prepareFailures.Add(1)
+		s.degrade(p)
+		return
+	}
+	s.breaker.success()
+	if faults.Inject(faults.ServeCachePut) == nil {
+		s.cache.Put(key, prep)
+	}
+	p.prep = prep
+}
+
+func (s *Server) degrade(p *pending) {
+	p.degraded = true
+	s.metrics.degraded.Add(1)
 }
 
 // validate rejects instances the embedding tables cannot index — an
@@ -271,41 +493,85 @@ func (s *Server) validate(inst datasets.Instance) error {
 	return nil
 }
 
-// runBatch packs a flushed batch into one context, runs the forward pass,
-// and scatters per-graph output rows back to their callers.
+// runBatch triages a flushed batch — shutdown abort, expired requests,
+// degraded split — then runs the forward pass(es) and scatters per-graph
+// output rows back to their callers. Every pending in the batch is
+// finished exactly once on every path.
 func (s *Server) runBatch(batch []*pending) {
-	now := time.Now()
-	for _, p := range batch {
-		s.metrics.queue.observe(now.Sub(p.enqueued))
-	}
-	preds, err := s.forward(batch)
-	s.metrics.observeBatch(len(batch), time.Since(now))
-	if err != nil {
+	// The dispatch injection point sits outside the guarded forward on
+	// purpose: a panic here escapes to the worker wrapper and exercises
+	// worker replacement.
+	if err := faults.Inject(faults.ServeDispatch); err != nil {
 		for _, p := range batch {
-			p.done <- outcome{err: err}
+			p.finish(outcome{err: err})
 		}
 		return
 	}
-	for i, p := range batch {
-		p.done <- outcome{pred: preds[i]}
+	if s.aborting.Load() {
+		for _, p := range batch {
+			p.finish(outcome{err: ErrShuttingDown})
+		}
+		return
+	}
+	now := time.Now()
+	var normal, degraded []*pending
+	for _, p := range batch {
+		if err := p.ctx.Err(); err != nil {
+			// Abandoned while queued: answer the (already departed)
+			// caller without burning forward-pass compute on it.
+			p.finish(outcome{err: fmt.Errorf("serve: expired in queue: %w", err)})
+			continue
+		}
+		s.metrics.queue.observe(now.Sub(p.enqueued))
+		if p.degraded {
+			degraded = append(degraded, p)
+		} else {
+			normal = append(normal, p)
+		}
+	}
+	s.runGroup(normal, s.opts.Engine)
+	s.runGroup(degraded, models.EngineDGL)
+}
+
+// runGroup forwards one engine-homogeneous group and answers it.
+func (s *Server) runGroup(group []*pending, engine models.EngineKind) {
+	if len(group) == 0 {
+		return
+	}
+	start := time.Now()
+	preds, err := s.forward(group, engine)
+	s.metrics.observeBatch(len(group), time.Since(start))
+	if err != nil {
+		for _, p := range group {
+			p.finish(outcome{err: err})
+		}
+		return
+	}
+	for i, p := range group {
+		p.finish(outcome{pred: preds[i]})
 	}
 }
 
 // forward builds the engine context for the batch and runs the model,
 // converting panics from deeper layers into errors so one bad batch
-// cannot take the worker down.
-func (s *Server) forward(batch []*pending) (preds []Prediction, err error) {
+// cannot take the worker down. Panics raised on compute-pool helper
+// goroutines arrive here as compute.PanicError re-raised on this
+// goroutine, so the recover genuinely covers the whole forward pass.
+func (s *Server) forward(batch []*pending, engine models.EngineKind) (preds []Prediction, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			preds, err = nil, fmt.Errorf("serve: forward pass panicked: %v", r)
 		}
 	}()
+	if err := faults.Inject(faults.ServeForward); err != nil {
+		return nil, err
+	}
 	insts := make([]datasets.Instance, len(batch))
 	for i, p := range batch {
 		insts[i] = p.inst
 	}
 	var ctx *models.Context
-	if s.opts.Engine == models.EngineMega {
+	if engine == models.EngineMega {
 		preps := make([]*models.PreparedRep, len(batch))
 		for i, p := range batch {
 			preps[i] = p.prep
@@ -324,7 +590,7 @@ func (s *Server) forward(batch []*pending) (preds []Prediction, err error) {
 	for i, p := range batch {
 		row := make([]float64, cols)
 		copy(row, out.Data[i*cols:(i+1)*cols])
-		pred := Prediction{Output: row, CacheHit: p.cacheHit}
+		pred := Prediction{Output: row, CacheHit: p.cacheHit, Degraded: p.degraded}
 		if s.meta.Task == datasets.TaskClassification {
 			best := 0
 			for j := 1; j < cols; j++ {
@@ -349,6 +615,9 @@ type GraphRequest struct {
 	// vocabularies. Omitted slices default to all-zero features.
 	NodeFeats []int32 `json:"node_feats,omitempty"`
 	EdgeFeats []int32 `json:"edge_feats,omitempty"`
+	// TimeoutMs overrides the server's default request deadline for this
+	// request, capped at the server's MaxTimeout.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
 }
 
 // Instance converts the wire format into a validated datasets.Instance.
@@ -374,16 +643,52 @@ func (r *GraphRequest) Instance() (datasets.Instance, error) {
 
 const maxRequestBody = 8 << 20
 
+// Health is the /healthz document: liveness plus the failure-domain state
+// an operator (or load balancer) needs to interpret degraded service.
+type Health struct {
+	// Status is "ok", "degraded" (breaker not closed), or "stopping".
+	Status string `json:"status"`
+	// Breaker is the preprocessing circuit breaker state.
+	Breaker string `json:"breaker"`
+	// QueueDepth/QueueCapacity describe admission headroom.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	// Workers is the configured worker-pool size (kept constant by
+	// automatic replacement); WorkerRestarts counts replacements.
+	Workers        int    `json:"workers"`
+	WorkerRestarts uint64 `json:"worker_restarts"`
+}
+
+// HealthSnapshot builds the /healthz document.
+func (s *Server) HealthSnapshot() Health {
+	h := Health{
+		Breaker:        string(s.breaker.State()),
+		QueueDepth:     len(s.batcher.in),
+		QueueCapacity:  cap(s.batcher.in),
+		Workers:        s.opts.Workers,
+		WorkerRestarts: s.metrics.workerRestarts.Load(),
+	}
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	switch {
+	case closed:
+		h.Status = "stopping"
+	case h.Breaker != string(BreakerClosed):
+		h.Status = "degraded"
+	default:
+		h.Status = "ok"
+	}
+	return h
+}
+
 // Handler returns the HTTP surface: POST /predict, GET /metrics,
 // GET /healthz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", s.handlePredict)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintln(w, `{"status":"ok"}`)
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
 
@@ -403,12 +708,29 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	pred, err := s.Predict(inst)
+	// r.Context() ends when the client disconnects, so abandoned
+	// connections cancel their queued work; a per-request timeout_ms
+	// narrows it further (PredictCtx caps both at MaxTimeout).
+	ctx := r.Context()
+	if req.TimeoutMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+		defer cancel()
+	}
+	pred, err := s.PredictCtx(ctx, inst)
 	switch {
 	case errors.Is(err, ErrInvalidInstance), errors.Is(err, graph.ErrEdgeOutOfRange):
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, err.Error())
+		return
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrShuttingDown):
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	case err != nil:
@@ -424,6 +746,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(s.MetricsSnapshot(true))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.HealthSnapshot()
+	w.Header().Set("Content-Type", "application/json")
+	if h.Status == "stopping" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(h)
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {

@@ -1,0 +1,297 @@
+package train
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mega/internal/datasets"
+	"mega/internal/faults"
+)
+
+// writeCkpt saves a tiny model checkpoint for epoch into dir and returns
+// its path plus the model that produced it.
+func writeCkpt(t *testing.T, dir string, epoch int, seed int64) string {
+	t.Helper()
+	cfg := tinyConfig()
+	cfg.Seed = seed
+	model, err := NewModel("GT", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := Checkpoint{Model: "GT", Config: cfg, Task: datasets.TaskRegression, Dataset: "ZINC", Epoch: epoch}
+	path := CheckpointPath(dir, epoch)
+	if err := SaveCheckpointFile(path, meta, model); err != nil {
+		t.Fatalf("save epoch %d: %v", epoch, err)
+	}
+	return path
+}
+
+func TestCheckpointCRCRoundTripWithEpoch(t *testing.T) {
+	dir := t.TempDir()
+	writeCkpt(t, dir, 7, 3)
+	meta, model, err := LoadCheckpointFile(CheckpointPath(dir, 7))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if meta.Epoch != 7 || model == nil {
+		t.Fatalf("meta = %+v", meta)
+	}
+}
+
+func TestLegacyV1CheckpointStillLoads(t *testing.T) {
+	// Hand-build a v1 container (no CRC trailer) from a v2 file by
+	// swapping the magic and dropping the trailer.
+	dir := t.TempDir()
+	path := writeCkpt(t, dir, 1, 3)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := append([]byte("MEGACKP1"), data[8:len(data)-4]...)
+	legacyPath := filepath.Join(dir, "legacy.ckpt")
+	if err := os.WriteFile(legacyPath, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCheckpointFile(legacyPath); err != nil {
+		t.Fatalf("legacy container rejected: %v", err)
+	}
+}
+
+// corruptions is the matrix of ways a checkpoint file can rot on disk.
+var corruptions = []struct {
+	name   string
+	mangle func(data []byte) []byte
+}{
+	{"truncated", func(d []byte) []byte { return d[:len(d)/2] }},
+	{"truncated-to-magic", func(d []byte) []byte { return d[:8] }},
+	{"flipped-header-byte", func(d []byte) []byte {
+		d[12] ^= 0xff // inside the JSON header
+		return d
+	}},
+	{"flipped-params-byte", func(d []byte) []byte {
+		d[len(d)-64] ^= 0xff // deep in the parameter blob
+		return d
+	}},
+	{"flipped-crc", func(d []byte) []byte {
+		d[len(d)-1] ^= 0xff
+		return d
+	}},
+	{"zeroed-file", func(d []byte) []byte { return make([]byte, len(d)) }},
+}
+
+// TestCorruptCheckpointDetected: every corruption in the matrix must fail
+// the direct load with a typed container error, never load silently wrong
+// parameters.
+func TestCorruptCheckpointDetected(t *testing.T) {
+	dir := t.TempDir()
+	good := writeCkpt(t, dir, 1, 3)
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := filepath.Join(t.TempDir(), "bad.ckpt")
+			if err := os.WriteFile(bad, tc.mangle(append([]byte(nil), data...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, _, err := LoadCheckpointFile(bad)
+			if err == nil {
+				t.Fatal("corrupt checkpoint loaded without error")
+			}
+			if !errors.Is(err, ErrCkptCorrupt) && !errors.Is(err, ErrCkptMagic) && !errors.Is(err, ErrCkptHeader) {
+				t.Fatalf("untyped corruption error: %v", err)
+			}
+		})
+	}
+}
+
+// TestLoadLatestQuarantinesCorruptAndRecovers: with a good older
+// checkpoint and a corrupted newest one, LoadLatestCheckpoint must load
+// the previous good file and quarantine the bad one for every corruption
+// in the matrix.
+func TestLoadLatestQuarantinesCorruptAndRecovers(t *testing.T) {
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			writeCkpt(t, dir, 1, 3)
+			newest := writeCkpt(t, dir, 2, 4)
+			data, err := os.ReadFile(newest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(newest, tc.mangle(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			meta, model, rep, err := LoadLatestCheckpoint(dir)
+			if err != nil {
+				t.Fatalf("recovery failed: %v (report %+v)", err, rep)
+			}
+			if meta.Epoch != 1 || model == nil {
+				t.Fatalf("loaded epoch %d, want previous good epoch 1", meta.Epoch)
+			}
+			if len(rep.Quarantined) != 1 || rep.Quarantined[0] != newest {
+				t.Fatalf("quarantined = %v, want [%s]", rep.Quarantined, newest)
+			}
+			if _, err := os.Stat(newest + ".corrupt"); err != nil {
+				t.Errorf("corrupt file not renamed aside: %v", err)
+			}
+			if _, err := os.Stat(newest); !os.IsNotExist(err) {
+				t.Errorf("corrupt file still shadows the good one: %v", err)
+			}
+		})
+	}
+}
+
+// TestCrashDuringSaveLeavespreviousGood simulates the kill -9 window via
+// the faults package: the injected failure fires after partial bytes hit
+// the temp file and before the atomic rename, exactly where a crash would
+// land. The final checkpoint name must never hold a torn file, and the
+// next load must get the previous good checkpoint.
+func TestCrashDuringSaveLeavesPreviousGood(t *testing.T) {
+	defer faults.Disable()
+	dir := t.TempDir()
+	writeCkpt(t, dir, 1, 3)
+
+	faults.Enable(faults.Plan{Seed: 1, Points: []faults.PointConfig{
+		{Name: faults.TrainCkptSave, Prob: 1},
+	}})
+	cfg := tinyConfig()
+	model, err := NewModel("GT", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := Checkpoint{Model: "GT", Config: cfg, Task: datasets.TaskRegression, Epoch: 2}
+	if err := SaveCheckpointFile(CheckpointPath(dir, 2), meta, model); !faults.IsInjected(err) {
+		t.Fatalf("save err = %v, want injected", err)
+	}
+	faults.Disable()
+
+	if _, err := os.Stat(CheckpointPath(dir, 2)); !os.IsNotExist(err) {
+		t.Fatal("crashed save left a file under the final checkpoint name")
+	}
+	gotMeta, _, rep, err := LoadLatestCheckpoint(dir)
+	if err != nil || gotMeta.Epoch != 1 {
+		t.Fatalf("after crashed save: meta %+v err %v (report %+v)", gotMeta, err, rep)
+	}
+	if len(rep.Quarantined) != 0 {
+		t.Errorf("crashed save should leave nothing to quarantine: %+v", rep)
+	}
+}
+
+// TestLoadLatestRetriesTransientFaults: injected (transient) load errors
+// with prob < 1 are retried rather than quarantining a perfectly good
+// file.
+func TestLoadLatestRetriesTransientFaults(t *testing.T) {
+	defer faults.Disable()
+	dir := t.TempDir()
+	writeCkpt(t, dir, 3, 3)
+	// Budget 1: the first load attempt fails, the retry succeeds.
+	faults.Enable(faults.Plan{Seed: 1, Points: []faults.PointConfig{
+		{Name: faults.TrainCkptLoad, Prob: 1, Budget: 1},
+	}})
+	meta, _, rep, err := LoadLatestCheckpoint(dir)
+	if err != nil || meta.Epoch != 3 {
+		t.Fatalf("meta %+v err %v", meta, err)
+	}
+	if len(rep.Quarantined) != 0 || len(rep.Skipped) != 0 {
+		t.Fatalf("transient fault quarantined/skipped a good file: %+v", rep)
+	}
+}
+
+func TestLoadLatestEmptyDir(t *testing.T) {
+	_, _, _, err := LoadLatestCheckpoint(t.TempDir())
+	if !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+// TestRunPeriodicCheckpointAndResume drives the full loop: train with
+// periodic checkpointing, corrupt the newest file (the "crash"), resume,
+// and confirm the run continues from the newest *good* epoch with the bad
+// file quarantined.
+func TestRunPeriodicCheckpointAndResume(t *testing.T) {
+	dir := t.TempDir()
+	ds := datasets.ZINC(datasets.Config{TrainSize: 8, ValSize: 4, TestSize: 1, Seed: 3})
+	opts := Options{
+		Model: "GT", Dim: 16, Layers: 1, Heads: 2,
+		BatchSize: 4, Epochs: 3, Seed: 3,
+		CheckpointDir: dir, CheckpointEvery: 1,
+	}
+	res, err := Run(ds, opts)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if res.LastCheckpoint != CheckpointPath(dir, 3) || res.CheckpointFailures != 0 {
+		t.Fatalf("first run checkpoints: last=%q failures=%d", res.LastCheckpoint, res.CheckpointFailures)
+	}
+	for e := 1; e <= 3; e++ {
+		if _, err := os.Stat(CheckpointPath(dir, e)); err != nil {
+			t.Fatalf("missing periodic checkpoint for epoch %d: %v", e, err)
+		}
+	}
+
+	// Corrupt the newest checkpoint, then resume with 2 more epochs.
+	newest := CheckpointPath(dir, 3)
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-10] ^= 0xff
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	opts.Epochs = 5
+	opts.Resume = true
+	res2, err := Run(ds, opts)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if res2.ResumedEpoch != 2 {
+		t.Fatalf("ResumedEpoch = %d, want 2 (epoch 3 was corrupt)", res2.ResumedEpoch)
+	}
+	if res2.QuarantinedCheckpoints != 1 {
+		t.Fatalf("QuarantinedCheckpoints = %d, want 1", res2.QuarantinedCheckpoints)
+	}
+	if len(res2.Stats) != 3 || res2.Stats[0].Epoch != 3 || res2.Stats[2].Epoch != 5 {
+		t.Fatalf("resumed stats = %+v, want epochs 3..5", res2.Stats)
+	}
+	if res2.LastCheckpoint != CheckpointPath(dir, 5) {
+		t.Fatalf("resumed LastCheckpoint = %q", res2.LastCheckpoint)
+	}
+
+	// A third run with everything trained: resume finds epoch 5, nothing
+	// left to do.
+	res3, err := Run(ds, opts)
+	if err != nil {
+		t.Fatalf("no-op resume: %v", err)
+	}
+	if res3.ResumedEpoch != 5 || len(res3.Stats) != 0 {
+		t.Fatalf("no-op resume: ResumedEpoch=%d stats=%d", res3.ResumedEpoch, len(res3.Stats))
+	}
+}
+
+func TestRunResumeRejectsMismatchedConfig(t *testing.T) {
+	dir := t.TempDir()
+	ds := datasets.ZINC(datasets.Config{TrainSize: 8, ValSize: 4, TestSize: 1, Seed: 3})
+	if _, err := Run(ds, Options{
+		Model: "GT", Dim: 16, Layers: 1, Heads: 2, BatchSize: 4, Epochs: 1, Seed: 3,
+		CheckpointDir: dir,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Run(ds, Options{
+		Model: "GT", Dim: 32, Layers: 1, Heads: 2, BatchSize: 4, Epochs: 2, Seed: 3,
+		CheckpointDir: dir, Resume: true,
+	})
+	if !errors.Is(err, ErrResumeMismatch) {
+		t.Fatalf("err = %v, want ErrResumeMismatch", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), "ckpt-") {
+		t.Errorf("mismatch error should name the checkpoint: %v", err)
+	}
+}

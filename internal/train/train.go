@@ -6,7 +6,10 @@
 package train
 
 import (
+	"context"
 	"errors"
+	"fmt"
+	"os"
 	"time"
 
 	"mega/internal/compute"
@@ -14,6 +17,7 @@ import (
 	"mega/internal/gpusim"
 	"mega/internal/models"
 	"mega/internal/nn"
+	"mega/internal/retry"
 	"mega/internal/tensor"
 )
 
@@ -55,6 +59,20 @@ type Options struct {
 	// empty defers to MEGA_ATTENTION then the fused default. Both paths
 	// are bit-identical, so this is a performance knob, not a result knob.
 	Attention string
+	// CheckpointDir enables periodic checkpointing: every CheckpointEvery
+	// epochs (and after the final epoch) the model is written atomically
+	// to CheckpointDir/ckpt-<epoch>.ckpt. Empty disables.
+	CheckpointDir string
+	// CheckpointEvery is the epoch interval for periodic checkpoints
+	// (default 1 when CheckpointDir is set).
+	CheckpointEvery int
+	// Resume loads the newest good checkpoint from CheckpointDir before
+	// training and continues from its recorded epoch. Corrupt files are
+	// quarantined, not fatal; an empty directory starts fresh. The
+	// checkpoint must match this run's model name and configuration.
+	// Optimiser moments are not checkpointed: the resumed run restarts
+	// Adam at the loaded parameters.
+	Resume bool
 }
 
 func (o Options) withDefaults() Options {
@@ -81,6 +99,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Epochs == 0 {
 		o.Epochs = 10
+	}
+	if o.CheckpointDir != "" && o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 1
 	}
 	return o
 }
@@ -117,6 +138,17 @@ type Result struct {
 	// Diverged reports that training aborted early because the loss went
 	// non-finite; Stats covers only the completed epochs.
 	Diverged bool
+	// ResumedEpoch is the checkpointed epoch the run continued from
+	// (0 = fresh start).
+	ResumedEpoch int
+	// LastCheckpoint is the newest checkpoint file this run wrote.
+	LastCheckpoint string
+	// CheckpointFailures counts periodic checkpoints that failed even
+	// after retries; training continues past them.
+	CheckpointFailures int
+	// QuarantinedCheckpoints counts corrupt files quarantined while
+	// resuming.
+	QuarantinedCheckpoints int
 }
 
 // FinalMetric returns the last epoch's validation metric.
@@ -163,6 +195,30 @@ func Run(ds *datasets.Dataset, opts Options) (*Result, error) {
 		return nil, err
 	}
 
+	startEpoch := 1
+	var quarantined int
+	if opts.CheckpointDir != "" {
+		if err := os.MkdirAll(opts.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("train: checkpoint dir: %w", err)
+		}
+	}
+	if opts.Resume && opts.CheckpointDir != "" {
+		meta, loaded, rep, lerr := LoadLatestCheckpoint(opts.CheckpointDir)
+		quarantined = len(rep.Quarantined)
+		switch {
+		case errors.Is(lerr, ErrNoCheckpoint):
+			// Fresh start; quarantines (if any) are still reported.
+		case lerr != nil:
+			return nil, lerr
+		case meta.Model != opts.Model || meta.Config != cfg:
+			return nil, fmt.Errorf("%w: checkpoint %s holds %s %+v, run wants %s %+v",
+				ErrResumeMismatch, rep.Path, meta.Model, meta.Config, opts.Model, cfg)
+		default:
+			model = loaded
+			startEpoch = meta.Epoch + 1
+		}
+	}
+
 	var sim *gpusim.Sim
 	if opts.Profile {
 		sim = gpusim.New(gpusim.GTX1080())
@@ -186,6 +242,10 @@ func Run(ds *datasets.Dataset, opts Options) (*Result, error) {
 	res := &Result{
 		Sim: sim, Params: opt.NumParams(), Task: ds.Task,
 		Model: model, ModelName: opts.Model, Config: cfg,
+		QuarantinedCheckpoints: quarantined,
+	}
+	if startEpoch > 1 {
+		res.ResumedEpoch = startEpoch - 1
 	}
 	var sched *nn.PlateauScheduler
 	if opts.LRPlateau {
@@ -193,7 +253,7 @@ func Run(ds *datasets.Dataset, opts Options) (*Result, error) {
 	}
 
 	start := time.Now()
-	for epoch := 1; epoch <= opts.Epochs; epoch++ {
+	for epoch := startEpoch; epoch <= opts.Epochs; epoch++ {
 		trainLoss := 0.0
 		for _, ctx := range trainCtxs {
 			opt.ZeroGrad()
@@ -230,9 +290,34 @@ func Run(ds *datasets.Dataset, opts Options) (*Result, error) {
 			stat.SimTime = sim.TotalTime()
 		}
 		res.Stats = append(res.Stats, stat)
+
+		if opts.CheckpointDir != "" &&
+			(epoch%opts.CheckpointEvery == 0 || epoch == opts.Epochs) {
+			meta := res.Checkpoint(ds.Name)
+			meta.Epoch = epoch
+			path := CheckpointPath(opts.CheckpointDir, epoch)
+			err := retry.Do(context.Background(), ckptSaveRetry, func() error {
+				return SaveCheckpointFile(path, meta, model)
+			})
+			if err != nil {
+				// A failed periodic checkpoint costs durability, not the
+				// run: keep training and surface the count.
+				res.CheckpointFailures++
+			} else {
+				res.LastCheckpoint = path
+			}
+		}
 	}
 	return res, nil
 }
+
+// ckptSaveRetry paces periodic-checkpoint write retries (torn writes are
+// retried against a fresh temp file; the rename is atomic either way).
+var ckptSaveRetry = retry.Config{Attempts: 3, Base: 5 * time.Millisecond}
+
+// ErrResumeMismatch means the newest good checkpoint does not describe the
+// model this run is configured to train.
+var ErrResumeMismatch = errors.New("train: resume checkpoint mismatch")
 
 // Evaluate runs inference over prebuilt contexts; exported for the test
 // split of the experiments.

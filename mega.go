@@ -262,6 +262,13 @@ func NewServerFromCheckpointFile(path string, opts ServeOptions) (*Server, error
 	return serve.NewFromCheckpointFile(path, opts)
 }
 
+// NewServerFromCheckpointDir serves the newest good checkpoint from a
+// megatrain checkpoint directory, quarantining corrupt files instead of
+// failing (see internal/train.LoadLatestCheckpoint).
+func NewServerFromCheckpointDir(dir string, opts ServeOptions) (*Server, error) {
+	return serve.NewFromCheckpointDir(dir, opts)
+}
+
 // NewRand is a convenience seeded RNG constructor for the generator
 // helpers above.
 func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
