@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race race race-short chaos chaos-short bench bench-compute bench-attention fuzz fuzz-smoke experiments examples clean
+.PHONY: all check build vet test test-race race race-short chaos chaos-short shard-check bench bench-compute bench-attention bench-dist fuzz fuzz-smoke experiments examples clean
 
 all: check
 
@@ -46,6 +46,16 @@ chaos:
 chaos-short:
 	CHAOS_REPORT=$(CURDIR)/chaos-report.log $(GO) test -race -short -run TestChaosEndToEnd -count=1 -v ./internal/serve/
 
+# shard-check runs the shard-engine equivalence gates: bit-identical
+# forward against the single engine at every worker count, k-invariant
+# gradients, bit-identical training trajectories at k ∈ {2,4} vs k=1,
+# observed-vs-analytical exchange traffic, and the sharded serving path.
+shard-check:
+	$(GO) test ./internal/models/ -run 'TestShard' -count=1
+	$(GO) test ./internal/train/ -run 'TestShardedTraining' -count=1
+	$(GO) test ./internal/dist/ -run 'TestRunHaloExchange|TestAnalyzePathPartition' -count=1
+	$(GO) test ./internal/serve/ -run 'TestShard' -count=1
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -60,6 +70,14 @@ bench-compute:
 # runs; -benchmem because allocation counts are half the claim).
 bench-attention:
 	$(GO) test ./internal/models/ -run '^$$' -bench 'Attention' -benchtime 20x -benchmem
+
+# bench-dist regenerates the shard-parallel halo-exchange numbers recorded
+# in BENCH_dist.json: one full sharded forward (real GT layers + halo /
+# duplicate-sync / edge-fold exchange) at k ∈ {1, 2, 4} over the same
+# 512-node workload, so the k-scaling of wall time and traffic is
+# directly comparable.
+bench-dist:
+	$(GO) test ./internal/dist/ -run '^$$' -bench 'HaloExchange' -benchtime 3x -benchmem
 
 # Short fuzzing passes over the binary decoder, the traversal, and the
 # graph hashes.

@@ -18,6 +18,7 @@
 //	          [-checkpoint-dir dir] [-queue 256] [-deadline 0]
 //	          [-max-deadline 0] [-breaker-threshold 5]
 //	          [-breaker-cooldown 500ms] [-grace 5s]
+//	          [-shard-workers 0] [-shard-threshold 0]
 //
 // -checkpoint-dir serves the newest good checkpoint from a megatrain
 // checkpoint directory (corrupt files are quarantined, not fatal) instead
@@ -26,6 +27,10 @@
 // deadlines (server default plus a cap on the wire's timeout_ms override),
 // the circuit breaker that falls back to the DGL engine when MEGA
 // preprocessing keeps failing, and the shutdown drain grace.
+// -shard-workers routes large MEGA batches (total vertices at or above
+// -shard-threshold) through the shard-parallel execution engine; answers
+// stay bit-identical to the single-engine pass, and per-worker timing plus
+// exchange traffic appear on /metrics.
 package main
 
 import (
@@ -72,6 +77,8 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive preprocessing failures that trip the fallback circuit breaker")
 	breakerCooldown := fs.Duration("breaker-cooldown", 500*time.Millisecond, "first breaker open window before a half-open probe")
 	grace := fs.Duration("grace", 5*time.Second, "shutdown drain grace before queued requests are failed")
+	shardWorkers := fs.Int("shard-workers", 0, "shard-parallel workers for large MEGA batches (must divide 8; 0 disables)")
+	shardThreshold := fs.Int("shard-threshold", 0, "min total vertices in a batch before sharding (0 = default 256)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,6 +96,9 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
 		ShutdownGrace:    *grace,
+
+		ShardWorkers:         *shardWorkers,
+		ShardVertexThreshold: *shardThreshold,
 	}.WithCacheCapacity(*cacheCap)
 	switch *engine {
 	case "dgl":

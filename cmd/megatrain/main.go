@@ -7,7 +7,7 @@
 //	megatrain [-dataset ZINC] [-model GCN|GT] [-engine dgl|mega]
 //	          [-dim d] [-layers L] [-batch B] [-epochs E] [-lr r]
 //	          [-train n] [-val n] [-drop f] [-seed s] [-profile]
-//	          [-attention fused|staged] [-checkpoint model.ckpt]
+//	          [-shards k] [-attention fused|staged] [-checkpoint model.ckpt]
 //	          [-checkpoint-dir dir] [-checkpoint-every 1] [-resume]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -16,6 +16,9 @@
 // checkpoint (atomic rename, CRC-verified) every -checkpoint-every epochs;
 // -resume continues from the newest good checkpoint in that directory,
 // quarantining corrupt files instead of failing.
+// -shards runs each batch's forward/backward across k shard workers
+// (GT + mega engine; k must divide 8) with real halo/duplicate-sync/edge
+// exchange; the trained parameters are bit-identical to -shards 1.
 // -cpuprofile/-memprofile write Go pprof profiles covering the training
 // run (see DESIGN.md, "Profiling the Go implementation").
 package main
@@ -56,6 +59,7 @@ func run(args []string) error {
 	drop := fs.Float64("drop", 0, "edge-drop fraction (mega engine)")
 	seed := fs.Int64("seed", 1, "seed")
 	profile := fs.Bool("profile", true, "attach the GPU simulator")
+	shards := fs.Int("shards", 0, "shard-parallel workers per batch (GT + mega engine; must divide 8; disables -profile)")
 	attention := fs.String("attention", "", "attention implementation: fused or staged (default: $MEGA_ATTENTION, then fused)")
 	ckpt := fs.String("checkpoint", "", "write the trained model here for megaserve")
 	ckptDir := fs.String("checkpoint-dir", "", "directory for periodic crash-safe checkpoints")
@@ -119,6 +123,13 @@ func run(args []string) error {
 		BatchSize: *batch, LR: *lr, Epochs: *epochs, Seed: *seed,
 		Profile: *profile, Attention: *attention,
 		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery, Resume: *resume,
+		Shards: *shards,
+	}
+	if *shards > 0 && *profile {
+		// The shard engine runs real concurrent workers; the simulated
+		// GPU clock models a single device and would misattribute them.
+		fmt.Println("megatrain: -shards set, disabling the GPU simulator")
+		opts.Profile = false
 	}
 	if *drop > 0 {
 		opts.Mega.Traverse = traverse.Options{

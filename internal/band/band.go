@@ -248,6 +248,29 @@ func (r *Rep) SyncGroups() [][]int32 {
 	return groups
 }
 
+// EdgeRefs returns, for every original edge, the receiver positions of the
+// directed attention pairs that read the edge's feature, in the canonical
+// pair-enumeration order shared by the attention engines and the shard
+// planner: offset o ascending, band index i ascending, each masked slot
+// expanding to the low-position receiver then the high-position receiver.
+// The first entry of a list is therefore the edge's owning position under
+// the shard protocol (the chunk of the first referencing pair owns the
+// edge's fold); edges outside the band get empty lists.
+func (r *Rep) EdgeRefs() [][]int32 {
+	refs := make([][]int32, r.TotalEdges)
+	for o := 1; o <= r.Window; o++ {
+		mask, eids := r.Mask[o-1], r.EdgeID[o-1]
+		for i, m := range mask {
+			if !m {
+				continue
+			}
+			e := eids[i]
+			refs[e] = append(refs[e], int32(i), int32(i+o))
+		}
+	}
+	return refs
+}
+
 // GatherIndex returns, for embedding initialisation, the original vertex ID
 // behind every path position (a copy safe to mutate).
 func (r *Rep) GatherIndex() []int32 {

@@ -336,3 +336,47 @@ func TestFirstAppearance(t *testing.T) {
 		}
 	}
 }
+
+func TestEdgeRefsCanonicalOrder(t *testing.T) {
+	g := graph.Cycle(6)
+	rep, _ := buildFor(t, g, traverse.Options{Window: 2, EdgeCoverage: 1, Start: 0})
+	refs := rep.EdgeRefs()
+	if len(refs) != rep.TotalEdges {
+		t.Fatalf("refs length = %d, want %d", len(refs), rep.TotalEdges)
+	}
+	// Rebuild the expected per-edge receiver lists by walking the mask in
+	// the canonical order and check exact equality.
+	want := make([][]int32, rep.TotalEdges)
+	for o := 1; o <= rep.Window; o++ {
+		for i, m := range rep.Mask[o-1] {
+			if m {
+				e := rep.EdgeID[o-1][i]
+				want[e] = append(want[e], int32(i), int32(i+o))
+			}
+		}
+	}
+	covered := 0
+	for e := range refs {
+		if len(refs[e]) != len(want[e]) {
+			t.Fatalf("edge %d: %d refs, want %d", e, len(refs[e]), len(want[e]))
+		}
+		for j := range refs[e] {
+			if refs[e][j] != want[e][j] {
+				t.Fatalf("edge %d ref %d = %d, want %d", e, j, refs[e][j], want[e][j])
+			}
+		}
+		if len(refs[e]) > 0 {
+			covered++
+			// Receiver positions must carry the edge within the band window.
+			for j := 0; j+1 < len(refs[e]); j += 2 {
+				lo, hi := refs[e][j], refs[e][j+1]
+				if hi <= lo || int(hi-lo) > rep.Window {
+					t.Fatalf("edge %d pair (%d,%d) outside band", e, lo, hi)
+				}
+			}
+		}
+	}
+	if covered != rep.CoveredEdges {
+		t.Errorf("edges with refs = %d, want CoveredEdges = %d", covered, rep.CoveredEdges)
+	}
+}

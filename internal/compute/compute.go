@@ -212,6 +212,48 @@ func ParallelGrain(n, grain int, fn func(lo, hi int)) {
 	col.rethrow()
 }
 
+// Borrow debits up to n helper tokens from the global bucket for a
+// long-lived parallel section that cannot express itself as a single
+// Parallel call — the shard engine's worker goroutines, which must all
+// run concurrently because they exchange messages with each other.
+// It returns how many tokens were actually obtained (possibly 0: the
+// caller's own thread is never represented by a token) and a release
+// function that must be called exactly once to return them.
+//
+// Borrow never blocks: like Parallel's helpers, it takes only the tokens
+// available right now, so a busy process degrades to fewer borrowed
+// threads rather than deadlocking two borrowers against each other.
+// Kernels running inside the borrowed goroutines still admit their own
+// helpers through the same bucket, keeping the process-wide thread count
+// within MaxThreads regardless of nesting.
+func Borrow(n int) (got int, release func()) {
+	_, tok := snapshot()
+	for got < n {
+		select {
+		case <-tok:
+			got++
+		default:
+			release = makeRelease(tok, got)
+			return got, release
+		}
+	}
+	return got, makeRelease(tok, got)
+}
+
+// makeRelease returns the tokens to the bucket they were drawn from (a
+// stale bucket after SetMaxThreads drains harmlessly, mirroring
+// ParallelGrain's helpers).
+func makeRelease(tok chan struct{}, got int) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			for i := 0; i < got; i++ {
+				tok <- struct{}{}
+			}
+		})
+	}
+}
+
 // reduceChunks is the fixed partition width for ReduceSum. It is a
 // constant — never derived from the thread budget — so the grouping of
 // partial sums, and therefore the floating-point result, is identical at

@@ -124,3 +124,85 @@ func TestReduceSumEmpty(t *testing.T) {
 		t.Fatalf("ReduceSum(0) = %v", got)
 	}
 }
+
+func TestBorrowDebitsAndReturnsTokens(t *testing.T) {
+	withThreads(t, 5, func() { // bucket holds 4 helper tokens
+		got, release := Borrow(3)
+		if got != 3 {
+			t.Fatalf("Borrow(3) got %d, want 3", got)
+		}
+		// Only one token left; an over-ask must not block.
+		got2, release2 := Borrow(10)
+		if got2 != 1 {
+			t.Fatalf("Borrow(10) with 1 token left got %d, want 1", got2)
+		}
+		got3, release3 := Borrow(2)
+		if got3 != 0 {
+			t.Fatalf("Borrow(2) on empty bucket got %d, want 0", got3)
+		}
+		release3()
+		release2()
+		release()
+		// All 4 tokens are back.
+		got4, release4 := Borrow(10)
+		if got4 != 4 {
+			t.Fatalf("after release, Borrow(10) got %d, want 4", got4)
+		}
+		release4()
+	})
+}
+
+func TestBorrowReleaseIdempotent(t *testing.T) {
+	withThreads(t, 3, func() {
+		got, release := Borrow(2)
+		if got != 2 {
+			t.Fatalf("Borrow(2) got %d", got)
+		}
+		release()
+		release() // second call must not double-credit the bucket
+		got2, release2 := Borrow(10)
+		defer release2()
+		if got2 != 2 {
+			t.Fatalf("after double release, Borrow(10) got %d, want 2", got2)
+		}
+	})
+}
+
+func TestBorrowedSectionStillWithinBudget(t *testing.T) {
+	withThreads(t, 4, func() {
+		// Borrow 2 tokens as "worker goroutines"; kernels inside them plus
+		// this goroutine can then only admit the remaining 1 helper.
+		got, release := Borrow(2)
+		if got != 2 {
+			t.Fatalf("Borrow(2) got %d", got)
+		}
+		defer release()
+		var peak atomic.Int64
+		var cur atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < got; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				Parallel(64, func(lo, hi int) {
+					n := cur.Add(1)
+					for {
+						p := peak.Load()
+						if n <= p || peak.CompareAndSwap(p, n) {
+							break
+						}
+					}
+					for i := 0; i < 1000; i++ {
+						_ = rand.Int()
+					}
+					cur.Add(-1)
+				})
+			}()
+		}
+		wg.Wait()
+		// 2 borrowed workers + at most 1 remaining helper token.
+		if p := peak.Load(); p > 3 {
+			t.Fatalf("peak concurrent chunks %d exceeds borrowed budget 3", p)
+		}
+	})
+}

@@ -3,21 +3,25 @@
 // communication proportional to the cut (with all-to-all message patterns),
 // while partitioning MEGA's path representation into contiguous chunks
 // needs only a fixed-size halo exchange between adjacent chunks — O(k)
-// messages of ω·d embeddings each.
+// messages of ω·d embeddings each — plus owner-routed synchronisation for
+// duplicate groups and edge folds that span chunks.
 //
 // Two levels are provided: closed-form analyzers that count messages and
-// bytes for each strategy, and a real goroutine-based halo-exchange harness
-// that moves embedding data through channels and verifies the analytical
-// counts against observed traffic.
+// bytes for each strategy, and RunHaloExchange, which executes the real
+// shard-parallel GNN engine (internal/models.ShardEngine) over the path
+// representation and reports the observed traffic for verification against
+// the analytical counts.
 package dist
 
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"mega/internal/band"
+	"mega/internal/datasets"
 	"mega/internal/graph"
+	"mega/internal/models"
+	"mega/internal/traverse"
 )
 
 // CommStats summarises one layer's communication for a partitioned graph.
@@ -29,7 +33,10 @@ type CommStats struct {
 	// Bytes is the total payload per layer (float64 embeddings).
 	Bytes int64
 	// MaxFanout is the largest number of distinct peers any worker
-	// exchanges with: k-1 for all-to-all patterns, <= 2 for path chunks.
+	// streams embeddings to: k-1 for all-to-all patterns, <= 2 for path
+	// chunks (owner-routed duplicate/edge synchronisation is counted in
+	// Messages and Bytes but not here — it is a reduction overlay, not an
+	// embedding stream).
 	MaxFanout int
 	// ReplicatedRows counts embedding rows that exist on more than one
 	// worker (boundary replicas / halos).
@@ -94,8 +101,22 @@ func AnalyzeEdgePartition(g *graph.Graph, k, dim int) (CommStats, error) {
 // AnalyzePathPartition computes per-layer communication for MEGA: the path
 // is split into k contiguous chunks; each chunk sends its trailing ω rows
 // to its successor and its leading ω rows to its predecessor — "only two
-// communications for adjacent path partitions" (§IV-B6) — plus one
-// message pair per duplicate group spanning chunks (synchronisation).
+// communications for adjacent path partitions" (§IV-B6) — plus owner-routed
+// synchronisation for state that spans chunks:
+//
+//   - Each duplicate group (a revisited node) is owned by the chunk of its
+//     first member position. Every other chunk holding members sends its
+//     raw member rows to the owner and receives the folded mean back:
+//     2 messages and (members_c + 1)·dim·8 bytes per such chunk.
+//   - Each in-band edge is owned by the chunk of its first referencing
+//     attention pair. Every other chunk whose pairs reference the edge
+//     sends its raw per-pair modulated-key rows to the owner and receives
+//     the edge's updated feature back: 2 messages and
+//     (pairRefs_c + 1)·dim·8 bytes per such chunk.
+//
+// These are exactly the per-layer exchanges the shard engine performs, so
+// observed ShardEngine traffic equals this analysis times the layer count
+// (see RunHaloExchange).
 func AnalyzePathPartition(rep *band.Rep, k, dim int) (CommStats, error) {
 	L := rep.Len()
 	if k <= 0 || k > L {
@@ -110,210 +131,120 @@ func AnalyzePathPartition(rep *band.Rep, k, dim int) (CommStats, error) {
 		stats.MaxFanout = 2
 	}
 	stats.ReplicatedRows = 2 * (k - 1) * omega
-	// Cross-chunk duplicate synchronisation: each group spanning c > 1
-	// chunks costs (c-1) gather + (c-1) broadcast messages to its owner.
 	chunkOf := func(pos int32) int {
 		return int(pos) * k / L
 	}
+	// Cross-chunk duplicate synchronisation.
 	for _, group := range rep.SyncGroups() {
-		chunks := make(map[int]bool, 2)
+		members := make(map[int]int, 2)
 		for _, p := range group {
-			chunks[chunkOf(p)] = true
+			members[chunkOf(p)]++
 		}
-		if len(chunks) > 1 {
-			extra := len(chunks) - 1
-			stats.Messages += 2 * extra
-			stats.Bytes += int64(2*extra*dim) * 8
+		owner := chunkOf(group[0])
+		for c, m := range members {
+			if c == owner {
+				continue
+			}
+			stats.Messages += 2
+			stats.Bytes += int64(m+1) * int64(dim) * 8
+		}
+	}
+	// Cross-chunk edge folds: pairs referencing an edge owned elsewhere.
+	for _, refs := range rep.EdgeRefs() {
+		if len(refs) == 0 {
+			continue
+		}
+		pairRefs := make(map[int]int, 2)
+		for _, pos := range refs {
+			pairRefs[chunkOf(pos)]++
+		}
+		owner := chunkOf(refs[0])
+		for c, m := range pairRefs {
+			if c == owner {
+				continue
+			}
+			stats.Messages += 2
+			stats.Bytes += int64(m+1) * int64(dim) * 8
 		}
 	}
 	return stats, nil
 }
 
-// HaloResult is the observed traffic of a real halo-exchange run.
+// HaloResult is the observed traffic of a real sharded forward run.
 type HaloResult struct {
 	CommStats
-	// Layers is how many exchange rounds ran.
+	// Layers is how many GNN layers (= exchange rounds) ran.
 	Layers int
-	// RowsOut is each worker's final first-row checksum, for determinism
-	// tests.
+	// Checksums is each worker's first-owned-row embedding sum, for
+	// determinism tests.
 	Checksums []float64
+	// RowSums is the per-position sum of the final embeddings (length L).
+	// The shard engine is bit-deterministic, so RowSums are exactly equal
+	// across worker counts.
+	RowSums []float64
 }
 
-// RunHaloExchange launches k goroutine workers over contiguous chunks of
-// the path representation and performs `layers` rounds of: exchange ω-row
-// halos with neighbours, then apply a banded mean-aggregation over the
-// local rows (including halos). Every message is counted; returned stats
-// cover all layers.
+// RunHaloExchange executes the real shard-parallel MEGA engine over the
+// path representation of g: a fixed-seed Graph Transformer (heads=1,
+// uniform node/edge types) runs `layers` layers across k chunk workers,
+// exchanging halos, duplicate-group folds, and edge folds over channels.
+// Every message is counted; returned stats cover all layers and match
+// AnalyzePathPartition(rep, k, dim) times layers exactly.
 //
-// The computation is a fixed smoothing kernel rather than a trained model:
-// the experiment measures communication structure, not accuracy.
-func RunHaloExchange(rep *band.Rep, k, dim, layers int) (*HaloResult, error) {
+// rep and res must come from the same traversal of g (band.FromGraph).
+func RunHaloExchange(g *graph.Graph, rep *band.Rep, res *traverse.Result, k, dim, layers int) (*HaloResult, error) {
 	L := rep.Len()
 	if k <= 0 || k > L {
 		return nil, fmt.Errorf("%w: %d for path length %d", ErrBadWorkers, k, L)
 	}
-	omega := rep.Window
-
-	// Chunk boundaries.
-	bounds := make([]int, k+1)
-	for i := 0; i <= k; i++ {
-		bounds[i] = i * L / k
+	if dim < 2 || layers < 1 {
+		return nil, fmt.Errorf("dist: need dim >= 2 and layers >= 1, got %d, %d", dim, layers)
 	}
-
-	// Initial embeddings: deterministic function of position.
-	init := func(pos, j int) float64 {
-		return float64(pos%17) + float64(j)*0.25
+	inst := datasets.Instance{
+		G:        g,
+		NodeFeat: make([]int32, g.NumNodes()),
+		EdgeFeat: make([]int32, g.NumEdges()),
 	}
-
-	type halo struct {
-		rows [][]float64
+	ctx, err := models.NewMegaContextFromReps(
+		[]datasets.Instance{inst},
+		[]*models.PreparedRep{{Rep: rep, Res: res}},
+		nil, dim)
+	if err != nil {
+		return nil, err
 	}
-	// Channels between adjacent workers, one per direction per boundary.
-	right := make([]chan halo, k) // worker i sends to i+1 on right[i]
-	left := make([]chan halo, k)  // worker i sends to i-1 on left[i]
-	for i := 0; i < k; i++ {
-		right[i] = make(chan halo, 1)
-		left[i] = make(chan halo, 1)
+	model := models.NewGT(models.Config{
+		Dim: dim, Layers: layers, Heads: 1,
+		NodeTypes: 1, EdgeTypes: 1, OutDim: 1, Seed: 7,
+	})
+	eng, err := models.NewShardEngine(model, ctx, k)
+	if err != nil {
+		return nil, err
 	}
+	eng.Forward()
+	st := eng.Stats()
 
-	var mu sync.Mutex
-	var messages int
-	var bytes int64
-	send := func(ch chan halo, h halo) {
-		mu.Lock()
-		messages++
-		for _, r := range h.rows {
-			bytes += int64(len(r)) * 8
-		}
-		mu.Unlock()
-		ch <- h
-	}
-
-	checksums := make([]float64, k)
-	var wg sync.WaitGroup
-	for w := 0; w < k; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			lo, hi := bounds[w], bounds[w+1]
-			local := make([][]float64, hi-lo)
-			for i := range local {
-				row := make([]float64, dim)
-				for j := range row {
-					row[j] = init(lo+i, j)
-				}
-				local[i] = row
-			}
-			for layer := 0; layer < layers; layer++ {
-				// Send halos outward.
-				if w+1 < k {
-					send(right[w], halo{rows: copyRows(tail(local, omega))})
-				}
-				if w > 0 {
-					send(left[w], halo{rows: copyRows(head(local, omega))})
-				}
-				// Receive halos.
-				var pre, post [][]float64
-				if w > 0 {
-					pre = (<-right[w-1]).rows
-				}
-				if w+1 < k {
-					post = (<-left[w+1]).rows
-				}
-				local = bandSmooth(pre, local, post, omega)
-			}
-			if len(local) > 0 {
-				s := 0.0
-				for _, v := range local[0] {
-					s += v
-				}
-				checksums[w] = s
-			}
-		}(w)
-	}
-	wg.Wait()
-
-	res := &HaloResult{Layers: layers, Checksums: checksums}
-	res.Workers = k
-	res.Messages = messages
-	res.Bytes = bytes
+	out := &HaloResult{Layers: layers}
+	out.Workers = k
+	out.Messages = int(st.ForwardMessages())
+	out.Bytes = st.ForwardBytes()
 	if k > 1 {
-		res.MaxFanout = 2
+		out.MaxFanout = 2
 	}
-	res.ReplicatedRows = 2 * (k - 1) * omega
-	return res, nil
-}
+	out.ReplicatedRows = 2 * (k - 1) * rep.Window
 
-// bandSmooth computes, for each local row, the mean of all rows within ω
-// positions (using neighbour halos at the chunk edges).
-func bandSmooth(pre, local, post [][]float64, omega int) [][]float64 {
-	n := len(local)
-	if n == 0 {
-		return local
-	}
-	dim := len(local[0])
-	// Virtual concatenation: pre ++ local ++ post.
-	row := func(i int) []float64 {
-		switch {
-		case i < 0:
-			pi := len(pre) + i
-			if pi >= 0 {
-				return pre[pi]
-			}
-			return nil
-		case i < n:
-			return local[i]
-		default:
-			pi := i - n
-			if pi < len(post) {
-				return post[pi]
-			}
-			return nil
+	final := eng.FinalEmbeddings()
+	out.RowSums = make([]float64, L)
+	for i := 0; i < L; i++ {
+		s := 0.0
+		for j := 0; j < dim; j++ {
+			s += final[i*dim+j]
 		}
+		out.RowSums[i] = s
 	}
-	out := make([][]float64, n)
-	for i := 0; i < n; i++ {
-		acc := make([]float64, dim)
-		count := 0.0
-		for o := -omega; o <= omega; o++ {
-			r := row(i + o)
-			if r == nil {
-				continue
-			}
-			for j := range acc {
-				acc[j] += r[j]
-			}
-			count++
-		}
-		inv := 1 / count
-		for j := range acc {
-			acc[j] *= inv
-		}
-		out[i] = acc
+	bounds := eng.WorkerBounds()
+	out.Checksums = make([]float64, k)
+	for w := 0; w < k; w++ {
+		out.Checksums[w] = out.RowSums[bounds[w]]
 	}
-	return out
-}
-
-func head(rows [][]float64, n int) [][]float64 {
-	if n > len(rows) {
-		n = len(rows)
-	}
-	return rows[:n]
-}
-
-func tail(rows [][]float64, n int) [][]float64 {
-	if n > len(rows) {
-		n = len(rows)
-	}
-	return rows[len(rows)-n:]
-}
-
-func copyRows(rows [][]float64) [][]float64 {
-	out := make([][]float64, len(rows))
-	for i, r := range rows {
-		c := make([]float64, len(r))
-		copy(c, r)
-		out[i] = c
-	}
-	return out
+	return out, nil
 }

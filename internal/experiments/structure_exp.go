@@ -154,7 +154,7 @@ func distReport(s Scale) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, _, err := band.FromGraph(g, traverse.DefaultOptions())
+	rep, tres, err := band.FromGraph(g, traverse.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -174,12 +174,12 @@ func distReport(s Scale) (*Report, error) {
 			float64(edge.Bytes)/1024, float64(path.Bytes)/1024,
 			edge.MaxFanout, path.MaxFanout)
 	}
-	// Live harness verification at k=4.
-	res, err := dist.RunHaloExchange(rep, 4, dim, 3)
+	// Live sharded-engine verification at k=4.
+	res, err := dist.RunHaloExchange(g, rep, tres, 4, dim, 3)
 	if err != nil {
 		return nil, err
 	}
-	r.Add("halo run (k=4, 3 layers): %d messages, %.1f KB", res.Messages, float64(res.Bytes)/1024)
+	r.Add("sharded run (k=4, 3 layers): %d messages, %.1f KB", res.Messages, float64(res.Bytes)/1024)
 	r.Note("paper: path partition needs O(k) messages (2 per adjacent boundary) vs all-to-all for edge cuts")
 	return r, nil
 }

@@ -76,6 +76,14 @@ type Context struct {
 	// CountOps probes.
 	counter *opCounter
 
+	// MEGA-engine structural metadata, recorded so the shard engine can
+	// re-derive the engine's sync/readout arithmetic chunk by chunk. Nil /
+	// zero for the DGL engine.
+	posToNode    []int32 // working row → globally unique node slot
+	nodeGraph    []int32 // node slot → member-graph index
+	numNodeSlots int     // total node slots across the batch
+	maxWindow    int     // widest band half-width ω in the batch
+
 	// Lazily-built CSR groupings of the pair list, shared by every fused
 	// attention layer and step over this context.
 	byRecv, bySend, byEdge *tensor.Segments

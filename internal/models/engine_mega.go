@@ -292,6 +292,13 @@ func NewMegaContextFromReps(insts []datasets.Instance, preps []*PreparedRep, sim
 		return tensor.SegmentMean(nodes, nodeGraph, numGraphs)
 	}
 
+	// Record the structural metadata behind Sync/ReadoutFn so the shard
+	// engine can replay the same arithmetic distributed across chunks.
+	ctx.posToNode = posToNode
+	ctx.nodeGraph = nodeGraph
+	ctx.numNodeSlots = numNodes
+	ctx.maxWindow = maxWindow
+
 	if sim != nil {
 		prof := NewProf(sim, EngineMega, totalRows, totalEdges, dim)
 		prof.SetMegaBand(maxWindow, syncPositions)

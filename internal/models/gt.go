@@ -101,9 +101,48 @@ func (m *GT) Forward(ctx *Context) *tensor.Tensor {
 	return m.readout.Forward(pooled)
 }
 
-// forward runs one GT block.
+// forward runs one GT block. It is composed from the three stages below so
+// the shard engine can run each stage on its own chunk-local context; the
+// recomposition preserves the exact op and profiler-emission order of the
+// original monolithic layer.
 func (l *gtLayer) forward(ctx *Context, h, e *tensor.Tensor, heads int, fused bool) (hOut, eOut *tensor.Tensor) {
 	ctx.Prof.LayerStart()
+	var att, edgeAvg, kmod *tensor.Tensor
+	if fused {
+		// One kernel for the whole attention block (plus the per-edge
+		// mean of k⊙ê consumed by the edge stream below); bit-identical
+		// to the staged pipeline it replaces.
+		qh := ctx.Linear(l.q, h)
+		kh := ctx.Linear(l.k, h)
+		vh := ctx.Linear(l.v, h)
+		eh := ctx.Linear(l.we, e)
+		att, edgeAvg = ctx.FusedGTAttention(qh, kh, vh, eh, heads)
+	} else {
+		att, kmod = l.forwardAttnStaged(ctx, h, e, heads)
+	}
+
+	hOut = l.nodeStream(ctx, h, att)
+
+	// The fused path computed the per-edge reduction already; account it
+	// here, at the staged emission point (the simulated L2 is
+	// order-sensitive, so emission order is part of the contract).
+	if fused {
+		ctx.NoteEdgeMean(h.Cols())
+	} else {
+		edgeAvg = ctx.EdgeMean(kmod)
+	}
+	eOut = l.edgeStream(ctx, e, edgeAvg)
+
+	hOut = ctx.SyncDuplicates(hOut)
+	return hOut, eOut
+}
+
+// forwardAttnStaged runs the staged attention block: q/k/v/ê projections,
+// per-pair gathers (the GT's five edge-indexed scatters of Table I), edge-
+// modulated per-head scaled dot-product attention. It returns the
+// aggregated attention output and the per-pair modulated keys k⊙ê, which
+// the edge stream reduces per edge.
+func (l *gtLayer) forwardAttnStaged(ctx *Context, h, e *tensor.Tensor, heads int) (att, kmod *tensor.Tensor) {
 	d := h.Cols()
 	dk := d / heads
 
@@ -112,55 +151,43 @@ func (l *gtLayer) forward(ctx *Context, h, e *tensor.Tensor, heads int, fused bo
 	vh := ctx.Linear(l.v, h)
 	eh := ctx.Linear(l.we, e)
 
-	var att, edgeAvg, kmod *tensor.Tensor
-	if fused {
-		// One kernel for the whole attention block (plus the per-edge
-		// mean of k⊙ê consumed by the edge stream below); bit-identical
-		// to the staged pipeline it replaces.
-		att, edgeAvg = ctx.FusedGTAttention(qh, kh, vh, eh, heads)
-	} else {
-		// Per-pair projections (the GT's five edge-indexed scatters of
-		// Table I: q, k, v, ê fetch plus the aggregation below).
-		qp := ctx.GatherRecv(qh)
-		kp := ctx.GatherSend(kh)
-		vp := ctx.GatherSend(vh)
-		ep := ctx.GatherEdges(eh)
+	qp := ctx.GatherRecv(qh)
+	kp := ctx.GatherSend(kh)
+	vp := ctx.GatherSend(vh)
+	ep := ctx.GatherEdges(eh)
 
-		kmod = tensor.Mul(kp, ep) // edge features modulate keys
-		headOuts := make([]*tensor.Tensor, heads)
-		scale := 1 / math.Sqrt(float64(dk))
-		for a := 0; a < heads; a++ {
-			qa := tensor.NarrowCols(qp, a*dk, dk)
-			ka := tensor.NarrowCols(kmod, a*dk, dk)
-			va := tensor.NarrowCols(vp, a*dk, dk)
-			score := tensor.Scale(tensor.RowDot(qa, ka), scale)
-			alpha := ctx.SegmentSoftmaxByRecv(score)
-			headOuts[a] = ctx.AggregateByRecv(tensor.MulColVec(va, alpha))
-		}
-		att = tensor.ConcatCols(headOuts...)
+	kmod = tensor.Mul(kp, ep) // edge features modulate keys
+	headOuts := make([]*tensor.Tensor, heads)
+	scale := 1 / math.Sqrt(float64(dk))
+	for a := 0; a < heads; a++ {
+		qa := tensor.NarrowCols(qp, a*dk, dk)
+		ka := tensor.NarrowCols(kmod, a*dk, dk)
+		va := tensor.NarrowCols(vp, a*dk, dk)
+		score := tensor.Scale(tensor.RowDot(qa, ka), scale)
+		alpha := ctx.SegmentSoftmaxByRecv(score)
+		headOuts[a] = ctx.AggregateByRecv(tensor.MulColVec(va, alpha))
 	}
+	att = tensor.ConcatCols(headOuts...)
+	return att, kmod
+}
 
-	// Node stream: O projection, residual + LN, FFN, residual + LN.
+// nodeStream runs the node half of the block: O projection, residual + LN,
+// FFN, residual + LN. Every op is row-local, so running it over a chunk's
+// rows produces exactly the chunk's stripe of the full result.
+func (l *gtLayer) nodeStream(ctx *Context, h, att *tensor.Tensor) *tensor.Tensor {
 	h1 := ctx.Norm(l.lnH1, tensor.Add(h, ctx.Linear(l.o, att)))
 	ffn := ctx.Linear(l.ffnH2, ctx.Act(tensor.ReLU, ctx.Linear(l.ffnH1, h1)))
-	hOut = ctx.Norm(l.lnH2, tensor.Add(h1, ffn))
+	return ctx.Norm(l.lnH2, tensor.Add(h1, ffn))
+}
 
-	// Edge stream: per-pair interaction reduced per edge, O_e projection,
-	// residual + LN, FFN, residual + LN. The fused path computed the
-	// reduction already; account it here, at the staged emission point.
-	var eAgg *tensor.Tensor
-	if fused {
-		ctx.NoteEdgeMean(d)
-		eAgg = ctx.Linear(l.oe, edgeAvg)
-	} else {
-		eAgg = ctx.Linear(l.oe, ctx.EdgeMean(kmod))
-	}
+// edgeStream runs the edge half of the block on an already-reduced per-edge
+// mean eAvg: O_e projection, residual + LN, FFN, residual + LN. Row-local
+// like nodeStream.
+func (l *gtLayer) edgeStream(ctx *Context, e, eAvg *tensor.Tensor) *tensor.Tensor {
+	eAgg := ctx.Linear(l.oe, eAvg)
 	e1 := ctx.Norm(l.lnE1, tensor.Add(e, eAgg))
 	ffnE := ctx.Linear(l.ffnE2, ctx.Act(tensor.ReLU, ctx.Linear(l.ffnE1, e1)))
-	eOut = ctx.Norm(l.lnE2, tensor.Add(e1, ffnE))
-
-	hOut = ctx.SyncDuplicates(hOut)
-	return hOut, eOut
+	return ctx.Norm(l.lnE2, tensor.Add(e1, ffnE))
 }
 
 // CountOps reports Table I's operation statistics for this model over the

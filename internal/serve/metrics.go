@@ -1,9 +1,14 @@
 package serve
 
 import (
+	"encoding/json"
+	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mega/internal/models"
 )
 
 // latencyBounds are the histogram bucket upper bounds, exponential from
@@ -47,9 +52,54 @@ func (h *histogram) observe(d time.Duration) {
 }
 
 // Bucket is one histogram bar: the count of observations at most Le.
+// The final bucket is unbounded; it serializes with "le_ms": "+Inf"
+// rather than a numeric sentinel a consumer could mistake for 0 ms.
 type Bucket struct {
-	LeMs  float64 `json:"le_ms"` // upper bound; the last bucket reports +Inf as 0
+	LeMs  float64 `json:"le_ms"` // upper bound in ms; unused when Inf is set
+	Inf   bool    `json:"-"`
 	Count uint64  `json:"count"`
+}
+
+// MarshalJSON emits the overflow bucket's bound as the string "+Inf"
+// (JSON has no infinity literal) and every bounded bucket as a number.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	if b.Inf {
+		return json.Marshal(struct {
+			LeMs  string `json:"le_ms"`
+			Count uint64 `json:"count"`
+		}{LeMs: "+Inf", Count: b.Count})
+	}
+	type bounded Bucket // drop the method to avoid recursion
+	return json.Marshal(bounded(b))
+}
+
+// UnmarshalJSON accepts both forms MarshalJSON produces — a numeric bound
+// or the string "+Inf" — so a Snapshot round-trips through JSON (clients
+// of /metrics decode into the same types the server encodes from).
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LeMs  json.RawMessage `json:"le_ms"`
+		Count uint64          `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	*b = Bucket{Count: raw.Count}
+	if len(raw.LeMs) == 0 {
+		return nil
+	}
+	if raw.LeMs[0] == '"' {
+		var s string
+		if err := json.Unmarshal(raw.LeMs, &s); err != nil {
+			return err
+		}
+		if s != "+Inf" {
+			return fmt.Errorf("serve: bucket bound %q (want a number or \"+Inf\")", s)
+		}
+		b.Inf = true
+		return nil
+	}
+	return json.Unmarshal(raw.LeMs, &b.LeMs)
 }
 
 // HistogramStats is a JSON-friendly histogram snapshot with approximate
@@ -77,7 +127,11 @@ func (h *histogram) snapshot(withBuckets bool) HistogramStats {
 	}
 	s.MeanMs = ms(sum) / float64(count)
 	quantile := func(q float64) float64 {
-		target := uint64(q * float64(count))
+		// Ceiling rank: the q-quantile is the smallest observation with at
+		// least ⌈q·n⌉ observations at or below it. Truncation would collapse
+		// distinct quantiles at small counts (at n=10, p90 and p99 would both
+		// resolve to rank 9) and systematically under-report the tail.
+		target := uint64(math.Ceil(q * float64(count)))
 		if target == 0 {
 			target = 1
 		}
@@ -99,6 +153,8 @@ func (h *histogram) snapshot(withBuckets bool) HistogramStats {
 			b := Bucket{Count: c}
 			if i < len(latencyBounds) {
 				b.LeMs = ms(latencyBounds[i])
+			} else {
+				b.Inf = true
 			}
 			s.Buckets = append(s.Buckets, b)
 		}
@@ -117,9 +173,15 @@ type Metrics struct {
 
 	requests atomic.Uint64
 	errors   atomic.Uint64
-	batches  atomic.Uint64
-	batched  atomic.Uint64 // graphs summed over batches
-	maxBatch atomic.Uint64
+
+	// The batch counters move together (MeanBatchSize divides batched by
+	// batches; MaxBatchSize bounds it), so they update and snapshot under
+	// one mutex — independent atomics let Snapshot observe batched from a
+	// later batch than batches, reporting a mean above the true maximum.
+	batchMu  sync.Mutex
+	batches  uint64
+	batched  uint64 // graphs summed over batches
+	maxBatch uint64
 
 	// Failure-domain counters (PR 4): each names one way a request can
 	// deviate from the happy path, so load tests and the chaos harness can
@@ -134,6 +196,17 @@ type Metrics struct {
 	workerRestarts       atomic.Uint64 // panicked workers replaced
 	checkpointRecoveries atomic.Uint64 // corrupt checkpoints quarantined at load
 
+	// Shard-engine counters (PR 5): traffic and per-worker time of batches
+	// served by the shard-parallel engine. Messages and bytes use the same
+	// logical granularity dist.AnalyzePathPartition predicts, so observed
+	// serving traffic can be checked against the analytical model.
+	shardedBatches atomic.Uint64 // batches forwarded by the shard engine
+	shardFallbacks atomic.Uint64 // shard-eligible batches that fell back
+	shardMessages  atomic.Uint64 // exchange messages across sharded batches
+	shardBytes     atomic.Uint64 // exchange payload bytes across sharded batches
+	shardMu        sync.Mutex
+	shardWorkerNs  []int64 // cumulative forward wall time per shard worker
+
 	queue      histogram
 	preprocess histogram
 	forward    histogram
@@ -146,15 +219,31 @@ func NewMetrics() *Metrics {
 }
 
 func (m *Metrics) observeBatch(size int, forward time.Duration) {
-	m.batches.Add(1)
-	m.batched.Add(uint64(size))
-	for {
-		cur := m.maxBatch.Load()
-		if uint64(size) <= cur || m.maxBatch.CompareAndSwap(cur, uint64(size)) {
-			break
-		}
+	m.batchMu.Lock()
+	m.batches++
+	m.batched += uint64(size)
+	if uint64(size) > m.maxBatch {
+		m.maxBatch = uint64(size)
 	}
+	m.batchMu.Unlock()
 	m.forward.observe(forward)
+}
+
+// observeShard records one batch served by the shard-parallel engine.
+func (m *Metrics) observeShard(st models.ShardStats) {
+	m.shardedBatches.Add(1)
+	m.shardMessages.Add(uint64(st.ForwardMessages()))
+	m.shardBytes.Add(uint64(st.ForwardBytes()))
+	m.shardMu.Lock()
+	if len(m.shardWorkerNs) < len(st.ForwardNs) {
+		grown := make([]int64, len(st.ForwardNs))
+		copy(grown, m.shardWorkerNs)
+		m.shardWorkerNs = grown
+	}
+	for i, ns := range st.ForwardNs {
+		m.shardWorkerNs[i] += ns
+	}
+	m.shardMu.Unlock()
 }
 
 // Snapshot is the full JSON document served on /metrics.
@@ -183,6 +272,15 @@ type Snapshot struct {
 	QueueCapacity        int    `json:"queue_capacity"`
 	Workers              int    `json:"workers"`
 
+	// Shard-engine counters (zero unless Options.ShardWorkers > 1).
+	ShardedBatches uint64 `json:"sharded_batches"`
+	ShardFallbacks uint64 `json:"shard_fallbacks"`
+	ShardMessages  uint64 `json:"shard_messages"`
+	ShardBytes     uint64 `json:"shard_bytes"`
+	// ShardWorkerMs is the cumulative forward wall time per shard worker,
+	// for spotting load imbalance across the partition.
+	ShardWorkerMs []float64 `json:"shard_worker_ms,omitempty"`
+
 	Cache CacheStats `json:"cache"`
 
 	QueueLatency      HistogramStats `json:"queue_latency"`
@@ -195,12 +293,20 @@ type Snapshot struct {
 // buckets (the /metrics endpoint does; log lines don't).
 func (m *Metrics) Snapshot(cache CacheStats, withBuckets bool) Snapshot {
 	uptime := time.Since(m.start).Seconds()
+	// Load errors before requests: errors never exceeds requests at any
+	// instant, and requests only grows, so this order keeps the snapshot's
+	// invariant errors ≤ requests even while both counters advance.
+	errors := m.errors.Load()
+	requests := m.requests.Load()
+	m.batchMu.Lock()
+	batches, batched, maxBatch := m.batches, m.batched, m.maxBatch
+	m.batchMu.Unlock()
 	s := Snapshot{
 		UptimeSec:    uptime,
-		Requests:     m.requests.Load(),
-		Errors:       m.errors.Load(),
-		Batches:      m.batches.Load(),
-		MaxBatchSize: m.maxBatch.Load(),
+		Requests:     requests,
+		Errors:       errors,
+		Batches:      batches,
+		MaxBatchSize: maxBatch,
 		Cache:        cache,
 
 		Shed:                 m.shed.Load(),
@@ -213,6 +319,11 @@ func (m *Metrics) Snapshot(cache CacheStats, withBuckets bool) Snapshot {
 		WorkerRestarts:       m.workerRestarts.Load(),
 		CheckpointRecoveries: m.checkpointRecoveries.Load(),
 
+		ShardedBatches: m.shardedBatches.Load(),
+		ShardFallbacks: m.shardFallbacks.Load(),
+		ShardMessages:  m.shardMessages.Load(),
+		ShardBytes:     m.shardBytes.Load(),
+
 		QueueLatency:      m.queue.snapshot(withBuckets),
 		PreprocessLatency: m.preprocess.snapshot(withBuckets),
 		ForwardLatency:    m.forward.snapshot(withBuckets),
@@ -221,8 +332,16 @@ func (m *Metrics) Snapshot(cache CacheStats, withBuckets bool) Snapshot {
 	if uptime > 0 {
 		s.ThroughputRPS = float64(s.Requests) / uptime
 	}
-	if s.Batches > 0 {
-		s.MeanBatchSize = float64(m.batched.Load()) / float64(s.Batches)
+	if batches > 0 {
+		s.MeanBatchSize = float64(batched) / float64(batches)
 	}
+	m.shardMu.Lock()
+	if len(m.shardWorkerNs) > 0 {
+		s.ShardWorkerMs = make([]float64, len(m.shardWorkerNs))
+		for i, ns := range m.shardWorkerNs {
+			s.ShardWorkerMs[i] = ms(time.Duration(ns))
+		}
+	}
+	m.shardMu.Unlock()
 	return s
 }

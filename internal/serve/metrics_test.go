@@ -1,6 +1,9 @@
 package serve
 
 import (
+	"encoding/json"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -38,6 +41,147 @@ func TestHistogramSnapshot(t *testing.T) {
 	if len(s.Buckets) != numBuckets {
 		t.Errorf("buckets = %d, want %d", len(s.Buckets), numBuckets)
 	}
+}
+
+// TestHistogramSmallCountQuantiles pins the ceiling-rank quantile: with n
+// observations the q-quantile is the smallest value holding at least
+// ⌈q·n⌉ observations. A truncating rank would collapse p90 and p99 onto
+// the same observation at n=10 and report p99 from the wrong bucket.
+func TestHistogramSmallCountQuantiles(t *testing.T) {
+	cases := []struct {
+		name          string
+		durations     []time.Duration
+		p50, p90, p99 float64
+	}{
+		{
+			// Ranks over n=10: p50→⌈5⌉=5, p90→⌈9⌉=9, p99→⌈9.9⌉=10.
+			// The 10th observation is the single slow one, so p99 must
+			// report its bucket, not the 9-fast-observations bucket.
+			name:      "ten observations one slow",
+			durations: append(repeat(time.Millisecond, 9), 80*time.Millisecond),
+			p50:       1, p90: 1, p99: 100,
+		},
+		{
+			// n=1: every quantile is the lone observation.
+			name:      "single observation",
+			durations: []time.Duration{80 * time.Millisecond},
+			p50:       100, p90: 100, p99: 100,
+		},
+		{
+			// n=2: p50→⌈1⌉=1 is the fast one, p90/p99→rank 2 the slow one.
+			name:      "two observations",
+			durations: []time.Duration{time.Millisecond, 80 * time.Millisecond},
+			p50:       1, p90: 100, p99: 100,
+		},
+		{
+			// n=4, evenly spread over four buckets: p50→rank 2, p90/p99→rank 4.
+			name: "four distinct buckets",
+			durations: []time.Duration{
+				time.Millisecond, 5 * time.Millisecond,
+				25 * time.Millisecond, 80 * time.Millisecond,
+			},
+			p50: 5, p90: 100, p99: 100,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h histogram
+			for _, d := range tc.durations {
+				h.observe(d)
+			}
+			s := h.snapshot(false)
+			if s.P50Ms != tc.p50 || s.P90Ms != tc.p90 || s.P99Ms != tc.p99 {
+				t.Errorf("quantiles = (%v, %v, %v), want (%v, %v, %v)",
+					s.P50Ms, s.P90Ms, s.P99Ms, tc.p50, tc.p90, tc.p99)
+			}
+		})
+	}
+}
+
+func repeat(d time.Duration, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}
+
+// TestOverflowBucketJSON pins the wire format of the unbounded bucket:
+// "le_ms" must read "+Inf", not a numeric 0 that a consumer would parse
+// as "faster than 0 ms".
+func TestOverflowBucketJSON(t *testing.T) {
+	var h histogram
+	h.observe(time.Minute)
+	s := h.snapshot(true)
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"le_ms":"+Inf"`) {
+		t.Errorf("overflow bucket JSON missing +Inf bound: %s", raw)
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	if !last.Inf || last.Count != 1 {
+		t.Errorf("overflow bucket = %+v, want Inf with count 1", last)
+	}
+	for _, b := range s.Buckets[:len(s.Buckets)-1] {
+		if b.Inf {
+			t.Errorf("bounded bucket marked Inf: %+v", b)
+		}
+	}
+	// Round-trip: bounded buckets still decode as numbers.
+	var decoded struct {
+		Buckets []struct {
+			LeMs  json.RawMessage `json:"le_ms"`
+			Count uint64          `json:"count"`
+		} `json:"buckets"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(decoded.Buckets[len(decoded.Buckets)-1].LeMs); got != `"+Inf"` {
+		t.Errorf("decoded overflow bound = %s, want \"+Inf\"", got)
+	}
+}
+
+// TestSnapshotBatchConsistency hammers observeBatch against Snapshot and
+// asserts the invariants that torn loads used to break: the mean batch
+// size can never exceed the max, and errors never exceed requests. Run
+// under -race this also proves the counter group is properly synchronized.
+func TestSnapshotBatchConsistency(t *testing.T) {
+	m := NewMetrics()
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.requests.Add(1)
+			// Batch sizes alternate 1 and 4; a torn read of batched vs
+			// batches can fabricate a mean above the true max of 4.
+			m.observeBatch(1+3*(i%2), 0)
+			m.errors.Add(1)
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		s := m.Snapshot(CacheStats{}, false)
+		if s.Batches > 0 && s.MeanBatchSize > float64(s.MaxBatchSize) {
+			t.Errorf("torn batch counters: mean %v > max %d (batches %d)",
+				s.MeanBatchSize, s.MaxBatchSize, s.Batches)
+			break
+		}
+		if s.Errors > s.Requests {
+			t.Errorf("torn request counters: errors %d > requests %d", s.Errors, s.Requests)
+			break
+		}
+	}
+	close(stop)
+	writer.Wait()
 }
 
 func TestHistogramOverflowBucket(t *testing.T) {

@@ -69,6 +69,18 @@ type Options struct {
 	// across the server's lifetime: cache keys cover topology only, so
 	// options are per-server, not per-request.
 	Mega models.MegaOptions
+	// ShardWorkers enables the shard-parallel execution engine for large
+	// MEGA batches: when > 1 (it must divide 8) and the batch's total
+	// vertex count reaches ShardVertexThreshold, the forward pass runs
+	// across this many shard workers instead of one monolithic pass.
+	// Outputs are bit-identical to the single-engine pass (GT checkpoints
+	// under the MEGA engine only), so the switch is purely an intra-batch
+	// parallelism trade. Default 0 = disabled.
+	ShardWorkers int
+	// ShardVertexThreshold is the minimum total vertices across a batch
+	// before sharding kicks in; below it the per-batch worker handoff
+	// costs more than it saves. Default 256 when ShardWorkers > 1.
+	ShardVertexThreshold int
 
 	// cacheSet marks CacheCapacity as deliberately chosen, letting 0 mean
 	// "disabled" rather than "default".
@@ -116,6 +128,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ShutdownGrace <= 0 {
 		o.ShutdownGrace = 5 * time.Second
+	}
+	if o.ShardWorkers > 1 && o.ShardVertexThreshold <= 0 {
+		o.ShardVertexThreshold = 256
 	}
 	return o
 }
@@ -584,7 +599,13 @@ func (s *Server) forward(batch []*pending, engine models.EngineKind) (preds []Pr
 		return nil, err
 	}
 	ctx.Scratch = s.arena
-	out := s.model.Forward(ctx)
+	var out *tensor.Tensor
+	if eng := s.shardEngine(ctx, engine, insts); eng != nil {
+		out = eng.Forward()
+		s.metrics.observeShard(eng.Stats())
+	} else {
+		out = s.model.Forward(ctx)
+	}
 	cols := out.Cols()
 	preds = make([]Prediction, len(batch))
 	for i, p := range batch {
@@ -604,6 +625,37 @@ func (s *Server) forward(batch []*pending, engine models.EngineKind) (preds []Pr
 		preds[i] = pred
 	}
 	return preds, nil
+}
+
+// shardEngine decides whether a batch is large enough to run through the
+// shard-parallel execution engine and builds one over the batch context if
+// so. It returns nil whenever the batch should take the plain
+// single-engine forward instead: sharding disabled, wrong engine or model,
+// total vertices under the threshold, or an unshardable path (e.g. too
+// short to cut into 8 µchunks) — the last case also counts a fallback on
+// /metrics. The shard forward is bit-identical to the single-engine pass,
+// so falling back never changes an answer.
+func (s *Server) shardEngine(ctx *models.Context, engine models.EngineKind, insts []datasets.Instance) *models.ShardEngine {
+	if s.opts.ShardWorkers <= 1 || engine != models.EngineMega {
+		return nil
+	}
+	gt, ok := s.model.(*models.GT)
+	if !ok {
+		return nil
+	}
+	vertices := 0
+	for _, inst := range insts {
+		vertices += inst.G.NumNodes()
+	}
+	if vertices < s.opts.ShardVertexThreshold {
+		return nil
+	}
+	eng, err := models.NewShardEngine(gt, ctx, s.opts.ShardWorkers)
+	if err != nil {
+		s.metrics.shardFallbacks.Add(1)
+		return nil
+	}
+	return eng
 }
 
 // GraphRequest is the /predict JSON body: an explicit graph with

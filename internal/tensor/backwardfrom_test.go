@@ -1,0 +1,110 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBackwardFromMatchesBackward checks that seeding a scalar root with
+// grad 1 and calling BackwardFrom reproduces Backward exactly.
+func TestBackwardFromMatchesBackward(t *testing.T) {
+	build := func() (*Tensor, *Tensor) {
+		x := New(3, 2, []float64{1, -2, 3, 0.5, -1.5, 4}).RequireGrad()
+		y := Sum(Mul(Scale(x, 2), x)) // 2·Σx²
+		return x, y
+	}
+	x1, y1 := build()
+	y1.Backward()
+	x2, y2 := build()
+	y2.ensureGrad()
+	y2.Grad[0] = 1
+	BackwardFrom(y2)
+	for i := range x1.Grad {
+		if math.Float64bits(x1.Grad[i]) != math.Float64bits(x2.Grad[i]) {
+			t.Fatalf("grad[%d]: Backward %v vs BackwardFrom %v", i, x1.Grad[i], x2.Grad[i])
+		}
+	}
+}
+
+// TestBackwardFromMultiRoot checks that two roots sharing a subgraph run
+// each backFn once, accumulating both contributions: with a = 2x,
+// out1 = 3a, out2 = 5a and unit output grads, dx = 2·3 + 2·5 = 16.
+func TestBackwardFromMultiRoot(t *testing.T) {
+	x := New(2, 2, []float64{1, 2, 3, 4}).RequireGrad()
+	a := Scale(x, 2)
+	out1 := Scale(a, 3)
+	out2 := Scale(a, 5)
+	for _, out := range []*Tensor{out1, out2} {
+		out.ensureGrad()
+		for i := range out.Grad {
+			out.Grad[i] = 1
+		}
+	}
+	BackwardFrom(out1, out2)
+	for i, g := range x.Grad {
+		if g != 16 {
+			t.Fatalf("x.Grad[%d] = %v, want 16", i, g)
+		}
+	}
+}
+
+// TestBackwardFromComposesTapes splits y = 3·x² across two tapes joined
+// by a detached leaf and checks the chained gradients match the single
+// tape bit for bit. This is the shard engine's cross-tape protocol:
+// downstream runs first, its leaf grads seed the upstream outputs.
+func TestBackwardFromComposesTapes(t *testing.T) {
+	vals := []float64{1, -2, 0.5, 3}
+
+	// Single tape reference.
+	xr := New(2, 2, append([]float64(nil), vals...)).RequireGrad()
+	yr := Scale(Mul(xr, xr), 3)
+	yr.ensureGrad()
+	for i := range yr.Grad {
+		yr.Grad[i] = 1
+	}
+	BackwardFrom(yr)
+
+	// Tape 1: out = x². Tape 2: z = 3·leaf, where leaf shares out's data.
+	x := New(2, 2, append([]float64(nil), vals...)).RequireGrad()
+	out := Mul(x, x)
+	leaf := New(2, 2, out.Data).RequireGrad()
+	z := Scale(leaf, 3)
+	z.ensureGrad()
+	for i := range z.Grad {
+		z.Grad[i] = 1
+	}
+	BackwardFrom(z)
+	out.ensureGrad()
+	copy(out.Grad, leaf.Grad)
+	BackwardFrom(out)
+
+	for i := range xr.Grad {
+		if math.Float64bits(xr.Grad[i]) != math.Float64bits(x.Grad[i]) {
+			t.Fatalf("composed grad[%d] = %v, single-tape %v", i, x.Grad[i], xr.Grad[i])
+		}
+	}
+}
+
+// TestBackwardFromPreSeededIntermediate checks that a gradient pre-seeded
+// into a mid-tape tensor (the kmod fold-back path) is accumulated on top
+// of the in-tape contributions rather than overwritten.
+func TestBackwardFromPreSeededIntermediate(t *testing.T) {
+	x := New(1, 3, []float64{1, 2, 3}).RequireGrad()
+	mid := Scale(x, 2)
+	out := Scale(mid, 3)
+	out.ensureGrad()
+	for i := range out.Grad {
+		out.Grad[i] = 1
+	}
+	mid.ensureGrad()
+	for i := range mid.Grad {
+		mid.Grad[i] = 10 // external consumer's contribution
+	}
+	BackwardFrom(out, mid)
+	// dmid = 3 (from out) + 10 (pre-seeded) = 13; dx = 2·13 = 26.
+	for i, g := range x.Grad {
+		if g != 26 {
+			t.Fatalf("x.Grad[%d] = %v, want 26", i, g)
+		}
+	}
+}

@@ -73,6 +73,17 @@ type Options struct {
 	// Optimiser moments are not checkpointed: the resumed run restarts
 	// Adam at the loaded parameters.
 	Resume bool
+	// Shards enables shard-parallel execution of the MEGA engine: each
+	// training batch runs forward and backward across Shards chunk
+	// workers (GT + EngineMega only; Shards must divide 8). The training
+	// trajectory is bit-identical at every Shards value >= 1 — Shards=1
+	// runs the same chunked engine on one worker — but differs from the
+	// Shards=0 monolithic path, whose gradient reductions accumulate in
+	// a different (equally valid) order. Contexts the planner rejects
+	// (path shorter than 8 chunks, window wider than a chunk) fall back
+	// to the monolithic path; the fallback is worker-count-independent,
+	// so trajectories stay comparable across Shards values. 0 disables.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -219,6 +230,23 @@ func Run(ds *datasets.Dataset, opts Options) (*Result, error) {
 		}
 	}
 
+	// Sharded execution: validated here, after any checkpoint resume, so
+	// shardGT always points at the model that will actually train.
+	var shardGT *models.GT
+	if opts.Shards > 0 {
+		if opts.Engine != models.EngineMega {
+			return nil, fmt.Errorf("train: sharded execution requires the MEGA engine")
+		}
+		if opts.Profile {
+			return nil, fmt.Errorf("train: sharded execution does not support profiling")
+		}
+		gt, ok := model.(*models.GT)
+		if !ok {
+			return nil, fmt.Errorf("train: sharded execution requires the GT model, got %s", opts.Model)
+		}
+		shardGT = gt
+	}
+
 	var sim *gpusim.Sim
 	if opts.Profile {
 		sim = gpusim.New(gpusim.GTX1080())
@@ -236,6 +264,20 @@ func Run(ds *datasets.Dataset, opts Options) (*Result, error) {
 	valCtxs, err := buildContexts(valInsts, opts, sim, arena)
 	if err != nil {
 		return nil, err
+	}
+	// Per-context shard engines, built once and reused every epoch (the
+	// plan and parameter replicas are static; only tapes are per-step).
+	// A context the planner rejects keeps a nil engine and trains through
+	// the monolithic path — the rejection criteria are chunk-level, so a
+	// context falls back identically at every worker count.
+	var shardEngines []*models.ShardEngine
+	if shardGT != nil {
+		shardEngines = make([]*models.ShardEngine, len(trainCtxs))
+		for i, ctx := range trainCtxs {
+			if eng, err := models.NewShardEngine(shardGT, ctx, opts.Shards); err == nil {
+				shardEngines[i] = eng
+			}
+		}
 	}
 
 	opt := nn.NewAdam(model.Params(), opts.LR)
@@ -255,9 +297,18 @@ func Run(ds *datasets.Dataset, opts Options) (*Result, error) {
 	start := time.Now()
 	for epoch := startEpoch; epoch <= opts.Epochs; epoch++ {
 		trainLoss := 0.0
-		for _, ctx := range trainCtxs {
+		for i, ctx := range trainCtxs {
 			opt.ZeroGrad()
-			out := model.Forward(ctx)
+			var eng *models.ShardEngine
+			if shardEngines != nil {
+				eng = shardEngines[i]
+			}
+			var out *tensor.Tensor
+			if eng != nil {
+				out = eng.Forward()
+			} else {
+				out = model.Forward(ctx)
+			}
 			loss := lossFor(ds.Task, out, ctx)
 			if !loss.IsFinite() {
 				// Divergence guard: a NaN/Inf loss poisons every later
@@ -266,6 +317,12 @@ func Run(ds *datasets.Dataset, opts Options) (*Result, error) {
 				return res, nil
 			}
 			loss.Backward()
+			if eng != nil {
+				// loss.Backward seeded the readout and final-embedding
+				// gradients; the shard workers now push them through the
+				// layers and fold replica gradients into the model.
+				eng.Backward()
+			}
 			ctx.Prof.Backward()
 			opt.Step()
 			trainLoss += loss.Item()
