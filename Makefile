@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race race race-short chaos chaos-short shard-check bench bench-compute bench-attention bench-dist fuzz fuzz-smoke experiments examples clean
+.PHONY: all check build vet test test-race race race-short chaos chaos-short shard-check dynamic-check bench bench-compute bench-attention bench-dist bench-dynamic fuzz fuzz-smoke experiments examples clean
 
 all: check
 
@@ -56,6 +56,17 @@ shard-check:
 	$(GO) test ./internal/dist/ -run 'TestRunHaloExchange|TestAnalyzePathPartition' -count=1
 	$(GO) test ./internal/serve/ -run 'TestShard' -count=1
 
+# dynamic-check runs the mutation-subsystem gates: the differential fuzz
+# corpus (maintained rep bit-identical to a from-scratch rebuild after
+# random add/remove streams, including fused batches), prediction
+# bit-identity through the monolithic and sharded engines, splice-vs-build
+# equivalence, batch atomicity, and the serve /update end-to-end tests
+# (session continuation, forking, eviction, error taxonomy).
+dynamic-check:
+	$(GO) test ./internal/dynamic/ -run 'TestPredictionBitIdentity|TestAdoptedRepPredictionIdentity|TestSpliceMatchesBuild|TestBatchAtomicity' -count=1
+	$(GO) test ./internal/dynamic/ -run '^$$' -fuzz FuzzMaintainerEquivalence -fuzztime 10s
+	$(GO) test ./internal/serve/ -run 'TestUpdate|TestMutatorPool' -count=1
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -78,6 +89,14 @@ bench-attention:
 # directly comparable.
 bench-dist:
 	$(GO) test ./internal/dist/ -run '^$$' -bench 'HaloExchange' -benchtime 3x -benchmem
+
+# bench-dynamic regenerates the incremental-repair-vs-full-re-preprocess
+# numbers recorded in BENCH_dynamic.json: ApplyBatch (fused prefix-replay /
+# suffix-resume) against models.PrepareMega of the identical mutated graph,
+# at batch sizes {1,2,4,8} under uniform and traversal-localized mutation
+# mixes.
+bench-dynamic:
+	BENCH_DYNAMIC_OUT=$(CURDIR)/BENCH_dynamic.json $(GO) test ./internal/dynamic/ -run TestWriteBenchDynamic -count=1 -v
 
 # Short fuzzing passes over the binary decoder, the traversal, and the
 # graph hashes.

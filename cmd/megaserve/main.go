@@ -19,6 +19,7 @@
 //	          [-max-deadline 0] [-breaker-threshold 5]
 //	          [-breaker-cooldown 500ms] [-grace 5s]
 //	          [-shard-workers 0] [-shard-threshold 0]
+//	          [-mutation-sessions 64]
 //
 // -checkpoint-dir serves the newest good checkpoint from a megatrain
 // checkpoint directory (corrupt files are quarantined, not fatal) instead
@@ -31,6 +32,13 @@
 // -shard-threshold) through the shard-parallel execution engine; answers
 // stay bit-identical to the single-engine pass, and per-worker timing plus
 // exchange traffic appear on /metrics.
+//
+// POST /update maintains path representations incrementally for evolving
+// graphs: a batch of edge inserts/deletes against a cached fingerprint
+// repairs the representation in place of a full re-preprocess and publishes
+// it under the successor fingerprint, so the next /predict of the mutated
+// graph is a cache hit. -mutation-sessions bounds the resident mutable
+// lineages.
 package main
 
 import (
@@ -79,6 +87,7 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 	grace := fs.Duration("grace", 5*time.Second, "shutdown drain grace before queued requests are failed")
 	shardWorkers := fs.Int("shard-workers", 0, "shard-parallel workers for large MEGA batches (must divide 8; 0 disables)")
 	shardThreshold := fs.Int("shard-threshold", 0, "min total vertices in a batch before sharding (0 = default 256)")
+	mutationSessions := fs.Int("mutation-sessions", 64, "resident /update mutation sessions (graph lineages kept warm)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,6 +108,7 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 
 		ShardWorkers:         *shardWorkers,
 		ShardVertexThreshold: *shardThreshold,
+		MutationSessions:     *mutationSessions,
 	}.WithCacheCapacity(*cacheCap)
 	switch *engine {
 	case "dgl":

@@ -1,0 +1,112 @@
+package band
+
+import (
+	"fmt"
+
+	"mega/internal/graph"
+	"mega/internal/traverse"
+)
+
+// Splice builds the band representation of a repaired traversal by reusing
+// the prefix of an existing Rep. res is the full new traversal over g, whose
+// first prefix path entries are identical to old.Path; band entries whose
+// pair (i, i+o) lies entirely inside the prefix are copied from old (with
+// edge IDs translated through eidRemap), and only entries touching the
+// suffix are recomputed with adjacency lookups. The result is byte-identical
+// to Build(g, res, old.Window) — Splice is a cost optimisation, not an
+// approximation — so the canonical EdgeRefs ordering the shard planner
+// relies on is preserved by construction.
+//
+// eidRemap translates old COO edge indices to their indices in g (the
+// order-preserving compaction map after deletions); nil means identity
+// (pure insertions keep existing IDs stable). A prefix band entry whose
+// remapped edge is gone (-1) indicates a caller bug and returns an error.
+func Splice(old *Rep, res *traverse.Result, g *graph.Graph, prefix int, eidRemap []int32) (*Rep, error) {
+	if res.Window != old.Window {
+		return nil, fmt.Errorf("band: splice window mismatch: old %d, new %d", old.Window, res.Window)
+	}
+	window := old.Window
+	if window < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrWindowTooSmall, window)
+	}
+	L := len(res.Path)
+	if prefix < 0 || prefix > L || prefix > len(old.Path) {
+		return nil, fmt.Errorf("band: splice prefix %d out of range (new path %d, old path %d)", prefix, L, len(old.Path))
+	}
+	for i := 0; i < prefix; i++ {
+		if res.Path[i] != old.Path[i] {
+			return nil, fmt.Errorf("band: splice prefix disagrees at position %d: old %d, new %d", i, old.Path[i], res.Path[i])
+		}
+	}
+
+	rep := &Rep{
+		Path:       append([]graph.NodeID(nil), res.Path...),
+		Window:     window,
+		NumNodes:   g.NumNodes(),
+		Mask:       make([][]bool, window),
+		EdgeID:     make([][]int32, window),
+		Positions:  make([][]int32, g.NumNodes()),
+		TotalEdges: g.NumEdges(),
+	}
+	for i, v := range rep.Path {
+		rep.Positions[v] = append(rep.Positions[v], int32(i))
+	}
+	covered := make([]bool, g.NumEdges())
+	for o := 1; o <= window; o++ {
+		size := L - o
+		if size < 0 {
+			size = 0
+		}
+		mask := make([]bool, size)
+		eids := make([]int32, size)
+		// Pairs entirely inside the prefix (i+o < prefix) are unchanged:
+		// both endpoints avoid the mutated vertices, so the connecting
+		// edge exists in g iff it existed before.
+		reuse := prefix - o
+		if reuse > size {
+			reuse = size
+		}
+		if reuse < 0 {
+			reuse = 0
+		}
+		oldMask, oldEids := old.Mask[o-1], old.EdgeID[o-1]
+		for i := 0; i < reuse; i++ {
+			if !oldMask[i] {
+				eids[i] = -1
+				continue
+			}
+			e := oldEids[i]
+			if eidRemap != nil {
+				e = eidRemap[e]
+			}
+			if e < 0 {
+				return nil, fmt.Errorf("band: splice prefix references removed edge (offset %d, position %d)", o, i)
+			}
+			mask[i] = true
+			eids[i] = e
+			covered[e] = true
+		}
+		for i := reuse; i < size; i++ {
+			eids[i] = -1
+			u, v := rep.Path[i], rep.Path[i+o]
+			if u == v {
+				continue
+			}
+			eid, ok := edgeBetween(g, u, v)
+			if !ok {
+				continue
+			}
+			mask[i] = true
+			eids[i] = eid
+			covered[eid] = true
+		}
+		rep.Mask[o-1] = mask
+		rep.EdgeID[o-1] = eids
+	}
+	for _, c := range covered {
+		if c {
+			rep.CoveredEdges++
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,241 @@
+package dynamic
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"mega/internal/graph"
+	"mega/internal/models"
+)
+
+// TestWriteBenchDynamic regenerates BENCH_dynamic.json: incremental repair
+// (Maintainer.ApplyBatch) versus full re-preprocessing (models.PrepareMega
+// of the mutated graph) over the same mutation stream, at several batch
+// sizes and two mutation mixes. "uniform" draws endpoints from the whole
+// vertex set; "localized" draws them from the quarter of vertices the
+// traversal reaches last, the regime prefix replay is built for
+// (growth-style workloads mutate around recent vertices, which the
+// preferential traversal reaches late). Gated behind BENCH_DYNAMIC_OUT so
+// `go test ./...` stays fast; run via `make bench-dynamic`.
+func TestWriteBenchDynamic(t *testing.T) {
+	out := os.Getenv("BENCH_DYNAMIC_OUT")
+	if out == "" {
+		t.Skip("set BENCH_DYNAMIC_OUT=<path> to run the dynamic bench (make bench-dynamic)")
+	}
+
+	const (
+		numNodes = 2000
+		baDegree = 3
+		updates  = 30
+	)
+	opts := models.MegaOptions{}
+
+	type row struct {
+		Scenario           string  `json:"scenario"`
+		Batch              int     `json:"batch"`
+		IncrementalNs      int64   `json:"incremental_ns_per_update"`
+		RebuildNs          int64   `json:"rebuild_ns_per_update"`
+		Speedup            float64 `json:"speedup"`
+		Splices            int     `json:"splices"`
+		Rebuilds           int     `json:"rebuilds"`
+		MeanPrefixFraction float64 `json:"mean_prefix_fraction"`
+	}
+	var rows []row
+
+	for _, scenario := range []string{"uniform", "localized"} {
+		for _, batch := range []int{1, 2, 4, 8} {
+			rng := rand.New(rand.NewSource(7))
+			g := graph.BarabasiAlbert(rng, numNodes, baDegree)
+			m, err := NewMaintainer(g, opts.TraverseOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var (
+				incrNs, rebuildNs time.Duration
+				splices, rebuilds int
+				prefixFrac        float64
+				splicesWithPrefix int
+			)
+			for i := 0; i < updates; i++ {
+				pool := mutationPool(m, scenario)
+				rm, ad := growBatch(rng, m, pool, batch)
+				if len(rm)+len(ad) == 0 {
+					t.Fatalf("%s/batch=%d: could not grow a mutation batch", scenario, batch)
+				}
+
+				start := time.Now()
+				reps, err := m.ApplyBatch(rm, ad)
+				incrNs += time.Since(start)
+				if err != nil {
+					t.Fatalf("%s/batch=%d update %d: %v", scenario, batch, i, err)
+				}
+				for _, r := range reps {
+					switch r.Kind {
+					case RepairSplice:
+						splices++
+						if r.PathRows > 0 {
+							prefixFrac += float64(r.PrefixRows) / float64(r.PathRows)
+							splicesWithPrefix++
+						}
+					case RepairRebuild:
+						rebuilds++
+					}
+				}
+
+				// Baseline: a full re-preprocess of the identical
+				// post-batch graph, what a server without the mutation
+				// subsystem pays per update.
+				start = time.Now()
+				if _, err := models.PrepareMega(m.Graph(), opts); err != nil {
+					t.Fatal(err)
+				}
+				rebuildNs += time.Since(start)
+			}
+			if msg := canonicalMismatch(m); msg != "" {
+				t.Fatalf("%s/batch=%d: %s", scenario, batch, msg)
+			}
+			r := row{
+				Scenario:      scenario,
+				Batch:         batch,
+				IncrementalNs: incrNs.Nanoseconds() / updates,
+				RebuildNs:     rebuildNs.Nanoseconds() / updates,
+				Splices:       splices,
+				Rebuilds:      rebuilds,
+			}
+			r.Speedup = float64(r.RebuildNs) / float64(r.IncrementalNs)
+			if splicesWithPrefix > 0 {
+				prefixFrac /= float64(splicesWithPrefix)
+			}
+			r.MeanPrefixFraction = prefixFrac
+			rows = append(rows, r)
+			t.Logf("%-9s batch=%d  incremental %7.2fms  rebuild %7.2fms  speedup %.2fx  (%d splices / %d rebuilds)",
+				scenario, batch, float64(r.IncrementalNs)/1e6, float64(r.RebuildNs)/1e6, r.Speedup, splices, rebuilds)
+		}
+	}
+
+	best, uniform1 := 0.0, 0.0
+	worst := 1e18
+	for _, r := range rows {
+		if r.Speedup > best {
+			best = r.Speedup
+		}
+		if r.Speedup < worst {
+			worst = r.Speedup
+		}
+		if r.Scenario == "uniform" && r.Batch == 1 {
+			uniform1 = r.Speedup
+		}
+	}
+	if best <= 1.0 {
+		t.Errorf("no configuration beat full re-preprocessing (best speedup %.2fx)", best)
+	}
+
+	doc := map[string]any{
+		"description": fmt.Sprintf(
+			"Incremental path-representation repair (dynamic.Maintainer.ApplyBatch, one fused "+
+				"prefix-replay/suffix-resume per batch) vs full re-preprocessing (models.PrepareMega "+
+				"of the identical mutated graph) on a Barabási–Albert graph, n=%d, m=%d, %d updates "+
+				"per configuration. \"uniform\" mutations draw endpoints anywhere; \"localized\" draws "+
+				"them from the quarter of vertices the traversal reaches last — the regime "+
+				"prefix replay targets. Both sides produce bit-identical representations "+
+				"(FuzzMaintainerEquivalence, TestPredictionBitIdentity). Regenerate with "+
+				"`make bench-dynamic`.", numNodes, baDegree, updates),
+		"machine": map[string]any{
+			"goos":    runtime.GOOS,
+			"goarch":  runtime.GOARCH,
+			"cpu":     cpuModel(),
+			"num_cpu": runtime.NumCPU(),
+		},
+		"date":               time.Now().Format("2006-01-02"),
+		"updates_per_config": updates,
+		"results":            rows,
+		"summary": map[string]any{
+			"best_speedup":           round2(best),
+			"worst_speedup":          round2(worst),
+			"uniform_batch1_speedup": round2(uniform1),
+			"note": "Uniform mutations spread endpoints across the traversal, so the fused repair " +
+				"degrades to ~one rebuild per batch (speedup ≈ 1 regardless of batch size — never " +
+				"k rebuilds). Localized mutations keep the replayable prefix long, so splices " +
+				"dominate and the suffix decision loop is the only real cost.",
+		},
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
+
+// mutationPool returns the vertices a scenario may pick endpoints from.
+func mutationPool(m *Maintainer, scenario string) []graph.NodeID {
+	if scenario == "uniform" {
+		pool := make([]graph.NodeID, m.Graph().NumNodes())
+		for v := range pool {
+			pool[v] = graph.NodeID(v)
+		}
+		return pool
+	}
+	// localized: the quarter of vertices the traversal reaches last
+	// (ranked by first-occurrence position). Recomputed per update since
+	// repairs move positions.
+	rep := m.Rep()
+	order := make([]graph.NodeID, 0, len(rep.Positions))
+	for v, pos := range rep.Positions {
+		if len(pos) > 0 {
+			order = append(order, graph.NodeID(v))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return rep.Positions[order[i]][0] > rep.Positions[order[j]][0]
+	})
+	return order[:len(order)/4]
+}
+
+// growBatch assembles a valid batch of exactly k mutations (~3:1
+// add:remove) with endpoints drawn from pool.
+func growBatch(rng *rand.Rand, m *Maintainer, pool []graph.NodeID, k int) (rm, ad [][2]graph.NodeID) {
+	g := m.Graph()
+	for attempt := 0; attempt < 200*k && len(rm)+len(ad) < k; attempt++ {
+		u := pool[rng.Intn(len(pool))]
+		v := pool[rng.Intn(len(pool))]
+		if u == v {
+			continue
+		}
+		e := [2]graph.NodeID{u, v}
+		if g.HasEdge(u, v) && attempt%4 == 3 {
+			if m.ValidateBatch(append(rm, e), ad) == nil {
+				rm = append(rm, e)
+			}
+		} else if !g.HasEdge(u, v) {
+			if m.ValidateBatch(rm, append(ad, e)) == nil {
+				ad = append(ad, e)
+			}
+		}
+	}
+	return rm, ad
+}
+
+func cpuModel() string {
+	buf, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(buf), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}
+
+func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }

@@ -1,7 +1,9 @@
 package dynamic
 
 import (
+	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -19,95 +21,108 @@ func newMaintainer(t *testing.T, g *graph.Graph) *Maintainer {
 	return m
 }
 
-// checkRepConsistency validates that the live representation's band exactly
-// matches the live graph's edges.
-func checkRepConsistency(t *testing.T, m *Maintainer) {
+// checkCanonical verifies the maintainer's core invariant: its Rep/Result
+// pair is byte-identical to a from-scratch preprocess of the live graph.
+func checkCanonical(t *testing.T, m *Maintainer) {
 	t.Helper()
-	g, err := m.Graph()
-	if err != nil {
-		t.Fatal(err)
-	}
-	rep := m.Rep()
-	covered := make(map[[2]graph.NodeID]bool)
-	for o := 1; o <= rep.Window; o++ {
-		for i, on := range rep.Mask[o-1] {
-			if !on {
-				continue
-			}
-			u, v := rep.Path[i], rep.Path[i+o]
-			if !g.HasEdge(u, v) {
-				t.Fatalf("band contains non-edge (%d,%d)", u, v)
-			}
-			covered[canon(u, v)] = true
-		}
-	}
-	for _, e := range g.Edges() {
-		if !covered[canon(e.Src, e.Dst)] {
-			t.Fatalf("live edge (%d,%d) missing from band", e.Src, e.Dst)
-		}
-	}
-	// Positions index must be consistent.
-	for v := range rep.Positions {
-		for _, p := range rep.Positions[v] {
-			if rep.Path[p] != graph.NodeID(v) {
-				t.Fatalf("positions index corrupt at vertex %d", v)
-			}
-		}
+	if msg := canonicalMismatch(m); msg != "" {
+		t.Fatal(msg)
 	}
 }
 
-func TestAddEdgeInBand(t *testing.T) {
-	// Path graph 0-1-2-3: vertices 0 and 2 sit two positions apart; with
-	// window >= 2 the new edge (0,2) lands in band.
-	g := graph.Path(4)
+func canonicalMismatch(m *Maintainer) string {
+	fresh, freshRes, err := band.FromGraph(m.Graph(), m.opts)
+	if err != nil {
+		return "fresh preprocess failed: " + err.Error()
+	}
+	rep := m.Rep()
+	if !reflect.DeepEqual(rep.Path, fresh.Path) {
+		return "path differs from fresh preprocess"
+	}
+	if rep.Window != fresh.Window || rep.NumNodes != fresh.NumNodes ||
+		rep.CoveredEdges != fresh.CoveredEdges || rep.TotalEdges != fresh.TotalEdges {
+		return "rep scalars differ from fresh preprocess"
+	}
+	if !reflect.DeepEqual(rep.Mask, fresh.Mask) {
+		return "band mask differs from fresh preprocess"
+	}
+	if !reflect.DeepEqual(rep.EdgeID, fresh.EdgeID) {
+		return "band edge IDs differ from fresh preprocess"
+	}
+	if !reflect.DeepEqual(rep.Positions, fresh.Positions) {
+		return "positions index differs from fresh preprocess"
+	}
+	res := m.Result()
+	if !reflect.DeepEqual(res.Path, freshRes.Path) ||
+		!reflect.DeepEqual(res.Virtual, freshRes.Virtual) ||
+		!reflect.DeepEqual(res.Source, freshRes.Source) {
+		return "traversal trace differs from fresh preprocess"
+	}
+	if res.CoveredEdges != freshRes.CoveredEdges || res.Revisits != freshRes.Revisits ||
+		res.VirtualEdges != freshRes.VirtualEdges {
+		return "traversal stats differ from fresh preprocess"
+	}
+	// EdgeRefs order is load-bearing for shard edge ownership.
+	if !reflect.DeepEqual(rep.EdgeRefs(), fresh.EdgeRefs()) {
+		return "EdgeRefs order differs from fresh preprocess"
+	}
+	return ""
+}
+
+func TestAddEdgeCanonical(t *testing.T) {
+	g := graph.Path(30)
 	m, err := NewMaintainer(g, traverse.Options{Window: 2, EdgeCoverage: 1, Start: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := m.AddEdge(0, 2)
+	rep, err := m.AddEdge(10, 14)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Kind != RepairInBand {
-		t.Errorf("repair kind = %v, want in-band", rep.Kind)
+	if rep.Kind != RepairSplice && rep.Kind != RepairRebuild {
+		t.Errorf("repair kind = %v", rep.Kind)
 	}
-	if m.Rep().Expansion() != 1 {
-		t.Errorf("in-band repair should not grow the path")
+	if m.NumEdges() != 30 {
+		t.Errorf("edges = %d, want 30", m.NumEdges())
 	}
-	checkRepConsistency(t, m)
+	checkCanonical(t, m)
 }
 
-func TestAddEdgePatch(t *testing.T) {
-	// Long path graph: connecting the two ends is far outside the band.
-	g := graph.Path(20)
-	m, err := NewMaintainer(g, traverse.Options{Window: 1, EdgeCoverage: 1, Start: 0})
+func TestSpliceReplaysPrefix(t *testing.T) {
+	// A long path with a far-from-start mutation should replay a long
+	// prefix instead of re-deciding everything.
+	g := graph.Path(400)
+	m, err := NewMaintainer(g, traverse.Options{Window: 2, EdgeCoverage: 1, Start: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := m.AddEdge(0, 19)
+	rep, err := m.AddEdge(300, 350)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Kind != RepairPatch {
-		t.Errorf("repair kind = %v, want patch", rep.Kind)
+	if rep.Kind != RepairSplice {
+		t.Fatalf("repair kind = %v (%s), want splice", rep.Kind, rep.Reason)
 	}
-	if m.Patches() != 1 {
-		t.Errorf("patches = %d, want 1", m.Patches())
+	if rep.PrefixRows == 0 {
+		t.Error("splice replayed no prefix")
 	}
-	checkRepConsistency(t, m)
+	if m.Splices() != 1 {
+		t.Errorf("splices = %d, want 1", m.Splices())
+	}
+	checkCanonical(t, m)
 }
 
 func TestAddEdgeValidation(t *testing.T) {
 	g := graph.Path(4)
 	m := newMaintainer(t, g)
-	if _, err := m.AddEdge(0, 9); err == nil {
-		t.Error("out-of-range vertex should error")
+	if _, err := m.AddEdge(0, 9); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("out-of-range vertex: %v", err)
 	}
-	if _, err := m.AddEdge(2, 2); err == nil {
-		t.Error("self loop should error")
+	if _, err := m.AddEdge(2, 2); !errors.Is(err, ErrSelfLoop) {
+		t.Errorf("self loop: %v", err)
 	}
-	if _, err := m.AddEdge(0, 1); err == nil {
-		t.Error("duplicate edge should error")
+	if _, err := m.AddEdge(0, 1); !errors.Is(err, ErrEdgeExists) {
+		t.Errorf("duplicate edge: %v", err)
 	}
 }
 
@@ -115,20 +130,35 @@ func TestRemoveEdge(t *testing.T) {
 	g := graph.Cycle(6)
 	m := newMaintainer(t, g)
 	before := m.NumEdges()
-	rep, err := m.RemoveEdge(0, 1)
-	if err != nil {
+	if _, err := m.RemoveEdge(0, 1); err != nil {
 		t.Fatal(err)
-	}
-	if rep.Kind != RepairClear || rep.TouchedSlots == 0 {
-		t.Errorf("repair = %+v, want clear with touched slots", rep)
 	}
 	if m.NumEdges() != before-1 {
 		t.Errorf("edges = %d, want %d", m.NumEdges(), before-1)
 	}
-	checkRepConsistency(t, m)
-	if _, err := m.RemoveEdge(0, 1); err == nil {
-		t.Error("double removal should error")
+	checkCanonical(t, m)
+	if _, err := m.RemoveEdge(0, 1); !errors.Is(err, ErrEdgeMissing) {
+		t.Errorf("double removal: %v", err)
 	}
+}
+
+func TestRemoveInBandAndSplicedEdges(t *testing.T) {
+	// Remove an edge captured by the original build, then an edge that
+	// arrived through a splice — both must leave a canonical rep.
+	g := graph.Cycle(40)
+	m := newMaintainer(t, g)
+	if _, err := m.AddEdge(5, 20); err != nil {
+		t.Fatal(err)
+	}
+	checkCanonical(t, m)
+	if _, err := m.RemoveEdge(5, 20); err != nil { // spliced-in edge
+		t.Fatal(err)
+	}
+	checkCanonical(t, m)
+	if _, err := m.RemoveEdge(10, 11); err != nil { // original in-band edge
+		t.Fatal(err)
+	}
+	checkCanonical(t, m)
 }
 
 func TestReAddRemovedEdge(t *testing.T) {
@@ -140,104 +170,246 @@ func TestReAddRemovedEdge(t *testing.T) {
 	if _, err := m.AddEdge(2, 3); err != nil {
 		t.Fatalf("re-adding removed edge: %v", err)
 	}
-	checkRepConsistency(t, m)
+	checkCanonical(t, m)
 }
 
-func TestExpansionBudgetTriggersRebuild(t *testing.T) {
-	g := graph.Path(10)
-	m, err := NewMaintainer(g, traverse.Options{Window: 1, EdgeCoverage: 1, Start: 0})
+func TestBatchAtomicity(t *testing.T) {
+	g := graph.Cycle(8)
+	m := newMaintainer(t, g)
+	repBefore := m.Rep()
+	edgesBefore := m.NumEdges()
+	// Second add is invalid (already present), so nothing must apply.
+	_, err := m.ApplyBatch(nil, [][2]graph.NodeID{{0, 2}, {3, 4}})
+	if !errors.Is(err, ErrEdgeExists) {
+		t.Fatalf("batch error = %v, want ErrEdgeExists", err)
+	}
+	if m.Rep() != repBefore || m.NumEdges() != edgesBefore {
+		t.Error("rejected batch mutated the maintainer")
+	}
+	// Valid batch: removes apply before adds, so an edge can move. The
+	// three mutations are absorbed by one fused repair.
+	reps, err := m.ApplyBatch([][2]graph.NodeID{{0, 1}}, [][2]graph.NodeID{{0, 1}, {2, 7}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.ExpansionBudget = 1.3
-	sawRebuild := false
-	// Far-apart insertions force patches until the budget trips.
-	adds := [][2]graph.NodeID{{0, 9}, {0, 8}, {1, 9}, {0, 7}, {2, 9}, {1, 7}}
-	for _, e := range adds {
-		rep, err := m.AddEdge(e[0], e[1])
-		if err != nil {
+	if len(reps) != 1 {
+		t.Fatalf("repairs = %d, want 1 fused repair for the whole batch", len(reps))
+	}
+	checkCanonical(t, m)
+
+	// A fused batch and sequential application must converge on the same
+	// canonical representation (the fingerprint covers COO order).
+	seq := newMaintainer(t, m.Graph())
+	fused, err := NewMaintainer(m.Graph(), traverse.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchRemoves := [][2]graph.NodeID{{2, 7}, {1, 2}}
+	batchAdds := [][2]graph.NodeID{{0, 2}, {3, 7}}
+	for _, e := range batchRemoves {
+		if _, err := seq.RemoveEdge(e[0], e[1]); err != nil {
 			t.Fatal(err)
 		}
-		if rep.Kind == RepairRebuild {
-			sawRebuild = true
-			break
+	}
+	for _, e := range batchAdds {
+		if _, err := seq.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
 		}
 	}
-	if !sawRebuild {
-		t.Error("expansion budget never triggered a rebuild")
+	if _, err := fused.ApplyBatch(batchRemoves, batchAdds); err != nil {
+		t.Fatal(err)
 	}
-	if m.Rebuilds() == 0 {
-		t.Error("rebuild counter not incremented")
+	if seq.Fingerprint() != fused.Fingerprint() {
+		t.Error("fused batch produced a different canonical edge order than sequential application")
 	}
-	checkRepConsistency(t, m)
+	checkCanonical(t, fused)
 }
 
-func TestManualRebuildCompacts(t *testing.T) {
-	g := graph.Path(12)
-	m, err := NewMaintainer(g, traverse.Options{Window: 1, EdgeCoverage: 1, Start: 0})
+func TestBatchRejectsRemoveOfBatchAdd(t *testing.T) {
+	g := graph.Cycle(8)
+	m := newMaintainer(t, g)
+	// Removes precede adds: removing an edge only the batch introduces is
+	// invalid.
+	_, err := m.ApplyBatch([][2]graph.NodeID{{0, 3}}, [][2]graph.NodeID{{0, 3}})
+	if !errors.Is(err, ErrEdgeMissing) {
+		t.Fatalf("batch error = %v, want ErrEdgeMissing", err)
+	}
+}
+
+func TestAdopt(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.ErdosRenyiM(rng, 30, 60)
+	opts := traverse.DefaultOptions()
+	rep, res, err := band.FromGraph(g, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.ExpansionBudget = 100 // never auto-rebuild
-	if _, err := m.AddEdge(0, 11); err != nil {
+	m, err := Adopt(rep, res, opts, Policy{})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.AddEdge(1, 10); err != nil {
+	if m.Rep() != rep {
+		t.Error("adopt should reuse the prepared rep without re-traversing")
+	}
+	if _, err := m.AddEdge(0, 29); err != nil && !errors.Is(err, ErrEdgeExists) {
 		t.Fatal(err)
 	}
-	grown := m.Rep().Len()
-	if err := m.Rebuild(); err != nil {
-		t.Fatal(err)
+	checkCanonical(t, m)
+	// The adopted structures must never be modified (copy-on-write).
+	if !reflect.DeepEqual(rep.Path, res.Path) {
+		t.Error("adopted rep mutated")
 	}
-	if m.Rep().Len() >= grown {
-		t.Errorf("rebuild should compact: %d -> %d", grown, m.Rep().Len())
-	}
-	if m.Patches() != 0 {
-		t.Error("rebuild should clear patch counter")
-	}
-	checkRepConsistency(t, m)
 }
 
-func TestMaintainerRepUsableDownstream(t *testing.T) {
-	// The maintained representation must stay loadable by band consumers:
-	// coverage accounting, sync groups, gather index.
-	rng := rand.New(rand.NewSource(3))
-	g := graph.ErdosRenyiM(rng, 25, 40)
+func TestAdoptWithoutSourceFallsBack(t *testing.T) {
+	g := graph.Cycle(10)
+	opts := traverse.DefaultOptions()
+	rep, res, err := band.FromGraph(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Source = nil // simulate a rep produced before source recording
+	m, err := Adopt(rep, res, opts, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCanonical(t, m)
+}
+
+func TestUnsupportedConfigurations(t *testing.T) {
+	if _, err := NewMaintainer(graph.Cycle(5), traverse.Options{DropEdges: 0.2}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("edge dropping: %v", err)
+	}
+	dg, err := graph.New(3, []graph.Edge{{Src: 0, Dst: 1}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMaintainer(dg, traverse.DefaultOptions()); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("directed graph: %v", err)
+	}
+	lg, err := graph.New(3, []graph.Edge{{Src: 0, Dst: 0}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMaintainer(lg, traverse.DefaultOptions()); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("self loop: %v", err)
+	}
+	pg, err := graph.New(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMaintainer(pg, traverse.DefaultOptions()); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("parallel edge: %v", err)
+	}
+}
+
+func TestPolicyForcedRebuild(t *testing.T) {
+	// MinPrefixFraction above 1 makes every prefix "too short".
+	g := graph.Path(50)
+	m, err := NewMaintainerPolicy(g, traverse.Options{Window: 2, EdgeCoverage: 1, Start: 0},
+		Policy{MinPrefixFraction: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.AddEdge(40, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != RepairRebuild || rep.Reason != "short-prefix" {
+		t.Errorf("repair = %+v, want short-prefix rebuild", rep)
+	}
+	if m.Rebuilds() != 1 {
+		t.Errorf("rebuilds = %d, want 1", m.Rebuilds())
+	}
+	checkCanonical(t, m)
+}
+
+func TestPolicyDisabledWL(t *testing.T) {
+	g := graph.Cycle(20)
+	m, err := NewMaintainerPolicy(g, traverse.DefaultOptions(), Policy{WLRounds: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.AddEdge(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WLChanged != -1 {
+		t.Errorf("WLChanged = %d with WL disabled, want -1", rep.WLChanged)
+	}
+	checkCanonical(t, m)
+}
+
+func TestWindowChangeTriggersRebuild(t *testing.T) {
+	// A near-complete graph where one more edge moves the adaptive window
+	// (mean degree crosses a rounding boundary).
+	var edges []graph.Edge
+	for u := graph.NodeID(0); u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			if u == 0 && v == 1 {
+				continue
+			}
+			edges = append(edges, graph.Edge{Src: u, Dst: v})
+		}
+	}
+	g, err := graph.New(4, edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaintainerPolicy(g, traverse.DefaultOptions(), Policy{WLRounds: -1, MinPrefixFraction: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldWindow := m.Rep().Window
+	rep, err := m.AddEdge(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rep().Window == oldWindow {
+		t.Skip("mutation did not move the adaptive window on this graph")
+	}
+	if rep.Kind != RepairRebuild {
+		t.Errorf("window move repaired by %v, want rebuild", rep.Kind)
+	}
+	checkCanonical(t, m)
+}
+
+func TestSnapshotSurvivesUpdates(t *testing.T) {
+	g := graph.Cycle(30)
 	m := newMaintainer(t, g)
-	for i := 0; i < 10; i++ {
-		u := graph.NodeID(rng.Intn(25))
-		v := graph.NodeID(rng.Intn(25))
-		if u == v {
-			continue
-		}
-		if _, err := m.AddEdge(u, v); err != nil {
-			continue // duplicates are fine to skip
+	oldRep, oldRes := m.Rep(), m.Result()
+	pathCopy := append([]graph.NodeID(nil), oldRep.Path...)
+	mask0 := append([]bool(nil), oldRep.Mask[0]...)
+	for i := 0; i < 5; i++ {
+		if _, err := m.AddEdge(graph.NodeID(i), graph.NodeID(i+10)); err != nil {
+			t.Fatal(err)
 		}
 	}
-	rep := m.Rep()
-	if rep.BandCoverage() <= 0 {
-		t.Error("band coverage collapsed")
+	if m.Rep() == oldRep {
+		t.Fatal("update did not swap the rep pointer")
 	}
-	if got := len(rep.GatherIndex()); got != rep.Len() {
-		t.Errorf("gather index len %d != path len %d", got, rep.Len())
+	if !reflect.DeepEqual(oldRep.Path, pathCopy) || !reflect.DeepEqual(oldRep.Mask[0], mask0) {
+		t.Error("published snapshot was mutated by later updates")
 	}
-	checkRepConsistency(t, m)
+	if len(oldRes.Path) != len(pathCopy) {
+		t.Error("published result was mutated by later updates")
+	}
 }
 
-// Property: after arbitrary interleaved adds/removes, the band exactly
-// matches the live edge set.
-func TestMaintainerConsistencyProperty(t *testing.T) {
+// Property: after arbitrary interleaved adds/removes, the maintained rep is
+// byte-identical to a from-scratch preprocess of the live graph.
+func TestCanonicalEquivalenceProperty(t *testing.T) {
 	f := func(seed int64, opsRaw uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
-		g := graph.ErdosRenyiM(rng, 12, 18)
+		g := graph.ErdosRenyiM(rng, 14, 22)
 		m, err := NewMaintainer(g, traverse.DefaultOptions())
 		if err != nil {
 			return false
 		}
-		ops := int(opsRaw%20) + 5
+		ops := int(opsRaw%24) + 6
 		for i := 0; i < ops; i++ {
-			u := graph.NodeID(rng.Intn(12))
-			v := graph.NodeID(rng.Intn(12))
+			u := graph.NodeID(rng.Intn(14))
+			v := graph.NodeID(rng.Intn(14))
 			if u == v {
 				continue
 			}
@@ -247,30 +419,7 @@ func TestMaintainerConsistencyProperty(t *testing.T) {
 				_, _ = m.RemoveEdge(u, v)
 			}
 		}
-		lg, err := m.Graph()
-		if err != nil {
-			return false
-		}
-		rep := m.Rep()
-		covered := make(map[[2]graph.NodeID]bool)
-		for o := 1; o <= rep.Window; o++ {
-			for i, on := range rep.Mask[o-1] {
-				if !on {
-					continue
-				}
-				u, v := rep.Path[i], rep.Path[i+o]
-				if !lg.HasEdge(u, v) {
-					return false
-				}
-				covered[canon(u, v)] = true
-			}
-		}
-		for _, e := range lg.Edges() {
-			if !covered[canon(e.Src, e.Dst)] {
-				return false
-			}
-		}
-		return true
+		return canonicalMismatch(m) == ""
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
@@ -279,8 +428,8 @@ func TestMaintainerConsistencyProperty(t *testing.T) {
 
 func TestRepairKindStrings(t *testing.T) {
 	want := map[RepairKind]string{
-		RepairInBand: "in-band", RepairPatch: "patch",
-		RepairRebuild: "rebuild", RepairClear: "clear",
+		RepairSplice:  "splice",
+		RepairRebuild: "rebuild",
 		RepairKind(0): "RepairKind(0)",
 	}
 	for k, s := range want {
@@ -300,7 +449,6 @@ func BenchmarkIncrementalVsRebuild(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		m.ExpansionBudget = 1e9
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			u := graph.NodeID(rng.Intn(2000))

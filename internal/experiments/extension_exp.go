@@ -126,10 +126,9 @@ func ExtDynamic(s Scale) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	m.ExpansionBudget = 10
 
 	const updates = 200
-	var inBand, patch int
+	var prefixSum int
 	start := time.Now()
 	for i := 0; i < updates; {
 		u := graph.NodeID(rng.Intn(3000))
@@ -141,28 +140,20 @@ func ExtDynamic(s Scale) (*Report, error) {
 		if err != nil {
 			continue
 		}
-		switch rep.Kind {
-		case dynamic.RepairInBand:
-			inBand++
-		case dynamic.RepairPatch:
-			patch++
-		}
+		prefixSum += rep.PrefixRows
 		i++
 	}
 	incTotal := time.Since(start)
 
 	start = time.Now()
-	lg, err := m.Graph()
-	if err != nil {
-		return nil, err
-	}
-	if _, _, err := band.FromGraph(lg, traverse.DefaultOptions()); err != nil {
+	if _, _, err := band.FromGraph(m.Graph(), traverse.DefaultOptions()); err != nil {
 		return nil, err
 	}
 	rebuildOnce := time.Since(start)
 
 	perUpdate := incTotal / updates
-	r.Add("%d updates: %d in-band, %d patches, expansion %.2fx", updates, inBand, patch, m.Rep().Expansion())
+	r.Add("%d updates: %d splices, %d rebuilds, mean replayed prefix %.0f rows, expansion %.2fx",
+		updates, m.Splices(), m.Rebuilds(), float64(prefixSum)/updates, m.Rep().Expansion())
 	r.Add("incremental: %v/update;  full re-traversal: %v", perUpdate, rebuildOnce)
 	if perUpdate > 0 {
 		r.Add("latency ratio: one rebuild costs %.0fx one incremental update",

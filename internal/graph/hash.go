@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"fmt"
 )
 
 // Fingerprint is a collision-resistant digest of a graph's exact byte
@@ -18,6 +19,22 @@ type Fingerprint [sha256.Size]byte
 
 // String renders the fingerprint as lowercase hex.
 func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// ParseFingerprint decodes the hex form String produces. It is the inverse
+// needed by wire protocols that address cached representations by
+// fingerprint (e.g. the serving /update endpoint).
+func ParseFingerprint(s string) (Fingerprint, error) {
+	var f Fingerprint
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return f, fmt.Errorf("graph: bad fingerprint %q: %w", s, err)
+	}
+	if len(b) != len(f) {
+		return f, fmt.Errorf("graph: fingerprint %q is %d bytes, want %d", s, len(b), len(f))
+	}
+	copy(f[:], b)
+	return f, nil
+}
 
 // fingerprintVersion is mixed into every digest so the key space can be
 // invalidated wholesale if the serialisation ever changes.

@@ -52,6 +52,12 @@ func (o MegaOptions) traverseOptions() traverse.Options {
 	return t
 }
 
+// TraverseOptions returns the fully resolved traversal options this engine
+// feeds traverse.Run — exported so subsystems that must reproduce the
+// preprocessing bit-for-bit (the dynamic maintainer behind serve's /update)
+// share the exact same defaulting.
+func (o MegaOptions) TraverseOptions() traverse.Options { return o.traverseOptions() }
+
 // PreparedRep is the CPU preprocessing output for one graph: the band
 // representation plus the traversal it came from. It depends only on the
 // graph topology and the traverse options — not on features, targets, or

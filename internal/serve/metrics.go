@@ -207,10 +207,24 @@ type Metrics struct {
 	shardMu        sync.Mutex
 	shardWorkerNs  []int64 // cumulative forward wall time per shard worker
 
+	// Mutation-subsystem counters (PR 7): POST /update traffic and how its
+	// incremental repairs resolved. repairSplices vs repairRebuilds is the
+	// serving-side view of the patch-vs-rebuild policy — a rebuild-heavy
+	// mix means mutations keep landing early in the traversal (or the
+	// WL-delta policy needs retuning), erasing the incremental win.
+	updates          atomic.Uint64 // /update requests
+	updateErrors     atomic.Uint64 // /update requests that failed
+	mutationsApplied atomic.Uint64 // individual edge mutations committed
+	repairSplices    atomic.Uint64 // mutations repaired by prefix splice
+	repairRebuilds   atomic.Uint64 // mutations repaired by full rebuild
+	sessionAdoptions atomic.Uint64 // sessions created from snapshot/base
+
 	queue      histogram
 	preprocess histogram
 	forward    histogram
 	total      histogram
+	update     histogram // whole /update request, including session setup
+	repair     histogram // ApplyBatch alone (replay + splice or rebuild)
 }
 
 // NewMetrics creates a metrics registry anchored at now.
@@ -281,12 +295,23 @@ type Snapshot struct {
 	// for spotting load imbalance across the partition.
 	ShardWorkerMs []float64 `json:"shard_worker_ms,omitempty"`
 
+	// Mutation-subsystem counters (zero unless /update is exercised).
+	Updates          uint64 `json:"updates"`
+	UpdateErrors     uint64 `json:"update_errors"`
+	MutationsApplied uint64 `json:"mutations_applied"`
+	RepairSplices    uint64 `json:"repair_splices"`
+	RepairRebuilds   uint64 `json:"repair_rebuilds"`
+	SessionAdoptions uint64 `json:"session_adoptions"`
+	MutationSessions int    `json:"mutation_sessions"`
+
 	Cache CacheStats `json:"cache"`
 
 	QueueLatency      HistogramStats `json:"queue_latency"`
 	PreprocessLatency HistogramStats `json:"preprocess_latency"`
 	ForwardLatency    HistogramStats `json:"forward_latency"`
 	TotalLatency      HistogramStats `json:"total_latency"`
+	UpdateLatency     HistogramStats `json:"update_latency"`
+	RepairLatency     HistogramStats `json:"repair_latency"`
 }
 
 // Snapshot freezes every counter. withBuckets includes raw histogram
@@ -324,10 +349,19 @@ func (m *Metrics) Snapshot(cache CacheStats, withBuckets bool) Snapshot {
 		ShardMessages:  m.shardMessages.Load(),
 		ShardBytes:     m.shardBytes.Load(),
 
+		Updates:          m.updates.Load(),
+		UpdateErrors:     m.updateErrors.Load(),
+		MutationsApplied: m.mutationsApplied.Load(),
+		RepairSplices:    m.repairSplices.Load(),
+		RepairRebuilds:   m.repairRebuilds.Load(),
+		SessionAdoptions: m.sessionAdoptions.Load(),
+
 		QueueLatency:      m.queue.snapshot(withBuckets),
 		PreprocessLatency: m.preprocess.snapshot(withBuckets),
 		ForwardLatency:    m.forward.snapshot(withBuckets),
 		TotalLatency:      m.total.snapshot(withBuckets),
+		UpdateLatency:     m.update.snapshot(withBuckets),
+		RepairLatency:     m.repair.snapshot(withBuckets),
 	}
 	if uptime > 0 {
 		s.ThroughputRPS = float64(s.Requests) / uptime

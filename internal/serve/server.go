@@ -13,6 +13,7 @@ import (
 
 	"mega/internal/compute"
 	"mega/internal/datasets"
+	"mega/internal/dynamic"
 	"mega/internal/faults"
 	"mega/internal/graph"
 	"mega/internal/models"
@@ -81,6 +82,14 @@ type Options struct {
 	// before sharding kicks in; below it the per-batch worker handoff
 	// costs more than it saves. Default 256 when ShardWorkers > 1.
 	ShardVertexThreshold int
+	// MutationSessions bounds the POST /update session pool: how many
+	// mutable graph lineages (live maintainers with WL trackers) stay
+	// resident between updates. Evicted lineages re-adopt from their last
+	// published cache snapshot on the next update (default 64).
+	MutationSessions int
+	// MutationPolicy tunes the patch-vs-rebuild decision for incremental
+	// repairs (zero value = the dynamic package defaults).
+	MutationPolicy dynamic.Policy
 
 	// cacheSet marks CacheCapacity as deliberately chosen, letting 0 mean
 	// "disabled" rather than "default".
@@ -132,6 +141,9 @@ func (o Options) withDefaults() Options {
 	if o.ShardWorkers > 1 && o.ShardVertexThreshold <= 0 {
 		o.ShardVertexThreshold = 256
 	}
+	if o.MutationSessions <= 0 {
+		o.MutationSessions = 64
+	}
 	return o
 }
 
@@ -157,13 +169,14 @@ type Prediction struct {
 // The model's parameters are read-only after load, so any number of
 // workers may run Forward concurrently.
 type Server struct {
-	model   models.Model
-	meta    train.Checkpoint
-	opts    Options
-	cache   *RepCache
-	metrics *Metrics
-	batcher *batcher
-	breaker *breaker
+	model    models.Model
+	meta     train.Checkpoint
+	opts     Options
+	cache    *RepCache
+	metrics  *Metrics
+	batcher  *batcher
+	breaker  *breaker
+	mutators *mutatorPool
 	// arena pools fused-attention scratch across batches; shared by all
 	// workers (Arena is concurrency-safe), so steady-state serving stops
 	// allocating in the attention path.
@@ -212,6 +225,7 @@ func New(model models.Model, meta train.Checkpoint, opts Options) *Server {
 		cache:        NewRepCache(opts.CacheCapacity),
 		metrics:      NewMetrics(),
 		batcher:      newBatcher(opts.MaxBatch, opts.MaxWait, opts.QueueDepth),
+		mutators:     newMutatorPool(opts.MutationSessions),
 		arena:        tensor.NewArena(),
 		shutdownDone: make(chan struct{}),
 	}
@@ -296,6 +310,7 @@ func (s *Server) BreakerState() BreakerState { return s.breaker.State() }
 // MetricsSnapshot freezes the service counters and latency histograms.
 func (s *Server) MetricsSnapshot(withBuckets bool) Snapshot {
 	snap := s.metrics.Snapshot(s.cache.Stats(), withBuckets)
+	snap.MutationSessions = s.mutators.Len()
 	snap.Breaker = string(s.breaker.State())
 	snap.QueueDepth = len(s.batcher.in)
 	snap.QueueCapacity = cap(s.batcher.in)
@@ -734,11 +749,12 @@ func (s *Server) HealthSnapshot() Health {
 	return h
 }
 
-// Handler returns the HTTP surface: POST /predict, GET /metrics,
-// GET /healthz.
+// Handler returns the HTTP surface: POST /predict, POST /update,
+// GET /metrics, GET /healthz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"mega/internal/datasets"
 	"mega/internal/models"
 )
 
@@ -51,6 +52,40 @@ func TestShardedServingMatchesUnsharded(t *testing.T) {
 	}
 	if len(snap.ShardWorkerMs) != 2 {
 		t.Errorf("shard worker timings = %v, want one entry per worker", snap.ShardWorkerMs)
+	}
+}
+
+// TestShardFallbackCounterOnShortPath forces the unshardable case: a
+// triangle's 3-row path cannot be cut into 8 µchunks, so a shard-eligible
+// batch over it must fall back to the monolithic engine and count a
+// shard_fallbacks on /metrics — the serving mirror of
+// train.Result.ShardFallbacks.
+func TestShardFallbackCounterOnShortPath(t *testing.T) {
+	s, _, _ := trainedServer(t, Options{
+		MaxBatch: 1, ShardWorkers: 2, ShardVertexThreshold: 1,
+	})
+	tri, err := graphFromPairs(3, [][2]int32{{0, 1}, {1, 2}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := datasets.Instance{
+		G:        tri,
+		NodeFeat: make([]int32, 3),
+		EdgeFeat: make([]int32, 3),
+	}
+	pred, err := s.Predict(inst)
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	if len(pred.Output) == 0 || pred.Degraded {
+		t.Fatalf("fallback must still answer exactly: %+v", pred)
+	}
+	snap := s.MetricsSnapshot(false)
+	if snap.ShardFallbacks < 1 {
+		t.Errorf("shard_fallbacks = %d, want >= 1", snap.ShardFallbacks)
+	}
+	if snap.ShardedBatches != 0 {
+		t.Errorf("a 3-row path cannot shard, yet sharded_batches = %d", snap.ShardedBatches)
 	}
 }
 

@@ -1,9 +1,14 @@
 package train
 
 import (
+	"bytes"
+	"log"
 	"math"
+	"strings"
 	"testing"
 
+	"mega/internal/datasets"
+	"mega/internal/graph"
 	"mega/internal/models"
 	"mega/internal/traverse"
 )
@@ -56,6 +61,60 @@ func TestShardedTrainingTrajectoryBitIdentical(t *testing.T) {
 					k, e+1, res.Stats[e].TrainLoss, ref.Stats[e].TrainLoss)
 			}
 		}
+	}
+}
+
+// TestShardFallbackCountedAndLogged pins the per-context fallback
+// accounting: a training batch whose path is too short to cut into µchunks
+// trains through the monolithic engine, and the run reports how many
+// contexts did. The log side is covered by capturing the standard logger.
+func TestShardFallbackCountedAndLogged(t *testing.T) {
+	// A triangle's traversal path (3 rows) cannot be cut into 8 µchunks,
+	// so with BatchSize 1 every context must fall back.
+	tri, err := graph.New(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 2}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := datasets.Instance{
+		G:        tri,
+		NodeFeat: []int32{0, 1, 0},
+		EdgeFeat: []int32{0, 0, 1},
+		Target:   1.5,
+	}
+	d := &datasets.Dataset{
+		Name: "tiny-tri", Task: datasets.TaskRegression,
+		NumNodeTypes: 2, NumEdgeTypes: 2,
+		Train: []datasets.Instance{inst, inst},
+		Val:   []datasets.Instance{inst},
+		Test:  []datasets.Instance{inst},
+	}
+	o := shardOpts(2)
+	o.BatchSize = 1
+	o.Epochs = 1
+
+	var logged bytes.Buffer
+	prev := log.Writer()
+	log.SetOutput(&logged)
+	defer log.SetOutput(prev)
+
+	res, err := Run(d, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardFallbacks != 2 {
+		t.Errorf("ShardFallbacks = %d, want 2 (every context)", res.ShardFallbacks)
+	}
+	if n := strings.Count(logged.String(), "fell back to the monolithic engine"); n != 1 {
+		t.Errorf("fallback logged %d times, want exactly once:\n%s", n, logged.String())
+	}
+
+	// Shardable runs must not report fallbacks.
+	full, err := Run(tinyDataset(t, "ZINC"), shardOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.ShardFallbacks != 0 {
+		t.Errorf("shardable run reported %d fallbacks", full.ShardFallbacks)
 	}
 }
 

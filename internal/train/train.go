@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"os"
 	"time"
 
@@ -160,6 +161,10 @@ type Result struct {
 	// QuarantinedCheckpoints counts corrupt files quarantined while
 	// resuming.
 	QuarantinedCheckpoints int
+	// ShardFallbacks counts training contexts the shard planner rejected
+	// (path too short to cut into µchunks); those contexts trained through
+	// the monolithic path instead. Only meaningful when Options.Shards > 0.
+	ShardFallbacks int
 }
 
 // FinalMetric returns the last epoch's validation metric.
@@ -271,12 +276,24 @@ func Run(ds *datasets.Dataset, opts Options) (*Result, error) {
 	// the monolithic path — the rejection criteria are chunk-level, so a
 	// context falls back identically at every worker count.
 	var shardEngines []*models.ShardEngine
+	shardFallbacks := 0
 	if shardGT != nil {
 		shardEngines = make([]*models.ShardEngine, len(trainCtxs))
+		var fallbackErr error
 		for i, ctx := range trainCtxs {
 			if eng, err := models.NewShardEngine(shardGT, ctx, opts.Shards); err == nil {
 				shardEngines[i] = eng
+			} else {
+				shardFallbacks++
+				fallbackErr = err
 			}
+		}
+		if shardFallbacks > 0 {
+			// One line for the whole run, not one per context: the
+			// rejection criteria are chunk-level and static, so every epoch
+			// would repeat the same message.
+			log.Printf("train: %d/%d contexts fell back to the monolithic engine (shards=%d): %v",
+				shardFallbacks, len(trainCtxs), opts.Shards, fallbackErr)
 		}
 	}
 
@@ -285,6 +302,7 @@ func Run(ds *datasets.Dataset, opts Options) (*Result, error) {
 		Sim: sim, Params: opt.NumParams(), Task: ds.Task,
 		Model: model, ModelName: opts.Model, Config: cfg,
 		QuarantinedCheckpoints: quarantined,
+		ShardFallbacks:         shardFallbacks,
 	}
 	if startEpoch > 1 {
 		res.ResumedEpoch = startEpoch - 1

@@ -92,6 +92,12 @@ type Result struct {
 	// virtual edge: the two vertices are not adjacent in the (possibly
 	// edge-dropped) input graph. Virtual[0] is always false.
 	Virtual []bool
+	// Source[i] records which candidate pool produced Path[i]. The trace
+	// lets a later run replay this path step-for-step without re-ranking
+	// candidates (package dynamic's prefix replay): every pool choice is a
+	// pure function of the traversal state except the stack pop, which the
+	// trace lets the replayer reproduce exactly.
+	Source []StepSource
 	// Window is the effective ω used.
 	Window int
 	// CoveredEdges counts distinct edges whose endpoints came within ω
@@ -132,10 +138,56 @@ func (r *Result) Expansion(n int) float64 {
 	return float64(len(r.Path)) / float64(n)
 }
 
-// Errors returned by Run.
+// StepSource identifies the candidate pool that produced one path step.
+type StepSource uint8
+
+// Step sources, in the pool priority order of the decision loop.
+const (
+	// SourceStart is the pinned or max-degree starting vertex (step 0).
+	SourceStart StepSource = iota
+	// SourceNeighbor is pool 1: an unvisited neighbour of the current
+	// vertex reached through an uncovered edge.
+	SourceNeighbor
+	// SourceNeighborRevisit is pool 1b: a visited neighbour reached
+	// through an uncovered edge.
+	SourceNeighborRevisit
+	// SourceWindow is pool 2: an unvisited vertex with an uncovered edge
+	// into the trailing window.
+	SourceWindow
+	// SourceStack is pool 3: a revisit popped from the pending stack.
+	SourceStack
+	// SourceJump is pool 4: a pure virtual jump to an unvisited vertex.
+	SourceJump
+)
+
+// String implements fmt.Stringer.
+func (s StepSource) String() string {
+	switch s {
+	case SourceStart:
+		return "start"
+	case SourceNeighbor:
+		return "neighbor"
+	case SourceNeighborRevisit:
+		return "neighbor-revisit"
+	case SourceWindow:
+		return "window"
+	case SourceStack:
+		return "stack"
+	case SourceJump:
+		return "jump"
+	default:
+		return fmt.Sprintf("StepSource(%d)", int(s))
+	}
+}
+
+// Errors returned by Run and the Walker.
 var (
 	ErrEmptyGraph = errors.New("traverse: graph has no vertices")
 	ErrBadOptions = errors.New("traverse: invalid options")
+	// ErrReplayDiverged is returned by Walker.Replay when a replayed step
+	// is inconsistent with the traversal state — the recorded path cannot
+	// have been produced by this graph from this prefix.
+	ErrReplayDiverged = errors.New("traverse: replay diverged from recorded path")
 )
 
 // AdaptiveWindow returns the adaptive ω for a graph: max(1, round(mean
@@ -170,6 +222,37 @@ func RevisitLowerBound(degrees []int, omega int) int {
 // Run executes the objective traversal on g and returns the path
 // representation.
 func Run(g *graph.Graph, opts Options) (*Result, error) {
+	w, err := NewWalker(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return w.Complete(), nil
+}
+
+// Walker is a resumable objective traversal: the decision loop of Run,
+// split so a caller can first *replay* a known-good path prefix (no
+// candidate ranking, O(ω) per step) and then let the decision loop finish
+// the suffix. Package dynamic uses this for incremental repair: after an
+// edge mutation, the traversal of the new graph provably matches the old
+// path up to the first appearance of a mutated endpoint, so that prefix is
+// replayed and only the remainder is re-decided.
+//
+// A Walker is single-use: Replay zero or more steps, then Complete once.
+type Walker struct {
+	t       *traversal
+	work    *graph.Graph
+	omega   int
+	start   graph.NodeID
+	target  int
+	dropped int
+	sources []StepSource
+	done    bool
+}
+
+// NewWalker validates options, applies edge dropping, and resolves the
+// effective window, start vertex, and coverage target without taking any
+// steps.
+func NewWalker(g *graph.Graph, opts Options) (*Walker, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, ErrEmptyGraph
@@ -210,9 +293,92 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 	} else if int(start) >= n {
 		return nil, fmt.Errorf("%w: start vertex %d out of range", ErrBadOptions, start)
 	}
-	t.visit(start, false)
+	return &Walker{
+		t:       t,
+		work:    work,
+		omega:   omega,
+		start:   start,
+		target:  int(opts.EdgeCoverage * float64(work.NumEdges())),
+		dropped: dropped,
+	}, nil
+}
 
-	target := int(opts.EdgeCoverage * float64(work.NumEdges()))
+// Window returns the effective band half-width ω.
+func (w *Walker) Window() int { return w.omega }
+
+// Start returns the resolved starting vertex.
+func (w *Walker) Start() graph.NodeID { return w.start }
+
+// Target returns the edge-coverage target ⌊θ·m⌋.
+func (w *Walker) Target() int { return w.target }
+
+// Covered returns the number of edges covered so far.
+func (w *Walker) Covered() int { return w.t.covered }
+
+// PathLen returns the number of steps taken so far.
+func (w *Walker) PathLen() int { return len(w.t.path) }
+
+// Graph returns the graph being walked (post-drop).
+func (w *Walker) Graph() *graph.Graph { return w.work }
+
+// Replay takes one step along a previously recorded path without ranking
+// candidates, applying exactly the state updates the decision loop would
+// have applied for a step of the given source. The caller must guarantee
+// the recorded decision is still valid for this graph; the one invariant
+// Replay itself verifies is the stack pop (SourceStack must pop the
+// recorded vertex), since that is the only pool choice with side effects.
+func (w *Walker) Replay(v graph.NodeID, src StepSource) error {
+	if w.done {
+		return fmt.Errorf("%w: walker already completed", ErrReplayDiverged)
+	}
+	if len(w.t.path) == 0 {
+		if src != SourceStart || v != w.start {
+			return fmt.Errorf("%w: step 0 must be the start vertex %d", ErrReplayDiverged, w.start)
+		}
+		w.t.visit(v, false)
+		w.sources = append(w.sources, SourceStart)
+		return nil
+	}
+	curr := w.t.path[len(w.t.path)-1]
+	virtual := false
+	switch src {
+	case SourceStart:
+		return fmt.Errorf("%w: start source after step 0", ErrReplayDiverged)
+	case SourceNeighbor, SourceNeighborRevisit:
+		// Real-edge transition by construction.
+	case SourceStack:
+		next, ok := w.t.popStack()
+		if !ok || next != v {
+			return fmt.Errorf("%w: stack pop produced %v, recorded %v", ErrReplayDiverged, next, v)
+		}
+		virtual = !w.work.HasEdge(curr, v)
+	case SourceWindow, SourceJump:
+		virtual = !w.work.HasEdge(curr, v)
+	default:
+		return fmt.Errorf("%w: unknown step source %d", ErrReplayDiverged, int(src))
+	}
+	w.t.visit(v, virtual)
+	w.sources = append(w.sources, src)
+	return nil
+}
+
+// Complete runs the decision loop from the current state to termination
+// and assembles the Result. If no steps were replayed it visits the start
+// vertex first, making NewWalker(g, opts) + Complete() exactly Run(g, opts).
+func (w *Walker) Complete() *Result {
+	if !w.done {
+		if len(w.t.path) == 0 {
+			w.t.visit(w.start, false)
+			w.sources = append(w.sources, SourceStart)
+		}
+		w.runLoop()
+		w.done = true
+	}
+	return w.result()
+}
+
+func (w *Walker) runLoop() {
+	t, work, target := w.t, w.work, w.target
 	for {
 		nodesDone := len(t.unvisited) == 0
 		edgesDone := t.covered >= target
@@ -223,6 +389,7 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 		// Pool 1: unvisited neighbours of curr via uncovered edges.
 		if next, ok := t.bestRemainingNeighbor(curr, true); ok {
 			t.visit(next, false)
+			w.sources = append(w.sources, SourceNeighbor)
 			continue
 		}
 		if !edgesDone {
@@ -230,18 +397,21 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 			// reach θ = 1; see package comment).
 			if next, ok := t.bestRemainingNeighbor(curr, false); ok {
 				t.visit(next, false)
+				w.sources = append(w.sources, SourceNeighborRevisit)
 				continue
 			}
 			// Pool 2: unvisited vertices with an uncovered edge into the
 			// trailing window — covers edges without revisits.
 			if next, ok := t.bestWindowCoveringUnvisited(); ok {
 				t.visit(next, !work.HasEdge(curr, next))
+				w.sources = append(w.sources, SourceWindow)
 				continue
 			}
 			// Pool 3: revisit the most recently stacked vertex that still
 			// has uncovered incident edges.
 			if next, ok := t.popStack(); ok {
 				t.visit(next, !work.HasEdge(curr, next))
+				w.sources = append(w.sources, SourceStack)
 				continue
 			}
 		}
@@ -249,23 +419,28 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 		if !nodesDone {
 			next := t.bestUnvisited()
 			t.visit(next, !work.HasEdge(curr, next))
+			w.sources = append(w.sources, SourceJump)
 			continue
 		}
 		// All vertices visited and no coverable edges remain anywhere:
 		// the coverage target is unreachable (rounding on tiny graphs).
 		break
 	}
+}
 
+func (w *Walker) result() *Result {
+	t := w.t
 	res := &Result{
 		Path:         t.path,
 		Virtual:      t.virtual,
-		Window:       omega,
+		Source:       w.sources,
+		Window:       w.omega,
 		CoveredEdges: t.covered,
-		TotalEdges:   work.NumEdges(),
-		DroppedEdges: dropped,
-		Graph:        work,
+		TotalEdges:   w.work.NumEdges(),
+		DroppedEdges: w.dropped,
+		Graph:        w.work,
 	}
-	seen := make(map[graph.NodeID]bool, n)
+	seen := make(map[graph.NodeID]bool, w.work.NumNodes())
 	for _, v := range t.path {
 		seen[v] = true
 	}
@@ -275,7 +450,7 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 			res.VirtualEdges++
 		}
 	}
-	return res, nil
+	return res
 }
 
 // traversal is the mutable state of one objective-traversal run.

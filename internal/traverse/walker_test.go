@@ -1,0 +1,117 @@
+package traverse
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mega/internal/graph"
+)
+
+// TestWalkerReplayReproducesRun replays a full recorded path on a fresh
+// walker over the same graph: the state updates must reproduce the original
+// result exactly, including coverage counts and virtual flags.
+func TestWalkerReplayReproducesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.ErdosRenyiM(rng, 15+rng.Intn(15), 30+rng.Intn(30))
+		opts := DefaultOptions()
+		ref, err := Run(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ref.Source) != len(ref.Path) {
+			t.Fatalf("source trace length %d != path length %d", len(ref.Source), len(ref.Path))
+		}
+		w, err := NewWalker(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range ref.Path {
+			if err := w.Replay(v, ref.Source[i]); err != nil {
+				t.Fatalf("trial %d: replay step %d: %v", trial, i, err)
+			}
+		}
+		got := w.Complete()
+		if !reflect.DeepEqual(got.Path, ref.Path) || !reflect.DeepEqual(got.Virtual, ref.Virtual) ||
+			!reflect.DeepEqual(got.Source, ref.Source) {
+			t.Fatalf("trial %d: full replay diverged from the recorded run", trial)
+		}
+		if got.CoveredEdges != ref.CoveredEdges || got.Revisits != ref.Revisits ||
+			got.VirtualEdges != ref.VirtualEdges {
+			t.Fatalf("trial %d: replay stats differ: %+v vs %+v", trial, got, ref)
+		}
+	}
+}
+
+// TestWalkerPartialReplayThenComplete replays only a prefix and lets the
+// decision loop finish; on an unchanged graph the outcome must still equal
+// the full run.
+func TestWalkerPartialReplayThenComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := graph.BarabasiAlbert(rng, 60, 2)
+	opts := DefaultOptions()
+	ref, err := Run(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0, 0.25, 0.5, 0.9} {
+		p := int(frac * float64(len(ref.Path)))
+		w, err := NewWalker(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < p; i++ {
+			if err := w.Replay(ref.Path[i], ref.Source[i]); err != nil {
+				t.Fatalf("prefix %d: replay step %d: %v", p, i, err)
+			}
+		}
+		got := w.Complete()
+		if !reflect.DeepEqual(got.Path, ref.Path) || !reflect.DeepEqual(got.Source, ref.Source) {
+			t.Fatalf("prefix %d: resume diverged from the full run", p)
+		}
+	}
+}
+
+func TestWalkerReplayDivergence(t *testing.T) {
+	g := graph.Path(6)
+	opts := Options{Window: 1, EdgeCoverage: 1, Start: 0}
+	w, err := NewWalker(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 0 must be the resolved start.
+	if err := w.Replay(3, SourceStart); !errors.Is(err, ErrReplayDiverged) {
+		t.Errorf("wrong start vertex: %v", err)
+	}
+	if err := w.Replay(0, SourceStart); err != nil {
+		t.Fatal(err)
+	}
+	// A stack pop when the stack is empty must report divergence.
+	if err := w.Replay(5, SourceStack); !errors.Is(err, ErrReplayDiverged) {
+		t.Errorf("impossible stack pop: %v", err)
+	}
+}
+
+func TestWalkerResolvesLikeRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.ErdosRenyiM(rng, 30, 80)
+	w, err := NewWalker(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Window() != AdaptiveWindow(g) {
+		t.Errorf("walker window %d, adaptive %d", w.Window(), AdaptiveWindow(g))
+	}
+	res, err := Run(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Start() != res.Path[0] {
+		t.Errorf("walker start %d, run start %d", w.Start(), res.Path[0])
+	}
+	if w.Target() != g.NumEdges() {
+		t.Errorf("walker target %d, want %d", w.Target(), g.NumEdges())
+	}
+}

@@ -1,0 +1,126 @@
+package wl
+
+import (
+	"math/rand"
+	"testing"
+
+	"mega/internal/graph"
+)
+
+type gAdj struct{ g *graph.Graph }
+
+func (a gAdj) NumNodes() int             { return a.g.NumNodes() }
+func (a gAdj) Neighbors(v int32) []int32 { return a.g.Neighbors(v) }
+
+// canonicalize maps labels to first-occurrence indices so partitions from
+// different refiners compare equal.
+func canonicalize(l Labeling) []int {
+	seen := make(map[int]int, len(l))
+	out := make([]int, len(l))
+	for i, v := range l {
+		id, ok := seen[v]
+		if !ok {
+			id = len(seen)
+			seen[v] = id
+		}
+		out[i] = id
+	}
+	return out
+}
+
+func samePartition(a, b Labeling) bool {
+	ca, cb := canonicalize(a), canonicalize(b)
+	if len(ca) != len(cb) {
+		return false
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTrackerMatchesFullRefinement streams random edge mutations through a
+// Tracker and checks after each that its labels induce the same partition a
+// from-scratch RefineK of the current graph would.
+func TestTrackerMatchesFullRefinement(t *testing.T) {
+	for _, rounds := range []int{1, 2, 3} {
+		rng := rand.New(rand.NewSource(int64(rounds) * 77))
+		const n = 24
+		g := graph.ErdosRenyiM(rng, n, 40)
+		tr := NewTracker(gAdj{g}, nil, rounds)
+		edges := g.Edges()
+		present := make(map[[2]graph.NodeID]int, len(edges))
+		for i, e := range edges {
+			u, v := e.Src, e.Dst
+			if u > v {
+				u, v = v, u
+			}
+			present[[2]graph.NodeID{u, v}] = i
+		}
+		for step := 0; step < 30; step++ {
+			u := graph.NodeID(rng.Intn(n))
+			v := graph.NodeID(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			key := [2]graph.NodeID{a, b}
+			if idx, ok := present[key]; ok {
+				edges = append(edges[:idx], edges[idx+1:]...)
+				delete(present, key)
+				for k, i := range present {
+					if i > idx {
+						present[k] = i - 1
+					}
+				}
+			} else {
+				present[key] = len(edges)
+				edges = append(edges, graph.Edge{Src: a, Dst: b})
+			}
+			ng, err := graph.New(n, append([]graph.Edge(nil), edges...), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr.Update(gAdj{ng}, int32(u), int32(v))
+			want := NewRefiner().RefineK(gAdj{ng}, nil, rounds)
+			if !samePartition(tr.Labels(), want) {
+				t.Fatalf("rounds=%d step=%d: tracker partition diverged from full refinement", rounds, step)
+			}
+		}
+	}
+}
+
+func TestTrackerZeroRounds(t *testing.T) {
+	g := graph.Cycle(5)
+	tr := NewTracker(gAdj{g}, nil, 0)
+	if got := tr.Update(gAdj{g}, 0, 2); got != 0 {
+		t.Errorf("zero-round update reported %d changes", got)
+	}
+}
+
+func TestTrackerReportsDelta(t *testing.T) {
+	// Adding a chord to a large cycle must change at least the endpoints'
+	// labels (degree 2 -> 3) but far fewer than all of them for shallow
+	// rounds.
+	g := graph.Cycle(100)
+	tr := NewTracker(gAdj{g}, nil, 2)
+	var edges []graph.Edge
+	edges = append(edges, g.Edges()...)
+	edges = append(edges, graph.Edge{Src: 0, Dst: 50})
+	ng, err := graph.New(100, edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := tr.Update(gAdj{ng}, 0, 50)
+	if changed < 2 {
+		t.Errorf("chord changed %d labels, want >= 2", changed)
+	}
+	if changed > 20 {
+		t.Errorf("chord changed %d labels, want local effect (<= 20)", changed)
+	}
+}

@@ -67,23 +67,35 @@ func (r *Refiner) InitialLabels(n int, initial []int32) Labeling {
 func (r *Refiner) Refine(g Adjacency, cur Labeling) Labeling {
 	n := g.NumNodes()
 	next := make(Labeling, n)
-	var buf []byte
-	nbrLabels := make([]int, 0, 16)
+	var scratch refineScratch
 	for v := 0; v < n; v++ {
-		nbrLabels = nbrLabels[:0]
-		for _, u := range g.Neighbors(int32(v)) {
-			nbrLabels = append(nbrLabels, cur[u])
-		}
-		sort.Ints(nbrLabels)
-		buf = buf[:0]
-		buf = strconv.AppendInt(buf, int64(cur[v]), 10)
-		for _, l := range nbrLabels {
-			buf = append(buf, '|')
-			buf = strconv.AppendInt(buf, int64(l), 10)
-		}
-		next[v] = r.internKey(string(buf))
+		next[v] = r.refineVertex(g, cur, v, &scratch)
 	}
 	return next
+}
+
+// refineScratch holds the reusable buffers of per-vertex refinement.
+type refineScratch struct {
+	buf       []byte
+	nbrLabels []int
+}
+
+// refineVertex computes one vertex's next-round label: the interned
+// signature of its current label and the sorted multiset of its
+// neighbours' labels.
+func (r *Refiner) refineVertex(g Adjacency, cur Labeling, v int, s *refineScratch) int {
+	s.nbrLabels = s.nbrLabels[:0]
+	for _, u := range g.Neighbors(int32(v)) {
+		s.nbrLabels = append(s.nbrLabels, cur[u])
+	}
+	sort.Ints(s.nbrLabels)
+	s.buf = s.buf[:0]
+	s.buf = strconv.AppendInt(s.buf, int64(cur[v]), 10)
+	for _, l := range s.nbrLabels {
+		s.buf = append(s.buf, '|')
+		s.buf = strconv.AppendInt(s.buf, int64(l), 10)
+	}
+	return r.internKey(string(s.buf))
 }
 
 // RefineK runs k WL rounds from the given initial per-vertex labels
