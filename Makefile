@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race race race-short chaos chaos-short shard-check dynamic-check bench bench-compute bench-attention bench-dist bench-dynamic fuzz fuzz-smoke experiments examples clean
+.PHONY: all check build vet test test-race race race-short chaos chaos-short shard-check dynamic-check load-check bench bench-compute bench-attention bench-dist bench-dynamic bench-serve fuzz fuzz-smoke experiments examples clean
 
 all: check
 
@@ -67,6 +67,16 @@ dynamic-check:
 	$(GO) test ./internal/dynamic/ -run '^$$' -fuzz FuzzMaintainerEquivalence -fuzztime 10s
 	$(GO) test ./internal/serve/ -run 'TestUpdate|TestMutatorPool' -count=1
 
+# load-check runs the open-loop load-harness gates: the deterministic
+# scheduler and autotuner unit tests, the short end-to-end load runs
+# (real checkpointed server, faults armed, exact client-vs-/metrics
+# reconciliation, zero lost responses), the mixed predict/update
+# bit-identity test, and the megaload CLI smoke.
+load-check:
+	$(GO) test -short ./internal/load/ -count=1
+	$(GO) test -short ./cmd/megaload/ -count=1
+	$(GO) test ./internal/serve/ -run 'TestOptionsValidate|TestNewRejectsBadOptions|TestBatcher' -count=1
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -97,6 +107,15 @@ bench-dist:
 # mixes.
 bench-dynamic:
 	BENCH_DYNAMIC_OUT=$(CURDIR)/BENCH_dynamic.json $(GO) test ./internal/dynamic/ -run TestWriteBenchDynamic -count=1 -v
+
+# bench-serve regenerates the serving-capacity numbers recorded in
+# BENCH_serve.json: the open-loop capacity autotuner sweeps the micro-batch
+# knob grid, bracket-searching each configuration for its max sustainable
+# QPS under the p99 SLO, with client counts reconciled against /metrics at
+# every probe. Numbers are machine-relative; the record carries the host.
+bench-serve:
+	$(GO) run ./cmd/megaload -autotune -slo-p99 25ms -probe-duration 2s \
+		-start-rate 8 -tolerance 0.1 -out $(CURDIR)/BENCH_serve.json
 
 # Short fuzzing passes over the binary decoder, the traversal, and the
 # graph hashes.

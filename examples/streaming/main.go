@@ -52,7 +52,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	s := serve.New(res.Model, res.Checkpoint(ds.Name), serve.Options{MaxBatch: 4})
+	s, err := serve.New(res.Model, res.Checkpoint(ds.Name), serve.Options{MaxBatch: 4})
+	if err != nil {
+		return err
+	}
 	defer s.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

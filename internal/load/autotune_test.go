@@ -1,0 +1,200 @@
+package load
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// syntheticProbe models a queueing system with a known capacity knee:
+// p99 latency follows an M/M/1-style blow-up around cap, and beyond
+// shedCap a growing fraction of requests fail. Monotone in rate, so the
+// bracketed search's assumption holds and the knee is computable in the
+// test.
+func syntheticProbe(baseMs, cap float64) ProbeFunc {
+	return func(rate float64) (ProbeResult, error) {
+		r := ProbeResult{AchievedQPS: rate}
+		if rate >= cap {
+			r.P99Ms = 1e6 // saturated: latency off the chart
+			r.ErrorFraction = 0.5
+			return r, nil
+		}
+		r.P99Ms = baseMs / (1 - rate/cap)
+		return r, nil
+	}
+}
+
+// TestSearchCapacityConvergesOnKnownCurve runs the bracketed search
+// against synthetic latency curves whose SLO crossing is known in closed
+// form: p99(rate) = base/(1-rate/cap) <= slo  ⇔  rate <= cap*(1-base/slo).
+func TestSearchCapacityConvergesOnKnownCurve(t *testing.T) {
+	cases := []struct {
+		name        string
+		baseMs, cap float64
+		sloMs       float64
+		startRate   float64
+	}{
+		{"mid-range knee", 2, 1000, 20, 10},
+		{"knee below first double", 2, 40, 20, 25},
+		{"high capacity", 5, 40000, 50, 10},
+		{"tight slo", 8, 500, 10, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			slo := SLO{P99Ms: tc.sloMs, MaxErrorFraction: 0.01}
+			tol := 0.02
+			res, err := SearchCapacity(syntheticProbe(tc.baseMs, tc.cap), slo,
+				SearchOptions{StartRate: tc.startRate, Tolerance: tol})
+			if err != nil {
+				t.Fatal(err)
+			}
+			knee := tc.cap * (1 - tc.baseMs/tc.sloMs)
+			if res.MaxQPS > knee*(1+1e-9) {
+				t.Fatalf("MaxQPS %.2f exceeds the true knee %.2f (reported capacity it cannot sustain)", res.MaxQPS, knee)
+			}
+			if res.MaxQPS < knee*(1-2*tol) {
+				t.Fatalf("MaxQPS %.2f undershoots knee %.2f beyond tolerance", res.MaxQPS, knee)
+			}
+			if res.Saturated {
+				t.Fatal("bounded curve reported as saturated")
+			}
+			if !res.AtCapacity.Pass(slo) {
+				t.Fatalf("AtCapacity %+v does not meet the SLO it was reported under", res.AtCapacity)
+			}
+			// Bracket-and-bisect is logarithmic: generous cap to catch a
+			// linear-scan regression.
+			if len(res.Probes) > 40 {
+				t.Fatalf("search took %d probes (bracketed search should be logarithmic)", len(res.Probes))
+			}
+		})
+	}
+}
+
+// TestSearchCapacityErrorFractionLimited pins the second SLO axis: a
+// system whose latency is always fine but which starts failing requests
+// past a known rate must be capped by the error fraction, not latency.
+func TestSearchCapacityErrorFractionLimited(t *testing.T) {
+	const failAt = 300.0
+	probe := func(rate float64) (ProbeResult, error) {
+		r := ProbeResult{AchievedQPS: rate, P99Ms: 1}
+		if rate > failAt {
+			r.ErrorFraction = 0.2
+		}
+		return r, nil
+	}
+	res, err := SearchCapacity(probe, SLO{P99Ms: 100, MaxErrorFraction: 0.01},
+		SearchOptions{StartRate: 10, Tolerance: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxQPS > failAt || res.MaxQPS < failAt*0.95 {
+		t.Fatalf("MaxQPS %.2f, want just under the %.0f failure threshold", res.MaxQPS, failAt)
+	}
+}
+
+// TestSearchCapacityStartRateFails: if even the first probe misses the
+// SLO, capacity is 0 — not an error, not a made-up number.
+func TestSearchCapacityStartRateFails(t *testing.T) {
+	res, err := SearchCapacity(syntheticProbe(30, 1000), SLO{P99Ms: 20, MaxErrorFraction: 0},
+		SearchOptions{StartRate: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxQPS != 0 {
+		t.Fatalf("MaxQPS = %.2f, want 0 (base latency above SLO at every rate)", res.MaxQPS)
+	}
+	if len(res.Probes) != 1 {
+		t.Fatalf("search kept probing after the floor failed: %d probes", len(res.Probes))
+	}
+}
+
+// TestSearchCapacitySaturates: a system that never fails up to MaxRate is
+// reported as a lower bound, flagged Saturated.
+func TestSearchCapacitySaturates(t *testing.T) {
+	probe := func(rate float64) (ProbeResult, error) {
+		return ProbeResult{AchievedQPS: rate, P99Ms: 1}, nil
+	}
+	res, err := SearchCapacity(probe, SLO{P99Ms: 20, MaxErrorFraction: 0},
+		SearchOptions{StartRate: 10, MaxRate: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated {
+		t.Fatal("search hit MaxRate without a failure but did not flag Saturated")
+	}
+	if res.MaxQPS != 5000 {
+		t.Fatalf("MaxQPS = %.2f, want the 5000 cap", res.MaxQPS)
+	}
+}
+
+// TestSearchCapacityPropagatesProbeErrors: a broken probe aborts the
+// search with context, it does not fabricate a capacity.
+func TestSearchCapacityPropagatesProbeErrors(t *testing.T) {
+	boom := errors.New("server fell over")
+	probe := func(rate float64) (ProbeResult, error) {
+		if rate > 50 {
+			return ProbeResult{}, boom
+		}
+		return ProbeResult{AchievedQPS: rate, P99Ms: 1}, nil
+	}
+	_, err := SearchCapacity(probe, SLO{P99Ms: 20}, SearchOptions{StartRate: 10})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped probe error", err)
+	}
+}
+
+// TestSweepPicksWinner runs the full sweep over synthetic configs with
+// known capacities and checks ordering, winner selection, and cleanup.
+func TestSweepPicksWinner(t *testing.T) {
+	caps := map[string]float64{"small": 200, "big": 900, "medium": 500}
+	grid := []KnobConfig{
+		{Name: "small", MaxBatch: 4},
+		{Name: "big", MaxBatch: 32},
+		{Name: "medium", MaxBatch: 16},
+	}
+	cleanups := 0
+	factory := func(cfg KnobConfig) (ProbeFunc, func(), error) {
+		return syntheticProbe(1, caps[cfg.Name]), func() { cleanups++ }, nil
+	}
+	slo := SLO{P99Ms: 10, MaxErrorFraction: 0.01}
+	results, winner, err := Sweep(grid, factory, slo, SearchOptions{StartRate: 10, Tolerance: 0.02}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("sweep returned %d results, want 3", len(results))
+	}
+	if winner != 1 || results[winner].Config.Name != "big" {
+		t.Fatalf("winner = %d (%q), want 1 (big)", winner, results[winner].Config.Name)
+	}
+	if cleanups != 3 {
+		t.Fatalf("%d cleanups ran, want 3 (one per config)", cleanups)
+	}
+	// Measured capacities sort the way the true ones do.
+	for _, r := range results {
+		knee := caps[r.Config.Name] * (1 - 1.0/slo.P99Ms)
+		if math.Abs(r.Capacity.MaxQPS-knee)/knee > 0.05 {
+			t.Errorf("%s: capacity %.1f, want ~%.1f", r.Config.Name, r.Capacity.MaxQPS, knee)
+		}
+	}
+}
+
+// TestSweepFactoryError: a config whose server cannot be built aborts the
+// sweep with the config named.
+func TestSweepFactoryError(t *testing.T) {
+	grid := []KnobConfig{{Name: "ok"}, {Name: "broken"}}
+	factory := func(cfg KnobConfig) (ProbeFunc, func(), error) {
+		if cfg.Name == "broken" {
+			return nil, nil, fmt.Errorf("no such knob")
+		}
+		return syntheticProbe(1, 100), nil, nil
+	}
+	results, _, err := Sweep(grid, factory, SLO{P99Ms: 10}, SearchOptions{StartRate: 10}, nil)
+	if err == nil {
+		t.Fatal("sweep swallowed the factory error")
+	}
+	if len(results) != 1 {
+		t.Fatalf("sweep kept %d results before the failure, want 1", len(results))
+	}
+}

@@ -1,0 +1,513 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"mega/internal/datasets"
+	"mega/internal/serve"
+)
+
+// Target is the system under load. The two implementations — InProcess
+// around a serve.Server and HTTPTarget around a running megaserve — expose
+// the same request surface, so a run's accounting is identical either way.
+type Target interface {
+	Predict(ctx context.Context, inst datasets.Instance) (serve.Prediction, error)
+	Update(req serve.UpdateRequest) (serve.UpdateResponse, error)
+	// Metrics snapshots the server's counters; the runner diffs snapshots
+	// taken around the measured window to reconcile its own accounting.
+	Metrics() (serve.Snapshot, error)
+}
+
+// InProcess drives a serve.Server directly — no HTTP layer, so client-side
+// latency is queueing plus forward pass only, and reconciliation is exact.
+type InProcess struct{ S *serve.Server }
+
+func (t InProcess) Predict(ctx context.Context, inst datasets.Instance) (serve.Prediction, error) {
+	return t.S.PredictCtx(ctx, inst)
+}
+func (t InProcess) Update(req serve.UpdateRequest) (serve.UpdateResponse, error) {
+	return t.S.Update(req)
+}
+func (t InProcess) Metrics() (serve.Snapshot, error) {
+	return t.S.MetricsSnapshot(false), nil
+}
+
+// HTTPTarget drives a served endpoint over its wire format. Requests never
+// carry a client-side socket deadline — per-request timeouts travel as
+// timeout_ms and come back as typed statuses — so every issued request
+// observes exactly one server-accounted response and reconciliation stays
+// exact across the wire.
+type HTTPTarget struct {
+	Base   string // e.g. "http://127.0.0.1:8391"
+	Client *http.Client
+	// TimeoutMs is forwarded on every /predict body (0 = server default).
+	TimeoutMs int
+}
+
+func (t HTTPTarget) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+func (t HTTPTarget) Predict(ctx context.Context, inst datasets.Instance) (serve.Prediction, error) {
+	req := serve.GraphRequest{
+		NumNodes:  inst.G.NumNodes(),
+		Edges:     edgePairs(inst.G),
+		NodeFeats: inst.NodeFeat,
+		EdgeFeats: inst.EdgeFeat,
+		TimeoutMs: t.TimeoutMs,
+	}
+	var pred serve.Prediction
+	if err := t.post(ctx, "/predict", req, &pred); err != nil {
+		return serve.Prediction{}, err
+	}
+	return pred, nil
+}
+
+func (t HTTPTarget) Update(req serve.UpdateRequest) (serve.UpdateResponse, error) {
+	var resp serve.UpdateResponse
+	if err := t.post(context.Background(), "/update", req, &resp); err != nil {
+		return serve.UpdateResponse{}, err
+	}
+	return resp, nil
+}
+
+func (t HTTPTarget) Metrics() (serve.Snapshot, error) {
+	resp, err := t.client().Get(t.Base + "/metrics")
+	if err != nil {
+		return serve.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	var snap serve.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return serve.Snapshot{}, fmt.Errorf("load: decode /metrics: %w", err)
+	}
+	return snap, nil
+}
+
+// post sends one JSON request and maps error statuses back onto the
+// service's typed error vocabulary, so report classification is uniform
+// across in-process and HTTP targets.
+func (t HTTPTarget) post(ctx context.Context, path string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.Base+path, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("%w: %s", serve.ErrOverloaded, msg)
+	case http.StatusGatewayTimeout:
+		return fmt.Errorf("load: %s: %w", msg, context.DeadlineExceeded)
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w: %s", serve.ErrShuttingDown, msg)
+	case http.StatusBadRequest:
+		return fmt.Errorf("%w: %s", serve.ErrInvalidInstance, msg)
+	default:
+		return fmt.Errorf("load: %s %s: HTTP %d: %s", path, t.Base, resp.StatusCode, msg)
+	}
+}
+
+// RunOptions configures one measured run.
+type RunOptions struct {
+	// Seed drives the arrival schedule; the workload has its own seed in
+	// Mix.
+	Seed   int64
+	Phases []Phase
+	Mix    MixOptions
+	// Timeout is the per-request client deadline (0 = none beyond the
+	// server's own policy).
+	Timeout time.Duration
+	// SkipWarm skips pre-warming the hit pool before the measured window
+	// (warm-up predictions land outside the before/after metric snapshots
+	// either way).
+	SkipWarm bool
+}
+
+// LatencyStats are exact order statistics over client-observed latencies
+// of successful predictions (ceiling-rank quantiles, like the server's
+// histogram quantiles, but from raw samples — no bucket rounding).
+type LatencyStats struct {
+	Count  int     `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+func latencyStats(samples []time.Duration) LatencyStats {
+	s := LatencyStats{Count: len(samples)}
+	if len(samples) == 0 {
+		return s
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	sum := time.Duration(0)
+	for _, d := range samples {
+		sum += d
+	}
+	q := func(p float64) float64 {
+		rank := int(float64(len(samples)) * p)
+		if float64(rank) < float64(len(samples))*p {
+			rank++
+		}
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(samples) {
+			rank = len(samples)
+		}
+		return ms(samples[rank-1])
+	}
+	s.MeanMs = ms(sum) / float64(len(samples))
+	s.P50Ms, s.P95Ms, s.P99Ms = q(0.50), q(0.95), q(0.99)
+	s.MaxMs = ms(samples[len(samples)-1])
+	return s
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// PhaseReport aggregates one phase (or the whole run, for Report.Total).
+type PhaseReport struct {
+	Name        string  `json:"name"`
+	OfferedQPS  float64 `json:"offered_qps"`
+	DurationSec float64 `json:"duration_sec"`
+
+	Sent     int `json:"sent"`
+	Predicts int `json:"predicts"`
+	Updates  int `json:"updates"`
+
+	OK        int `json:"ok"`
+	Degraded  int `json:"degraded"`
+	CacheHits int `json:"cache_hits"`
+
+	Shed             int `json:"shed"`
+	DeadlineExceeded int `json:"deadline_exceeded"`
+	Canceled         int `json:"canceled"`
+	Errors           int `json:"errors"`
+
+	UpdateOK     int `json:"update_ok"`
+	UpdateErrors int `json:"update_errors"`
+
+	// AchievedQPS is dispatched arrivals over the phase duration; under an
+	// on-schedule pacer it tracks OfferedQPS to within pacing jitter.
+	AchievedQPS float64 `json:"achieved_qps"`
+	// Latency covers successful predictions only (client timestamps).
+	Latency LatencyStats `json:"latency"`
+}
+
+// Reconciliation cross-checks the client's own accounting against the
+// server's /metrics deltas over the measured window. Every field pair must
+// agree exactly — a lost or double-counted response shows up here.
+type Reconciliation struct {
+	PredictsSent  uint64 `json:"predicts_sent"`
+	RequestsDelta uint64 `json:"requests_delta"`
+
+	PredictErrors uint64 `json:"predict_errors"` // shed + deadline + canceled + other
+	ErrorsDelta   uint64 `json:"errors_delta"`
+
+	Shed      uint64 `json:"shed"`
+	ShedDelta uint64 `json:"shed_delta"`
+
+	DeadlineExceeded uint64 `json:"deadline_exceeded"`
+	DeadlineDelta    uint64 `json:"deadline_delta"`
+
+	UpdatesSent  uint64 `json:"updates_sent"`
+	UpdatesDelta uint64 `json:"updates_delta"`
+
+	UpdateErrors      uint64 `json:"update_errors"`
+	UpdateErrorsDelta uint64 `json:"update_errors_delta"`
+
+	Clean      bool     `json:"clean"`
+	Mismatches []string `json:"mismatches,omitempty"`
+}
+
+func (r *Reconciliation) check(name string, client, server uint64) {
+	if client != server {
+		r.Mismatches = append(r.Mismatches,
+			fmt.Sprintf("%s: client %d != metrics delta %d", name, client, server))
+	}
+}
+
+// Report is the outcome of one run.
+type Report struct {
+	Seed           int64          `json:"seed"`
+	WallSec        float64        `json:"wall_sec"`
+	MaxPacerLagMs  float64        `json:"max_pacer_lag_ms"`
+	Phases         []PhaseReport  `json:"phases"`
+	Total          PhaseReport    `json:"total"`
+	Reconciliation Reconciliation `json:"reconciliation"`
+}
+
+// outcome is one dispatched request's client-side record.
+type outcome struct {
+	phase   int
+	kind    ReqKind
+	latency time.Duration
+	class   outcomeClass
+	hit     bool
+	degr    bool
+}
+
+type outcomeClass int
+
+const (
+	classOK outcomeClass = iota
+	classShed
+	classDeadline
+	classCanceled
+	classError
+	classUpdateOK
+	classUpdateError
+)
+
+// classify maps a request error onto the service's declared failure
+// vocabulary.
+func classify(err error) outcomeClass {
+	switch {
+	case err == nil:
+		return classOK
+	case errors.Is(err, serve.ErrOverloaded):
+		return classShed
+	case errors.Is(err, context.DeadlineExceeded):
+		return classDeadline
+	case errors.Is(err, context.Canceled):
+		return classCanceled
+	default:
+		return classError
+	}
+}
+
+// Run executes one open-loop measured window against the target: warm the
+// hit pool, snapshot /metrics, fire the scheduled arrivals (never waiting
+// for responses), wait for every response, snapshot again, aggregate, and
+// reconcile. Every dispatched request resolves into exactly one outcome —
+// the zero-lost-responses contract the e2e test pins.
+func Run(target Target, opts RunOptions) (Report, error) {
+	if len(opts.Phases) == 0 {
+		return Report{}, errors.New("load: no phases")
+	}
+	wk, err := NewWorkload(opts.Mix)
+	if err != nil {
+		return Report{}, err
+	}
+	arrivals, err := Schedule(opts.Seed, opts.Phases)
+	if err != nil {
+		return Report{}, err
+	}
+	plan := wk.Plan(arrivals)
+
+	if !opts.SkipWarm {
+		for _, inst := range wk.Pool() {
+			if _, err := target.Predict(context.Background(), inst); err != nil {
+				return Report{}, fmt.Errorf("load: warm-up predict: %w", err)
+			}
+		}
+	}
+
+	before, err := target.Metrics()
+	if err != nil {
+		return Report{}, err
+	}
+
+	outcomes := make([]outcome, len(plan))
+	var wg sync.WaitGroup
+	var lagMu sync.Mutex
+	maxLag := time.Duration(0)
+	t0 := time.Now()
+	for i := range plan {
+		// Open loop: sleep to the arrival's absolute offset regardless of
+		// outstanding responses. A late pacer fires immediately and the
+		// lag is reported, never silently absorbed into the offered rate.
+		wait := arrivals[i].At - time.Since(t0)
+		if wait > 0 {
+			time.Sleep(wait)
+		} else if -wait > maxLag {
+			lagMu.Lock()
+			if -wait > maxLag {
+				maxLag = -wait
+			}
+			lagMu.Unlock()
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outcomes[i] = dispatch(target, plan[i], arrivals[i].Phase, opts.Timeout)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+
+	after, err := target.Metrics()
+	if err != nil {
+		return Report{}, err
+	}
+
+	rep := aggregate(opts, arrivals, outcomes)
+	rep.WallSec = wall.Seconds()
+	rep.MaxPacerLagMs = ms(maxLag)
+	rep.Reconciliation = reconcile(rep.Total, before, after)
+	return rep, nil
+}
+
+// dispatch issues one request and records its client-side outcome.
+func dispatch(target Target, req Request, phase int, timeout time.Duration) outcome {
+	o := outcome{phase: phase, kind: req.Kind}
+	start := time.Now()
+	switch req.Kind {
+	case KindUpdate:
+		_, err := target.Update(req.Update)
+		o.latency = time.Since(start)
+		if err != nil {
+			o.class = classUpdateError
+		} else {
+			o.class = classUpdateOK
+		}
+	default:
+		ctx := context.Background()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		pred, err := target.Predict(ctx, req.Inst)
+		o.latency = time.Since(start)
+		o.class = classify(err)
+		if err == nil {
+			o.hit = pred.CacheHit
+			o.degr = pred.Degraded
+		}
+	}
+	return o
+}
+
+func aggregate(opts RunOptions, arrivals []Arrival, outcomes []outcome) Report {
+	rep := Report{Seed: opts.Seed}
+	perPhase := make([][]time.Duration, len(opts.Phases))
+	reports := make([]PhaseReport, len(opts.Phases))
+	for i, ph := range opts.Phases {
+		reports[i] = PhaseReport{Name: ph.Name, OfferedQPS: ph.Rate, DurationSec: ph.Duration.Seconds()}
+	}
+	var totalLat []time.Duration
+	total := PhaseReport{Name: "total"}
+	for _, ph := range opts.Phases {
+		total.DurationSec += ph.Duration.Seconds()
+	}
+	for _, o := range outcomes {
+		pr := &reports[o.phase]
+		tally(pr, o)
+		tally(&total, o)
+		if o.class == classOK {
+			perPhase[o.phase] = append(perPhase[o.phase], o.latency)
+			totalLat = append(totalLat, o.latency)
+		}
+	}
+	for i := range reports {
+		if reports[i].DurationSec > 0 {
+			reports[i].AchievedQPS = float64(reports[i].Sent) / reports[i].DurationSec
+		}
+		reports[i].Latency = latencyStats(perPhase[i])
+	}
+	if total.DurationSec > 0 {
+		total.AchievedQPS = float64(total.Sent) / total.DurationSec
+	}
+	total.Latency = latencyStats(totalLat)
+	if len(arrivals) > 0 {
+		total.OfferedQPS = float64(len(arrivals)) / total.DurationSec
+	}
+	rep.Phases = reports
+	rep.Total = total
+	return rep
+}
+
+func tally(pr *PhaseReport, o outcome) {
+	pr.Sent++
+	switch o.class {
+	case classUpdateOK:
+		pr.Updates++
+		pr.UpdateOK++
+		return
+	case classUpdateError:
+		pr.Updates++
+		pr.UpdateErrors++
+		return
+	}
+	pr.Predicts++
+	switch o.class {
+	case classOK:
+		pr.OK++
+		if o.hit {
+			pr.CacheHits++
+		}
+		if o.degr {
+			pr.Degraded++
+		}
+	case classShed:
+		pr.Shed++
+	case classDeadline:
+		pr.DeadlineExceeded++
+	case classCanceled:
+		pr.Canceled++
+	case classError:
+		pr.Errors++
+	}
+}
+
+// reconcile diffs the server's counters across the measured window against
+// the client's totals. The serving contract makes every pair exact: each
+// predict increments requests exactly once, each failure increments errors
+// exactly once on the same path that returns it to this client, and
+// updates are accounted separately from predicts.
+func reconcile(total PhaseReport, before, after serve.Snapshot) Reconciliation {
+	r := Reconciliation{
+		PredictsSent:  uint64(total.Predicts),
+		RequestsDelta: after.Requests - before.Requests,
+
+		PredictErrors: uint64(total.Shed + total.DeadlineExceeded + total.Canceled + total.Errors),
+		ErrorsDelta:   after.Errors - before.Errors,
+
+		Shed:      uint64(total.Shed),
+		ShedDelta: after.Shed - before.Shed,
+
+		DeadlineExceeded: uint64(total.DeadlineExceeded),
+		DeadlineDelta:    after.DeadlineExceeded - before.DeadlineExceeded,
+
+		UpdatesSent:  uint64(total.Updates),
+		UpdatesDelta: after.Updates - before.Updates,
+
+		UpdateErrors:      uint64(total.UpdateErrors),
+		UpdateErrorsDelta: after.UpdateErrors - before.UpdateErrors,
+	}
+	r.check("predicts", r.PredictsSent, r.RequestsDelta)
+	r.check("predict errors", r.PredictErrors, r.ErrorsDelta)
+	r.check("shed", r.Shed, r.ShedDelta)
+	r.check("deadline exceeded", r.DeadlineExceeded, r.DeadlineDelta)
+	r.check("updates", r.UpdatesSent, r.UpdatesDelta)
+	r.check("update errors", r.UpdateErrors, r.UpdateErrorsDelta)
+	r.Clean = len(r.Mismatches) == 0
+	return r
+}

@@ -1,0 +1,112 @@
+// Package load is an open-loop load-generation and capacity-search harness
+// for the serving stack. It drives a real serve.Server — in-process or over
+// HTTP — with a deterministic Poisson arrival process through configurable
+// rate ramps and workload mixes (graph sizes, cache hit/miss, /predict vs
+// /update), measures latency from client-side timestamps, and reconciles
+// its own request accounting against the server's /metrics counters.
+//
+// Open loop means arrivals are scheduled by the clock, not by responses: a
+// slow server does not throttle the generator, it accumulates queueing —
+// exactly how overload manifests in production. Closed-loop generators
+// (fixed worker count, next request after the last response) hide the
+// retrograde part of the latency-throughput curve behind coordinated
+// omission; the capacity search below needs to see it.
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Phase is one segment of an offered-rate ramp: hold Rate arrivals/second
+// for Duration.
+type Phase struct {
+	Name     string
+	Rate     float64 // offered arrivals per second; must be > 0
+	Duration time.Duration
+}
+
+// Arrival is one scheduled request: an offset from the run's start and the
+// phase it belongs to.
+type Arrival struct {
+	At    time.Duration
+	Phase int
+}
+
+// Schedule materialises the deterministic open-loop arrival process for a
+// sequence of phases: within each phase, interarrival gaps are exponential
+// with mean 1/Rate (a Poisson process — the memoryless arrivals of
+// aggregated independent clients), drawn from a generator seeded with
+// seed, so a fixed seed yields a bit-identical arrival timeline on every
+// run. Phase boundaries are hard: the first arrival of phase k+1 restarts
+// the exponential clock at the boundary, so each phase's offered rate is
+// exactly its own.
+func Schedule(seed int64, phases []Phase) ([]Arrival, error) {
+	for i, ph := range phases {
+		if ph.Rate <= 0 {
+			return nil, fmt.Errorf("load: phase %d (%q) rate %v must be > 0", i, ph.Name, ph.Rate)
+		}
+		if ph.Duration <= 0 {
+			return nil, fmt.Errorf("load: phase %d (%q) duration %v must be > 0", i, ph.Name, ph.Duration)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var arrivals []Arrival
+	base := time.Duration(0)
+	for pi, ph := range phases {
+		// Exponential interarrivals accumulated in float seconds; the first
+		// gap starts at the phase boundary.
+		elapsed := 0.0
+		limit := ph.Duration.Seconds()
+		for {
+			elapsed += rng.ExpFloat64() / ph.Rate
+			if elapsed >= limit {
+				break
+			}
+			arrivals = append(arrivals, Arrival{
+				At:    base + time.Duration(elapsed*float64(time.Second)),
+				Phase: pi,
+			})
+		}
+		base += ph.Duration
+	}
+	return arrivals, nil
+}
+
+// ParsePhases parses a ramp spec of the form "100x2s,250x5s,100x2s": a
+// comma-separated list of rate×duration segments. Single-phase shorthand
+// "250x10s" works too.
+func ParsePhases(spec string) ([]Phase, error) {
+	var phases []Phase
+	for i, seg := range splitNonEmpty(spec, ',') {
+		var rate float64
+		var durStr string
+		if _, err := fmt.Sscanf(seg, "%gx%s", &rate, &durStr); err != nil {
+			return nil, fmt.Errorf("load: phase segment %q (want RATExDURATION, e.g. 100x2s): %v", seg, err)
+		}
+		dur, err := time.ParseDuration(durStr)
+		if err != nil {
+			return nil, fmt.Errorf("load: phase segment %q: %v", seg, err)
+		}
+		phases = append(phases, Phase{Name: fmt.Sprintf("phase%d", i), Rate: rate, Duration: dur})
+	}
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("load: empty phase spec %q", spec)
+	}
+	return phases, nil
+}
+
+func splitNonEmpty(s string, sep byte) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == sep {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

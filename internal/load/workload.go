@@ -1,0 +1,289 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mega/internal/datasets"
+	"mega/internal/graph"
+	"mega/internal/serve"
+)
+
+// SizeClass describes one graph population in the mix: random trees on
+// Nodes vertices with ExtraEdges additional chords (connected, undirected,
+// mildly cyclic — the molecular-graph regime the models are trained on),
+// drawn with probability proportional to Weight.
+type SizeClass struct {
+	Nodes      int     `json:"nodes"`
+	ExtraEdges int     `json:"extra_edges"`
+	Weight     float64 `json:"weight"`
+}
+
+// MixOptions shapes the request stream.
+type MixOptions struct {
+	// Seed drives every workload draw (graph shapes, features, mix
+	// choices); fixed seed, fixed plan.
+	Seed int64 `json:"seed"`
+	// Sizes is the graph-size mix (default: 32/96/224-node classes
+	// weighted 0.6/0.3/0.1).
+	Sizes []SizeClass `json:"sizes"`
+	// HitFraction is the fraction of predict requests aimed at the warm
+	// pool of PoolSize graphs per size class — after warm-up those are
+	// path-representation cache hits. The rest carry a fresh topology each
+	// (a cold traversal). Default 0.7.
+	HitFraction float64 `json:"hit_fraction"`
+	// UpdateFraction is the fraction of all requests that are /update
+	// mutations (each against its own base graph, exercising session
+	// adoption plus one incremental repair). Default 0.
+	UpdateFraction float64 `json:"update_fraction"`
+	// PoolSize is the number of warm graphs per size class (default 8).
+	PoolSize int `json:"pool_size"`
+	// NodeTypes/EdgeTypes bound the categorical features sampled onto
+	// generated graphs; they must not exceed the served checkpoint's
+	// vocabularies. Default 1 (all-zero features, valid for any model).
+	NodeTypes int `json:"node_types"`
+	EdgeTypes int `json:"edge_types"`
+}
+
+func (o MixOptions) withDefaults() MixOptions {
+	if len(o.Sizes) == 0 {
+		o.Sizes = []SizeClass{
+			{Nodes: 32, ExtraEdges: 6, Weight: 0.6},
+			{Nodes: 96, ExtraEdges: 18, Weight: 0.3},
+			{Nodes: 224, ExtraEdges: 40, Weight: 0.1},
+		}
+	}
+	if o.HitFraction == 0 {
+		o.HitFraction = 0.7
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = 8
+	}
+	if o.NodeTypes <= 0 {
+		o.NodeTypes = 1
+	}
+	if o.EdgeTypes <= 0 {
+		o.EdgeTypes = 1
+	}
+	return o
+}
+
+// ReqKind classifies one planned request.
+type ReqKind int
+
+const (
+	// KindPredictHit posts a warm-pool graph to /predict (a cache hit
+	// after warm-up).
+	KindPredictHit ReqKind = iota
+	// KindPredictMiss posts a fresh unique topology to /predict (a cold
+	// traversal).
+	KindPredictMiss
+	// KindUpdate posts a self-contained mutation batch to /update: a fresh
+	// base graph plus one edge insert.
+	KindUpdate
+)
+
+func (k ReqKind) String() string {
+	switch k {
+	case KindPredictHit:
+		return "predict-hit"
+	case KindPredictMiss:
+		return "predict-miss"
+	case KindUpdate:
+		return "update"
+	default:
+		return fmt.Sprintf("ReqKind(%d)", int(k))
+	}
+}
+
+// Request is one planned unit of work, self-contained so dispatch needs no
+// shared mutable state.
+type Request struct {
+	Kind   ReqKind
+	Inst   datasets.Instance   // predicts
+	Update serve.UpdateRequest // updates
+}
+
+// Workload precomputes the warm pool and plans deterministic request
+// streams over arrival schedules.
+type Workload struct {
+	opts MixOptions
+	pool []datasets.Instance
+	// cumWeight is the normalised cumulative size-class distribution.
+	cumWeight []float64
+}
+
+// NewWorkload validates the mix and materialises the warm pool.
+func NewWorkload(opts MixOptions) (*Workload, error) {
+	opts = opts.withDefaults()
+	if opts.HitFraction < 0 || opts.HitFraction > 1 {
+		return nil, fmt.Errorf("load: HitFraction %v outside [0,1]", opts.HitFraction)
+	}
+	if opts.UpdateFraction < 0 || opts.UpdateFraction > 1 {
+		return nil, fmt.Errorf("load: UpdateFraction %v outside [0,1]", opts.UpdateFraction)
+	}
+	total := 0.0
+	for i, sc := range opts.Sizes {
+		if sc.Nodes < 2 {
+			return nil, fmt.Errorf("load: size class %d has %d nodes (want >= 2)", i, sc.Nodes)
+		}
+		if opts.UpdateFraction > 0 && sc.Nodes < 3 {
+			return nil, fmt.Errorf("load: size class %d has %d nodes; update mixes need >= 3 (a 2-vertex graph has no insertable edge)", i, sc.Nodes)
+		}
+		if sc.Weight <= 0 {
+			return nil, fmt.Errorf("load: size class %d weight %v must be > 0", i, sc.Weight)
+		}
+		total += sc.Weight
+	}
+	w := &Workload{opts: opts}
+	cum := 0.0
+	for _, sc := range opts.Sizes {
+		cum += sc.Weight / total
+		w.cumWeight = append(w.cumWeight, cum)
+	}
+	// The warm pool is drawn from a dedicated generator so pool membership
+	// is independent of how many plans are cut from this workload.
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for _, sc := range opts.Sizes {
+		for i := 0; i < opts.PoolSize; i++ {
+			w.pool = append(w.pool, w.instance(rng, sc))
+		}
+	}
+	return w, nil
+}
+
+// Pool returns the warm-pool instances (the cache-hit population); the
+// runner predicts each once before the measured window.
+func (w *Workload) Pool() []datasets.Instance { return w.pool }
+
+// Plan assigns a request to every arrival, deterministically from the
+// workload seed and the arrival count. Fresh-topology requests draw new
+// graphs per call, so two plans from one workload do not share miss
+// fingerprints.
+func (w *Workload) Plan(arrivals []Arrival) []Request {
+	// Offset the stream seed so plan draws never collide with pool draws.
+	rng := rand.New(rand.NewSource(w.opts.Seed + 0x9e3779b9))
+	reqs := make([]Request, len(arrivals))
+	for i := range arrivals {
+		u := rng.Float64()
+		switch {
+		case u < w.opts.UpdateFraction:
+			reqs[i] = w.planUpdate(rng)
+		case rng.Float64() < w.opts.HitFraction:
+			reqs[i] = Request{Kind: KindPredictHit, Inst: w.pool[rng.Intn(len(w.pool))]}
+		default:
+			reqs[i] = Request{Kind: KindPredictMiss, Inst: w.instance(rng, w.sizeClass(rng))}
+		}
+	}
+	return reqs
+}
+
+func (w *Workload) sizeClass(rng *rand.Rand) SizeClass {
+	u := rng.Float64()
+	for i, cw := range w.cumWeight {
+		if u < cw {
+			return w.opts.Sizes[i]
+		}
+	}
+	return w.opts.Sizes[len(w.opts.Sizes)-1]
+}
+
+// instance builds one connected random graph with in-vocabulary features.
+func (w *Workload) instance(rng *rand.Rand, sc SizeClass) datasets.Instance {
+	g := randGraph(rng, sc.Nodes, sc.ExtraEdges)
+	nf := make([]int32, g.NumNodes())
+	for i := range nf {
+		nf[i] = int32(rng.Intn(w.opts.NodeTypes))
+	}
+	ef := make([]int32, g.NumEdges())
+	for i := range ef {
+		ef[i] = int32(rng.Intn(w.opts.EdgeTypes))
+	}
+	return datasets.Instance{G: g, NodeFeat: nf, EdgeFeat: ef}
+}
+
+// planUpdate builds a self-contained /update: a fresh base graph and one
+// absent edge to insert.
+func (w *Workload) planUpdate(rng *rand.Rand) Request {
+	sc := w.sizeClass(rng)
+	g := randGraph(rng, sc.Nodes, sc.ExtraEdges)
+	base := &serve.GraphRequest{NumNodes: g.NumNodes(), Edges: edgePairs(g)}
+	req := serve.UpdateRequest{Base: base}
+	n := g.NumNodes()
+	if g.NumEdges() >= n*(n-1)/2 {
+		// Complete graph (possible only when ExtraEdges saturates a tiny
+		// class): nothing to insert, delete a chord instead. n >= 3, so the
+		// graph stays connected.
+		e := g.EdgeAt(g.NumEdges() - 1)
+		req.Remove = [][2]int32{{int32(e.Src), int32(e.Dst)}}
+	} else {
+		req.Add = [][2]int32{absentEdge(rng, g)}
+	}
+	return Request{Kind: KindUpdate, Update: req}
+}
+
+// randGraph samples a random tree on n vertices plus extra distinct chords:
+// connected, undirected, no self loops.
+func randGraph(rng *rand.Rand, n, extra int) *graph.Graph {
+	g := graph.RandomTree(rng, n)
+	if extra <= 0 {
+		return g
+	}
+	edges := g.Edges()
+	seen := make(map[[2]graph.NodeID]bool, len(edges)+extra)
+	for _, e := range edges {
+		a, b := e.Src, e.Dst
+		if a > b {
+			a, b = b, a
+		}
+		seen[[2]graph.NodeID{a, b}] = true
+	}
+	maxExtra := n*(n-1)/2 - len(edges)
+	if extra > maxExtra {
+		extra = maxExtra
+	}
+	for added := 0; added < extra; {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]graph.NodeID{u, v}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		edges = append(edges, graph.Edge{Src: u, Dst: v})
+		added++
+	}
+	return graph.MustNew(n, edges, false)
+}
+
+// absentEdge finds an edge not present in g (and not a self loop).
+func absentEdge(rng *rand.Rand, g *graph.Graph) [2]int32 {
+	n := g.NumNodes()
+	for {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int32{int32(u), int32(v)}
+	}
+}
+
+// edgePairs converts a graph's edge list to the wire format, preserving
+// stored order (the byte-level fingerprint is order-sensitive).
+func edgePairs(g *graph.Graph) [][2]int32 {
+	out := make([][2]int32, g.NumEdges())
+	for i, e := range g.Edges() {
+		out[i] = [2]int32{int32(e.Src), int32(e.Dst)}
+	}
+	return out
+}

@@ -49,14 +49,19 @@ type batcher struct {
 	out      chan []*pending
 	maxBatch int
 	maxWait  time.Duration
+	clock    Clock
 }
 
-func newBatcher(maxBatch int, maxWait time.Duration, queueDepth int) *batcher {
+func newBatcher(maxBatch int, maxWait time.Duration, queueDepth int, clock Clock) *batcher {
+	if clock == nil {
+		clock = wallClock{}
+	}
 	return &batcher{
 		in:       make(chan *pending, queueDepth),
 		out:      make(chan []*pending),
 		maxBatch: maxBatch,
 		maxWait:  maxWait,
+		clock:    clock,
 	}
 }
 
@@ -66,9 +71,9 @@ func newBatcher(maxBatch int, maxWait time.Duration, queueDepth int) *batcher {
 func (b *batcher) run() {
 	defer close(b.out)
 	var batch []*pending
-	timer := time.NewTimer(0)
+	timer := b.clock.NewTimer(0)
 	if !timer.Stop() {
-		<-timer.C
+		<-timer.C()
 	}
 	flush := func() {
 		if len(batch) > 0 {
@@ -94,7 +99,7 @@ func (b *batcher) run() {
 		case p, ok := <-b.in:
 			if !ok {
 				if !timer.Stop() {
-					<-timer.C
+					<-timer.C()
 				}
 				flush()
 				return
@@ -102,11 +107,11 @@ func (b *batcher) run() {
 			batch = append(batch, p)
 			if len(batch) >= b.maxBatch {
 				if !timer.Stop() {
-					<-timer.C
+					<-timer.C()
 				}
 				flush()
 			}
-		case <-timer.C:
+		case <-timer.C():
 			flush()
 		}
 	}

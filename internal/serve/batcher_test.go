@@ -5,8 +5,8 @@ import (
 	"time"
 )
 
-func startBatcher(maxBatch int, maxWait time.Duration) *batcher {
-	b := newBatcher(maxBatch, maxWait, 64)
+func startBatcher(maxBatch int, maxWait time.Duration, clock Clock) *batcher {
+	b := newBatcher(maxBatch, maxWait, 64, clock)
 	go b.run()
 	return b
 }
@@ -14,7 +14,7 @@ func startBatcher(maxBatch int, maxWait time.Duration) *batcher {
 func TestBatcherFlushesOnMaxBatch(t *testing.T) {
 	// maxWait far beyond the test deadline: only the size trigger can
 	// flush.
-	b := startBatcher(3, time.Hour)
+	b := startBatcher(3, time.Hour, nil)
 	defer close(b.in)
 	for i := 0; i < 3; i++ {
 		b.in <- &pending{enqueued: time.Now()}
@@ -30,7 +30,7 @@ func TestBatcherFlushesOnMaxBatch(t *testing.T) {
 }
 
 func TestBatcherFlushesOnMaxWait(t *testing.T) {
-	b := startBatcher(100, 10*time.Millisecond)
+	b := startBatcher(100, 10*time.Millisecond, nil)
 	defer close(b.in)
 	b.in <- &pending{enqueued: time.Now()}
 	select {
@@ -43,8 +43,124 @@ func TestBatcherFlushesOnMaxWait(t *testing.T) {
 	}
 }
 
+// TestBatcherMaxWaitDeterministic drives the MaxWait flush with a manual
+// clock: an open batch must hold exactly until the deadline — no flush one
+// tick before it, a flush the moment it is reached — with no wall-time
+// sleeps anywhere in the test.
+func TestBatcherMaxWaitDeterministic(t *testing.T) {
+	clock := NewManualClock(time.Unix(0, 0))
+	b := startBatcher(100, 10*time.Millisecond, clock)
+	defer close(b.in)
+
+	b.in <- &pending{enqueued: clock.Now()}
+	b.in <- &pending{enqueued: clock.Now()}
+	// The batch opener arms the timer inside the dispatcher goroutine;
+	// wait until it is armed and both requests joined the batch before
+	// advancing the clock.
+	awaitArmedAndDrained(t, clock, b)
+
+	// One tick short of MaxWait: the batch must still be open.
+	clock.Advance(10*time.Millisecond - time.Nanosecond)
+	select {
+	case batch := <-b.out:
+		t.Fatalf("batch of %d flushed before MaxWait elapsed", len(batch))
+	default:
+	}
+
+	// The final tick fires the deadline: the held batch flushes.
+	clock.Advance(time.Nanosecond)
+	select {
+	case batch := <-b.out:
+		if len(batch) != 2 {
+			t.Fatalf("batch size = %d, want 2", len(batch))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch never flushed at the MaxWait deadline")
+	}
+}
+
+// TestBatcherMaxWaitRearms pins that each batch opener re-arms the full
+// MaxWait window: a second batch opened after the first flush waits its
+// own full deadline, not a stale remainder of the first.
+func TestBatcherMaxWaitRearms(t *testing.T) {
+	clock := NewManualClock(time.Unix(0, 0))
+	b := startBatcher(100, 5*time.Millisecond, clock)
+	defer close(b.in)
+
+	for round := 0; round < 3; round++ {
+		b.in <- &pending{enqueued: clock.Now()}
+		awaitArmedAndDrained(t, clock, b)
+		clock.Advance(5 * time.Millisecond)
+		select {
+		case batch := <-b.out:
+			if len(batch) != 1 {
+				t.Fatalf("round %d: batch size = %d, want 1", round, len(batch))
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("round %d: batch never flushed", round)
+		}
+	}
+}
+
+// TestBatcherSizeFlushCancelsTimer pins the full-batch path under a manual
+// clock: when the size trigger flushes, the armed timer is stopped, so a
+// later Advance past the old deadline does not flush a phantom batch.
+func TestBatcherSizeFlushCancelsTimer(t *testing.T) {
+	clock := NewManualClock(time.Unix(0, 0))
+	b := startBatcher(2, 10*time.Millisecond, clock)
+	defer close(b.in)
+
+	b.in <- &pending{enqueued: clock.Now()}
+	b.in <- &pending{enqueued: clock.Now()}
+	select {
+	case batch := <-b.out:
+		if len(batch) != 2 {
+			t.Fatalf("batch size = %d, want 2", len(batch))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("full batch never flushed")
+	}
+
+	// Move the clock so the stale deadline (t=10ms) and the fresh batch's
+	// own deadline (t=16ms) are distinguishable, open a fresh batch, then
+	// advance past the stale deadline but short of the fresh one: nothing
+	// may flush — a flush here would be the cancelled timer firing.
+	clock.Advance(6 * time.Millisecond)
+	b.in <- &pending{enqueued: clock.Now()}
+	awaitArmedAndDrained(t, clock, b)
+	clock.Advance(5 * time.Millisecond) // t=11ms: past the stale 10ms deadline
+	select {
+	case batch := <-b.out:
+		t.Fatalf("stale timer flushed a batch of %d", len(batch))
+	default:
+	}
+	clock.Advance(5 * time.Millisecond) // t=16ms: the fresh batch's deadline
+	select {
+	case batch := <-b.out:
+		if len(batch) != 1 {
+			t.Fatalf("batch size = %d, want 1", len(batch))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second batch never flushed at its own deadline")
+	}
+}
+
+// awaitArmedAndDrained blocks until the dispatcher has opened a batch
+// (armed the MaxWait timer) and absorbed every queued request, so a
+// subsequent Advance deterministically races nothing.
+func awaitArmedAndDrained(t *testing.T, clock *ManualClock, b *batcher) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for clock.Armed() == 0 || len(b.in) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dispatcher never armed the MaxWait timer")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
 func TestBatcherDrainsOnClose(t *testing.T) {
-	b := startBatcher(100, time.Hour)
+	b := startBatcher(100, time.Hour, nil)
 	b.in <- &pending{enqueued: time.Now()}
 	b.in <- &pending{enqueued: time.Now()}
 	close(b.in)
@@ -58,7 +174,7 @@ func TestBatcherDrainsOnClose(t *testing.T) {
 }
 
 func TestBatcherSingletonMaxBatch(t *testing.T) {
-	b := startBatcher(1, time.Hour)
+	b := startBatcher(1, time.Hour, nil)
 	defer close(b.in)
 	for i := 0; i < 4; i++ {
 		b.in <- &pending{enqueued: time.Now()}

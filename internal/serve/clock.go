@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the micro-batcher's view of time so tests can drive
+// MaxWait deterministically instead of sleeping real wall time. Production
+// servers use the wall clock (the zero Options); tests inject a
+// ManualClock and advance it explicitly.
+type Clock interface {
+	Now() time.Time
+	// NewTimer arms a one-shot timer that delivers on C after d has
+	// elapsed on this clock.
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer mirrors time.Timer's channel semantics (go.mod pins go1.22: the
+// fire channel is buffered, Stop reports false once the timer has fired,
+// and a fired-but-unreceived value must be drained before Reset).
+type Timer interface {
+	C() <-chan time.Time
+	Stop() bool
+	Reset(d time.Duration) bool
+}
+
+// wallClock is the production Clock: plain time.Now / time.NewTimer.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time                 { return time.Now() }
+func (wallClock) NewTimer(d time.Duration) Timer { return wallTimer{time.NewTimer(d)} }
+
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) C() <-chan time.Time        { return w.t.C }
+func (w wallTimer) Stop() bool                 { return w.t.Stop() }
+func (w wallTimer) Reset(d time.Duration) bool { return w.t.Reset(d) }
+
+// ManualClock is a deterministic Clock for tests: time only moves when
+// Advance is called, and timers fire synchronously inside Advance the
+// moment their deadline is reached. Safe for concurrent use.
+type ManualClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*manualTimer
+}
+
+// NewManualClock starts a manual clock at the given instant.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+// Now reports the clock's current instant.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d, firing every armed timer whose
+// deadline is reached, in deadline order.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	// Fire timers in deadline order so two timers armed for different
+	// deadlines inside one Advance observe a consistent ordering.
+	due := make([]*manualTimer, 0, len(c.timers))
+	for _, t := range c.timers {
+		if t.armed && !t.deadline.After(target) {
+			due = append(due, t)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i].deadline.Before(due[j].deadline) })
+	for _, t := range due {
+		t.armed = false
+		t.fired = true
+		// Buffered(1), mirroring time.Timer: the send never blocks and a
+		// fired-but-unreceived value stays drainable.
+		select {
+		case t.ch <- t.deadline:
+		default:
+		}
+	}
+	c.now = target
+	c.mu.Unlock()
+}
+
+// Armed counts timers currently waiting for a deadline. Tests use it to
+// synchronise with a goroutine that arms a timer asynchronously before
+// advancing the clock.
+func (c *ManualClock) Armed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, t := range c.timers {
+		if t.armed {
+			n++
+		}
+	}
+	return n
+}
+
+// NewTimer arms a one-shot timer d ahead of the clock's current instant.
+func (c *ManualClock) NewTimer(d time.Duration) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &manualTimer{
+		clock:    c,
+		ch:       make(chan time.Time, 1),
+		deadline: c.now.Add(d),
+		armed:    true,
+	}
+	c.timers = append(c.timers, t)
+	return t
+}
+
+type manualTimer struct {
+	clock    *ManualClock
+	ch       chan time.Time
+	deadline time.Time
+	armed    bool
+	fired    bool
+}
+
+func (t *manualTimer) C() <-chan time.Time { return t.ch }
+
+// Stop disarms the timer, reporting whether it was still pending — false
+// once fired, matching time.Timer, so the batcher's drain idiom works
+// against both clocks.
+func (t *manualTimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	was := t.armed
+	t.armed = false
+	return was
+}
+
+// Reset re-arms the timer d ahead of the clock's current instant.
+func (t *manualTimer) Reset(d time.Duration) bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	was := t.armed
+	t.deadline = t.clock.now.Add(d)
+	t.armed = true
+	t.fired = false
+	return was
+}

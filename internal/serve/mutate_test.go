@@ -159,7 +159,10 @@ func TestUpdateEndToEnd(t *testing.T) {
 
 	// A second server over the same loaded model preprocesses the mutated
 	// graph from scratch; bit-identity is the acceptance criterion.
-	fresh := New(s.model, s.meta, Options{MaxBatch: 1})
+	fresh, err := New(s.model, s.meta, Options{MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer fresh.Close()
 	mi := inst
 	mi.G = mg
@@ -330,7 +333,10 @@ func TestUpdateErrorMapping(t *testing.T) {
 	}
 
 	// Non-MEGA servers cannot maintain representations: 501.
-	dgl := New(s.model, s.meta, Options{Engine: models.EngineDGL, MaxBatch: 1})
+	dgl, err := New(s.model, s.meta, Options{Engine: models.EngineDGL, MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer dgl.Close()
 	dts := httptest.NewServer(dgl.Handler())
 	defer dts.Close()
@@ -380,7 +386,10 @@ func TestUpdateShardedBitIdentity(t *testing.T) {
 	if !got.CacheHit {
 		t.Error("sharded predict should hit the published repaired rep")
 	}
-	mono := New(s.model, s.meta, Options{MaxBatch: 1})
+	mono, err := New(s.model, s.meta, Options{MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer mono.Close()
 	want, err := mono.Predict(mi)
 	if err != nil {

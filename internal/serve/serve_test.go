@@ -172,7 +172,10 @@ func TestClassificationLabel(t *testing.T) {
 		t.Fatal(err)
 	}
 	meta := train.Checkpoint{Model: "GT", Config: cfg, Task: datasets.TaskClassification, Dataset: "CYCLES"}
-	s := New(model, meta, Options{MaxBatch: 1})
+	s, err := New(model, meta, Options{MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Close()
 	ds := datasets.CYCLES(datasets.Config{TrainSize: 1, ValSize: 2, TestSize: 1, Seed: 5})
 	pred, err := s.Predict(ds.Val[0])

@@ -90,10 +90,37 @@ type Options struct {
 	// MutationPolicy tunes the patch-vs-rebuild decision for incremental
 	// repairs (zero value = the dynamic package defaults).
 	MutationPolicy dynamic.Policy
+	// Clock drives the micro-batcher's MaxWait timing. nil means the wall
+	// clock; tests inject a ManualClock to make flush timing deterministic.
+	Clock Clock
 
 	// cacheSet marks CacheCapacity as deliberately chosen, letting 0 mean
 	// "disabled" rather than "default".
 	cacheSet bool
+}
+
+// ErrBadOptions rejects an Options value New cannot honour. The
+// constructor refuses outright instead of silently falling back to a
+// default — a misconfigured knob that quietly serves with different
+// batching or no sharding would invalidate every capacity number measured
+// against it.
+var ErrBadOptions = errors.New("serve: invalid options")
+
+// Validate checks the knobs that used to fall back silently. MaxWait < 0
+// has no meaning (0 selects the default); ShardWorkers must divide the 8
+// canonical path µchunks (2, 4, or 8 — the shard engine's invariant), with
+// <= 1 meaning disabled.
+func (o Options) Validate() error {
+	if o.MaxWait < 0 {
+		return fmt.Errorf("%w: MaxWait %v is negative (0 selects the default)", ErrBadOptions, o.MaxWait)
+	}
+	if o.ShardWorkers < 0 {
+		return fmt.Errorf("%w: ShardWorkers %d is negative (0 disables sharding)", ErrBadOptions, o.ShardWorkers)
+	}
+	if o.ShardWorkers > 1 && 8%o.ShardWorkers != 0 {
+		return fmt.Errorf("%w: ShardWorkers %d does not divide the 8 path µchunks (want 2, 4, or 8)", ErrBadOptions, o.ShardWorkers)
+	}
+	return nil
 }
 
 // WithCacheCapacity returns o with an explicit cache bound; use capacity 0
@@ -214,8 +241,12 @@ var (
 
 // New starts the dispatcher and worker pool around a loaded model. meta
 // must describe model (its Config validates request vocabularies and sets
-// the output interpretation).
-func New(model models.Model, meta train.Checkpoint, opts Options) *Server {
+// the output interpretation). Invalid knob combinations are rejected with
+// ErrBadOptions rather than silently adjusted (see Options.Validate).
+func New(model models.Model, meta train.Checkpoint, opts Options) (*Server, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	compute.SetMaxThreads(opts.ComputeBudget)
 	s := &Server{
@@ -224,7 +255,7 @@ func New(model models.Model, meta train.Checkpoint, opts Options) *Server {
 		opts:         opts,
 		cache:        NewRepCache(opts.CacheCapacity),
 		metrics:      NewMetrics(),
-		batcher:      newBatcher(opts.MaxBatch, opts.MaxWait, opts.QueueDepth),
+		batcher:      newBatcher(opts.MaxBatch, opts.MaxWait, opts.QueueDepth, opts.Clock),
 		mutators:     newMutatorPool(opts.MutationSessions),
 		arena:        tensor.NewArena(),
 		shutdownDone: make(chan struct{}),
@@ -243,7 +274,7 @@ func New(model models.Model, meta train.Checkpoint, opts Options) *Server {
 	for i := 0; i < opts.Workers; i++ {
 		s.startWorker()
 	}
-	return s
+	return s, nil
 }
 
 // startWorker launches one forward-pass worker. A panic that escapes the
@@ -281,7 +312,7 @@ func NewFromCheckpointFile(path string, opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return New(model, meta, opts), nil
+	return New(model, meta, opts)
 }
 
 // NewFromCheckpointDir serves the newest good checkpoint in a megatrain
@@ -293,10 +324,18 @@ func NewFromCheckpointDir(dir string, opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := New(model, meta, opts)
+	s, err := New(model, meta, opts)
+	if err != nil {
+		return nil, err
+	}
 	s.metrics.checkpointRecoveries.Add(uint64(len(rep.Quarantined)))
 	return s, nil
 }
+
+// EffectiveOptions reports the options the server actually runs with,
+// after defaulting — the knob record a capacity benchmark should attribute
+// its numbers to.
+func (s *Server) EffectiveOptions() Options { return s.opts }
 
 // Meta returns the checkpoint description being served.
 func (s *Server) Meta() train.Checkpoint { return s.meta }
