@@ -13,6 +13,7 @@
 // Flags:
 //
 //	megaserve -checkpoint model.ckpt [-addr :8391] [-engine mega|dgl]
+//	          [-precision f64|f32]
 //	          [-max-batch 16] [-max-wait 2ms] [-workers 0]
 //	          [-cache 4096] [-log-every 30s]
 //	          [-checkpoint-dir dir] [-queue 256] [-deadline 0]
@@ -32,6 +33,13 @@
 // -shard-threshold) through the shard-parallel execution engine; answers
 // stay bit-identical to the single-engine pass, and per-worker timing plus
 // exchange traffic appear on /metrics.
+//
+// -precision f32 serves MEGA batches through the float32 fast path: the
+// checkpoint's parameters are downcast once at load and the forward pass
+// runs tape-free float32 kernels in the head-major attention layout.
+// Answers carry "precision":"f32" and stay within a measured ULP envelope
+// of the float64 forward (see BENCH_precision.json); degraded fallback
+// answers always run float64. Only GT and GAT checkpoints qualify.
 //
 // POST /update maintains path representations incrementally for evolving
 // graphs: a batch of edge inserts/deletes against a cached fingerprint
@@ -74,6 +82,7 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 	ckptDir := fs.String("checkpoint-dir", "", "megatrain checkpoint directory; serves the newest good checkpoint (alternative to -checkpoint)")
 	addr := fs.String("addr", ":8391", "HTTP listen address")
 	engine := fs.String("engine", "mega", "attention engine: dgl or mega")
+	precision := fs.String("precision", "f64", "inference arithmetic: f64 (training-grade) or f32 (fast path, GT/GAT only)")
 	maxBatch := fs.Int("max-batch", 16, "max requests packed into one forward pass")
 	maxWait := fs.Duration("max-wait", 2*time.Millisecond, "max time an open batch waits before flushing")
 	workers := fs.Int("workers", 0, "forward-pass workers (0 = GOMAXPROCS)")
@@ -109,6 +118,7 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 		ShardWorkers:         *shardWorkers,
 		ShardVertexThreshold: *shardThreshold,
 		MutationSessions:     *mutationSessions,
+		Precision:            *precision,
 	}.WithCacheCapacity(*cacheCap)
 	switch *engine {
 	case "dgl":
@@ -144,8 +154,8 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "listening on %s (engine %s, max-batch %d, max-wait %v, cache %d)\n",
-		ln.Addr(), *engine, *maxBatch, *maxWait, *cacheCap)
+	fmt.Fprintf(stdout, "listening on %s (engine %s, precision %s, max-batch %d, max-wait %v, cache %d)\n",
+		ln.Addr(), *engine, *precision, *maxBatch, *maxWait, *cacheCap)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

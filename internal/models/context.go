@@ -83,6 +83,10 @@ type Context struct {
 	nodeGraph    []int32 // node slot → member-graph index
 	numNodeSlots int     // total node slots across the batch
 	maxWindow    int     // widest band half-width ω in the batch
+	// syncPositions lists the rows belonging to duplicate groups (empty
+	// means Sync is the identity); the tape-free f32 forward consults it
+	// directly instead of going through the Sync closure.
+	syncPositions []int32
 
 	// Lazily-built CSR groupings of the pair list, shared by every fused
 	// attention layer and step over this context.

@@ -2,6 +2,7 @@ package models
 
 import (
 	"fmt"
+	"sync"
 
 	"mega/internal/band"
 	"mega/internal/compute"
@@ -66,6 +67,12 @@ func (o MegaOptions) TraverseOptions() traverse.Options { return o.traverseOptio
 type PreparedRep struct {
 	Rep *band.Rep
 	Res *traverse.Result
+
+	// plan is the lazily-built per-graph segment plan (pair lists, CSR
+	// segment groupings, duplicate-group tables) — see plan.go. Built at
+	// most once per rep and shared read-only across batches.
+	planOnce sync.Once
+	plan     *SegmentPlan
 }
 
 // PrepareMega runs the MEGA preprocessing (traversal + band construction)
@@ -130,12 +137,23 @@ func NewMegaContextFromReps(insts []datasets.Instance, preps []*PreparedRep, sim
 				i, p.Res.Graph.NumNodes(), insts[i].G.NumNodes())
 		}
 	}
+	// Per-graph segment plans: built once per rep and reused across every
+	// batch it appears in (the serving cache's amortisation). The plans
+	// carry the pair lists, CSR groupings, and duplicate tables the code
+	// below used to re-derive from the band mask on every forward.
+	plans := make([]*SegmentPlan, len(preps))
+	compute.Parallel(len(preps), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			plans[i] = preps[i].Plan()
+		}
+	})
+
 	totalRows, totalEdges, maxWindow := 0, 0, 1
-	for _, mr := range preps {
-		totalRows += mr.Rep.Len()
-		totalEdges += mr.Res.Graph.NumEdges()
-		if mr.Rep.Window > maxWindow {
-			maxWindow = mr.Rep.Window
+	for _, pl := range plans {
+		totalRows += pl.Rows
+		totalEdges += pl.Edges
+		if pl.Window > maxWindow {
+			maxWindow = pl.Window
 		}
 	}
 
@@ -151,77 +169,62 @@ func NewMegaContextFromReps(insts []datasets.Instance, preps []*PreparedRep, sim
 	rowOff := make([]int32, len(preps)+1)
 	edgeOff := make([]int32, len(preps)+1)
 	nodeOff := make([]int32, len(preps)+1)
-	for gi, mr := range preps {
-		rowOff[gi+1] = rowOff[gi] + int32(mr.Rep.Len())
-		edgeOff[gi+1] = edgeOff[gi] + int32(mr.Res.Graph.NumEdges())
+	for gi, pl := range plans {
+		rowOff[gi+1] = rowOff[gi] + int32(pl.Rows)
+		edgeOff[gi+1] = edgeOff[gi] + int32(pl.Edges)
 		nodeOff[gi+1] = nodeOff[gi] + int32(insts[gi].G.NumNodes())
 	}
 
 	// Offset-major pair enumeration: all offset-1 pairs of every member,
-	// then offset-2, etc. — the sweep order of the banded kernel. The
-	// per-block loops run as count → prefix → fill: mask popcounts in
-	// parallel, a serial prefix scan pinning each (offset, member) block's
-	// slot, then a parallel fill of the preallocated pair arrays. The
-	// layout is identical to the serial append loop at any thread count.
-	counts := make([][]int, len(preps)) // counts[gi][o-1] = set mask bits
-	compute.Parallel(len(preps), func(lo, hi int) {
-		for gi := lo; gi < hi; gi++ {
-			rep := preps[gi].Rep
-			c := make([]int, rep.Window)
-			for o := 1; o <= rep.Window; o++ {
-				for _, on := range rep.Mask[o-1] {
-					if on {
-						c[o-1]++
-					}
-				}
-			}
-			counts[gi] = c
+	// then offset-2, etc. — the sweep order of the banded kernel. Each
+	// member's plan already holds its pairs in this order with per-offset
+	// block boundaries, and a member's local enumeration maps monotonically
+	// into the batch's global one, so assembly is block copies with row /
+	// edge offset adds — byte-identical to the mask re-enumeration it
+	// replaces, at any thread count. A single-graph batch (the serving
+	// cache-hit hot path) skips even the copy and shares the plan's arrays
+	// and segment groupings outright (they are read-only by contract).
+	if len(preps) == 1 {
+		pl := plans[0]
+		ctx.RecvIdx, ctx.SendIdx, ctx.EdgeIdx = pl.Recv, pl.Send, pl.Edge
+		ctx.byRecv, ctx.bySend, ctx.byEdge = pl.ByRecv, pl.BySend, pl.ByEdge
+	} else {
+		type fillJob struct {
+			gi, o int
+			pair  int // directed-pair index of the block's first pair
 		}
-	})
-	type fillJob struct {
-		gi, o int
-		pair  int // enumeration index of the block's first pair
-	}
-	var jobs []fillJob
-	totalPairs := 0
-	for o := 1; o <= maxWindow; o++ {
-		for gi, mr := range preps {
-			if o > mr.Rep.Window {
-				continue
-			}
-			if c := counts[gi][o-1]; c > 0 {
-				jobs = append(jobs, fillJob{gi: gi, o: o, pair: totalPairs})
-				totalPairs += c
-			}
-		}
-	}
-	ctx.RecvIdx = make([]int32, 2*totalPairs)
-	ctx.SendIdx = make([]int32, 2*totalPairs)
-	ctx.EdgeIdx = make([]int32, 2*totalPairs)
-	compute.Parallel(len(jobs), func(jlo, jhi int) {
-		for ji := jlo; ji < jhi; ji++ {
-			job := jobs[ji]
-			mr := preps[job.gi]
-			mask := mr.Rep.Mask[job.o-1]
-			eids := mr.Rep.EdgeID[job.o-1]
-			ro, eo := rowOff[job.gi], edgeOff[job.gi]
-			at := 2 * job.pair
-			for i, on := range mask {
-				if !on {
+		var jobs []fillJob
+		totalPairs := 0
+		for o := 1; o <= maxWindow; o++ {
+			for gi, pl := range plans {
+				if o > pl.Window {
 					continue
 				}
-				lo := ro + int32(i)
-				hi := ro + int32(i+job.o)
-				eid := eo + eids[i]
-				// Both directions share the pair's edge features —
-				// the §III-C symmetric-diagonal reuse.
-				ctx.RecvIdx[at], ctx.RecvIdx[at+1] = lo, hi
-				ctx.SendIdx[at], ctx.SendIdx[at+1] = hi, lo
-				ctx.EdgeIdx[at], ctx.EdgeIdx[at+1] = eid, eid
-				at += 2
+				if c := int(pl.OffsetStart[o] - pl.OffsetStart[o-1]); c > 0 {
+					jobs = append(jobs, fillJob{gi: gi, o: o, pair: totalPairs})
+					totalPairs += c
+				}
 			}
 		}
-	})
+		ctx.RecvIdx = make([]int32, totalPairs)
+		ctx.SendIdx = make([]int32, totalPairs)
+		ctx.EdgeIdx = make([]int32, totalPairs)
+		compute.Parallel(len(jobs), func(jlo, jhi int) {
+			for ji := jlo; ji < jhi; ji++ {
+				job := jobs[ji]
+				pl := plans[job.gi]
+				blo, bhi := pl.OffsetStart[job.o-1], pl.OffsetStart[job.o]
+				ro, eo := rowOff[job.gi], edgeOff[job.gi]
+				at := job.pair
+				for i := blo; i < bhi; i++ {
+					ctx.RecvIdx[at] = pl.Recv[i] + ro
+					ctx.SendIdx[at] = pl.Send[i] + ro
+					ctx.EdgeIdx[at] = pl.Edge[i] + eo
+					at++
+				}
+			}
+		})
+	}
 
 	// Row and edge metadata: every member owns the [rowOff[gi], rowOff[gi+1])
 	// and [edgeOff[gi], edgeOff[gi+1]) stripes, so members fill in parallel.
@@ -235,18 +238,17 @@ func NewMegaContextFromReps(insts []datasets.Instance, preps []*PreparedRep, sim
 	compute.Parallel(len(preps), func(glo, ghi int) {
 		for gi := glo; gi < ghi; gi++ {
 			mr := preps[gi]
+			pl := plans[gi]
 			inst := insts[gi]
 			ro, no, eo := rowOff[gi], nodeOff[gi], edgeOff[gi]
-			for pi, v := range mr.Rep.Path {
+			for pi, v := range pl.PosToNode {
 				ctx.NodeTypeIDs[ro+int32(pi)] = inst.NodeFeat[v]
 				ctx.GraphSeg[ro+int32(pi)] = int32(gi)
 				posToNode[ro+int32(pi)] = no + v
 			}
-			var sync []int32
-			for _, positions := range mr.Rep.SyncGroups() {
-				for _, p := range positions {
-					sync = append(sync, ro+p)
-				}
+			sync := make([]int32, len(pl.SyncPositions))
+			for i, p := range pl.SyncPositions {
+				sync[i] = ro + p
 			}
 			memberSync[gi] = sync
 			// Edge features follow the (possibly edge-dropped) walked graph:
@@ -304,6 +306,7 @@ func NewMegaContextFromReps(insts []datasets.Instance, preps []*PreparedRep, sim
 	ctx.nodeGraph = nodeGraph
 	ctx.numNodeSlots = numNodes
 	ctx.maxWindow = maxWindow
+	ctx.syncPositions = syncPositions
 
 	if sim != nil {
 		prof := NewProf(sim, EngineMega, totalRows, totalEdges, dim)

@@ -1,0 +1,116 @@
+package models
+
+import (
+	"mega/internal/compute"
+	"mega/internal/tensor"
+)
+
+// SegmentPlan is the topology-only part of a MEGA context for one graph,
+// precomputed once per PreparedRep and reused across every batch the rep
+// appears in. Before this existed, every forward re-enumerated the band
+// mask into pair lists and re-ran the counting sorts behind the CSR
+// segment groupings; a cached rep in a serving hot loop paid that on every
+// request. The plan depends only on the band representation (never on
+// features, targets, or batch composition), so it lives next to the rep in
+// the serve cache and survives copy-on-write /update publication — a fresh
+// PreparedRep simply builds a fresh plan on first use.
+//
+// All slices are read-only after construction and safe to share across
+// concurrent forwards; batch assembly copies (with offsets) rather than
+// mutating.
+type SegmentPlan struct {
+	// Recv/Send/Edge are the single-graph directed pair lists in the
+	// canonical offset-major enumeration order (offset ascending, band
+	// index ascending, low→high then high→low direction per masked slot).
+	Recv, Send, Edge []int32
+	// OffsetStart[o] is the first directed-pair index of offset o+1's
+	// block: offset o's pairs are Recv[OffsetStart[o-1]:OffsetStart[o]].
+	// Length Window+1.
+	OffsetStart []int32
+	// ByRecv/BySend/ByEdge are the CSR segment groupings of the pair list
+	// (the duplicate-free single-graph case reuses them directly instead
+	// of re-sorting per batch).
+	ByRecv, BySend, ByEdge *tensor.Segments
+	// PosToNode maps each path position to its node ID (the duplicate-
+	// group table: positions sharing a node synchronise together).
+	PosToNode []int32
+	// SyncPositions lists every position belonging to a duplicate group,
+	// in group order — non-empty iff the path revisits nodes.
+	SyncPositions []int32
+	// Rows/Edges/Nodes/Window size the graph's stripe of a batch.
+	Rows, Edges, Nodes, Window int
+}
+
+// Plan returns the rep's segment plan, building it on first use (thread-
+// safe; serve workers race benignly on the sync.Once).
+func (p *PreparedRep) Plan() *SegmentPlan {
+	p.planOnce.Do(func() { p.plan = buildSegmentPlan(p) })
+	return p.plan
+}
+
+// buildSegmentPlan enumerates one graph's band mask into the canonical
+// pair lists and groups them. The enumeration order is exactly the order
+// NewMegaContextFromReps always produced — the plan is a cache, not a
+// re-derivation, and the batch assembler's output is byte-identical to the
+// pre-plan code (pinned by the training trajectory tests).
+func buildSegmentPlan(mr *PreparedRep) *SegmentPlan {
+	rep := mr.Rep
+	rows := rep.Len()
+	window := rep.Window
+	plan := &SegmentPlan{
+		Rows:   rows,
+		Edges:  mr.Res.Graph.NumEdges(),
+		Nodes:  mr.Res.Graph.NumNodes(),
+		Window: window,
+	}
+
+	plan.OffsetStart = make([]int32, window+1)
+	for o := 1; o <= window; o++ {
+		c := int32(0)
+		for _, on := range rep.Mask[o-1] {
+			if on {
+				c++
+			}
+		}
+		plan.OffsetStart[o] = plan.OffsetStart[o-1] + 2*c
+	}
+	total := int(plan.OffsetStart[window])
+	plan.Recv = make([]int32, total)
+	plan.Send = make([]int32, total)
+	plan.Edge = make([]int32, total)
+	// Offset blocks are disjoint output ranges — fill them in parallel.
+	compute.Parallel(window, func(olo, ohi int) {
+		for o := olo + 1; o <= ohi; o++ {
+			mask := rep.Mask[o-1]
+			eids := rep.EdgeID[o-1]
+			at := int(plan.OffsetStart[o-1])
+			for i, on := range mask {
+				if !on {
+					continue
+				}
+				lo := int32(i)
+				hi := int32(i + o)
+				eid := eids[i]
+				// Both directions share the pair's edge features —
+				// the §III-C symmetric-diagonal reuse.
+				plan.Recv[at], plan.Recv[at+1] = lo, hi
+				plan.Send[at], plan.Send[at+1] = hi, lo
+				plan.Edge[at], plan.Edge[at+1] = eid, eid
+				at += 2
+			}
+		}
+	})
+
+	plan.ByRecv = tensor.BuildSegments(plan.Recv, rows)
+	plan.BySend = tensor.BuildSegments(plan.Send, rows)
+	plan.ByEdge = tensor.BuildSegments(plan.Edge, plan.Edges)
+
+	plan.PosToNode = make([]int32, rows)
+	for pi, v := range rep.Path {
+		plan.PosToNode[pi] = v
+	}
+	for _, positions := range rep.SyncGroups() {
+		plan.SyncPositions = append(plan.SyncPositions, positions...)
+	}
+	return plan
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mega/internal/models"
+	"mega/internal/tensor"
 )
 
 // latencyBounds are the histogram bucket upper bounds, exponential from
@@ -305,6 +306,15 @@ type Snapshot struct {
 	MutationSessions int    `json:"mutation_sessions"`
 
 	Cache CacheStats `json:"cache"`
+
+	// Arena reports the shared scratch arena's occupancy: borrows, bucket
+	// hit/miss rates, and peak resident bytes per precision. A growing
+	// miss rate or peak means steady-state serving is still allocating.
+	Arena tensor.ArenaStats `json:"arena"`
+
+	// Precision is the serving arithmetic ("f64", or "f32" when the
+	// float32 fast path is active).
+	Precision string `json:"precision"`
 
 	QueueLatency      HistogramStats `json:"queue_latency"`
 	PreprocessLatency HistogramStats `json:"preprocess_latency"`

@@ -93,11 +93,26 @@ type Options struct {
 	// Clock drives the micro-batcher's MaxWait timing. nil means the wall
 	// clock; tests inject a ManualClock to make flush timing deterministic.
 	Clock Clock
+	// Precision selects the inference arithmetic: PrecisionF64 (default)
+	// runs the training-grade float64 forward; PrecisionF32 serves MEGA
+	// batches through the frozen float32 fast path (checkpoint parameters
+	// downcast once at load, head-major fused kernels, no autograd tape).
+	// Degraded (fallback-engine) answers always run float64 regardless.
+	// Only models with a float32 path (GT, GAT) accept PrecisionF32.
+	Precision string
 
 	// cacheSet marks CacheCapacity as deliberately chosen, letting 0 mean
 	// "disabled" rather than "default".
 	cacheSet bool
 }
+
+// Precision values for Options.Precision.
+const (
+	// PrecisionF64 serves with the float64 training arithmetic.
+	PrecisionF64 = "f64"
+	// PrecisionF32 serves MEGA batches with the float32 fast path.
+	PrecisionF32 = "f32"
+)
 
 // ErrBadOptions rejects an Options value New cannot honour. The
 // constructor refuses outright instead of silently falling back to a
@@ -119,6 +134,11 @@ func (o Options) Validate() error {
 	}
 	if o.ShardWorkers > 1 && 8%o.ShardWorkers != 0 {
 		return fmt.Errorf("%w: ShardWorkers %d does not divide the 8 path µchunks (want 2, 4, or 8)", ErrBadOptions, o.ShardWorkers)
+	}
+	switch o.Precision {
+	case "", PrecisionF64, PrecisionF32:
+	default:
+		return fmt.Errorf("%w: Precision %q (want %q or %q)", ErrBadOptions, o.Precision, PrecisionF64, PrecisionF32)
 	}
 	return nil
 }
@@ -171,6 +191,9 @@ func (o Options) withDefaults() Options {
 	if o.MutationSessions <= 0 {
 		o.MutationSessions = 64
 	}
+	if o.Precision == "" {
+		o.Precision = PrecisionF64
+	}
 	return o
 }
 
@@ -190,13 +213,21 @@ type Prediction struct {
 	// different attention layout, not an approximation — but may differ
 	// numerically from the MEGA-engine answer on graphs with revisits.
 	Degraded bool `json:"degraded,omitempty"`
+	// Precision is "f32" when the answer came from the float32 fast path;
+	// omitted for float64 answers (including every degraded answer).
+	Precision string `json:"precision,omitempty"`
 }
 
 // Server is a concurrent batched inference service over one trained model.
 // The model's parameters are read-only after load, so any number of
 // workers may run Forward concurrently.
 type Server struct {
-	model    models.Model
+	model models.Model
+	// modelF32 is the frozen float32 twin of model, non-nil only under
+	// Options.Precision == PrecisionF32. Non-degraded MEGA batches run
+	// through it; everything else (degraded fallback, non-MEGA engines)
+	// stays on the float64 model.
+	modelF32 models.ModelF32
 	meta     train.Checkpoint
 	opts     Options
 	cache    *RepCache
@@ -248,9 +279,17 @@ func New(model models.Model, meta train.Checkpoint, opts Options) (*Server, erro
 		return nil, err
 	}
 	opts = opts.withDefaults()
+	var modelF32 models.ModelF32
+	if opts.Precision == PrecisionF32 {
+		var err error
+		if modelF32, err = models.PrepareF32(model); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
+		}
+	}
 	compute.SetMaxThreads(opts.ComputeBudget)
 	s := &Server{
 		model:        model,
+		modelF32:     modelF32,
 		meta:         meta,
 		opts:         opts,
 		cache:        NewRepCache(opts.CacheCapacity),
@@ -349,6 +388,8 @@ func (s *Server) BreakerState() BreakerState { return s.breaker.State() }
 // MetricsSnapshot freezes the service counters and latency histograms.
 func (s *Server) MetricsSnapshot(withBuckets bool) Snapshot {
 	snap := s.metrics.Snapshot(s.cache.Stats(), withBuckets)
+	snap.Arena = s.arena.Stats()
+	snap.Precision = s.opts.Precision
 	snap.MutationSessions = s.mutators.Len()
 	snap.Breaker = string(s.breaker.State())
 	snap.QueueDepth = len(s.batcher.in)
@@ -654,7 +695,19 @@ func (s *Server) forward(batch []*pending, engine models.EngineKind) (preds []Pr
 	}
 	ctx.Scratch = s.arena
 	var out *tensor.Tensor
-	if eng := s.shardEngine(ctx, engine, insts); eng != nil {
+	precision := ""
+	if engine == models.EngineMega && s.modelF32 != nil {
+		// Float32 fast path. The shard engine is a float64 construct;
+		// batches that would have sharded count as fallbacks so capacity
+		// dashboards see the trade explicitly.
+		if s.opts.ShardWorkers > 1 && batchVertices(insts) >= s.opts.ShardVertexThreshold {
+			s.metrics.shardFallbacks.Add(1)
+		}
+		f32out := s.modelF32.Forward(ctx, s.arena)
+		out = f32out.Upcast()
+		s.arena.PutF32(f32out)
+		precision = PrecisionF32
+	} else if eng := s.shardEngine(ctx, engine, insts); eng != nil {
 		out = eng.Forward()
 		s.metrics.observeShard(eng.Stats())
 	} else {
@@ -665,7 +718,7 @@ func (s *Server) forward(batch []*pending, engine models.EngineKind) (preds []Pr
 	for i, p := range batch {
 		row := make([]float64, cols)
 		copy(row, out.Data[i*cols:(i+1)*cols])
-		pred := Prediction{Output: row, CacheHit: p.cacheHit, Degraded: p.degraded}
+		pred := Prediction{Output: row, CacheHit: p.cacheHit, Degraded: p.degraded, Precision: precision}
 		if s.meta.Task == datasets.TaskClassification {
 			best := 0
 			for j := 1; j < cols; j++ {
@@ -697,11 +750,7 @@ func (s *Server) shardEngine(ctx *models.Context, engine models.EngineKind, inst
 	if !ok {
 		return nil
 	}
-	vertices := 0
-	for _, inst := range insts {
-		vertices += inst.G.NumNodes()
-	}
-	if vertices < s.opts.ShardVertexThreshold {
+	if batchVertices(insts) < s.opts.ShardVertexThreshold {
 		return nil
 	}
 	eng, err := models.NewShardEngine(gt, ctx, s.opts.ShardWorkers)
@@ -710,6 +759,15 @@ func (s *Server) shardEngine(ctx *models.Context, engine models.EngineKind, inst
 		return nil
 	}
 	return eng
+}
+
+// batchVertices totals the batch's node count — the shard-threshold input.
+func batchVertices(insts []datasets.Instance) int {
+	vertices := 0
+	for _, inst := range insts {
+		vertices += inst.G.NumNodes()
+	}
+	return vertices
 }
 
 // GraphRequest is the /predict JSON body: an explicit graph with

@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"math/rand"
 	"runtime"
 	"testing"
 
@@ -85,3 +86,76 @@ func benchLayerNorm(b *testing.B, threads int) {
 
 func BenchmarkLayerNormSerial(b *testing.B)   { benchLayerNorm(b, 1) }
 func BenchmarkLayerNormParallel(b *testing.B) { benchLayerNorm(b, runtime.NumCPU()) }
+
+// benchMatMul32 is the float32 fast-path counterpart of benchMatMul:
+// same shapes, tape-free kernel, arena-pooled output.
+func benchMatMul32(b *testing.B, threads, size int) {
+	prev := compute.SetMaxThreads(threads)
+	defer compute.SetMaxThreads(prev)
+	rng := rand.New(rand.NewSource(1001))
+	_, x := randF32Pair(rng, size, size)
+	_, w := randF32Pair(rng, size, size)
+	arena := NewArena()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.PutF32(MatMul32(x, w, arena))
+	}
+	flops := 2 * float64(size) * float64(size) * float64(size)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+func BenchmarkMatMul32Serial128(b *testing.B)   { benchMatMul32(b, 1, 128) }
+func BenchmarkMatMul32Serial256(b *testing.B)   { benchMatMul32(b, 1, 256) }
+func BenchmarkMatMul32Serial512(b *testing.B)   { benchMatMul32(b, 1, 512) }
+func BenchmarkMatMul32Parallel128(b *testing.B) { benchMatMul32(b, runtime.NumCPU(), 128) }
+func BenchmarkMatMul32Parallel256(b *testing.B) { benchMatMul32(b, runtime.NumCPU(), 256) }
+func BenchmarkMatMul32Parallel512(b *testing.B) { benchMatMul32(b, runtime.NumCPU(), 512) }
+
+// Fused segment attention at a serving-shaped workload (512 nodes, dim 64,
+// 4 heads, band-style pair list): float64 forward vs the float32 kernel in
+// both scratch layouts. The layouts are bit-identical in output, so the
+// delta is pure memory-traffic effect.
+const (
+	benchAttnRows  = 512
+	benchAttnDim   = 64
+	benchAttnHeads = 4
+)
+
+func benchAttnInputs32(rng *rand.Rand) (q, k, v, ew *F32, recv, send, edge []int32, byRecv, bySend, byEdge *Segments) {
+	E, P := 2*benchAttnRows, 6*benchAttnRows
+	recv, send, edge = randomPairs(rng, benchAttnRows, E, P)
+	byRecv = BuildSegments(recv, benchAttnRows)
+	bySend = BuildSegments(send, benchAttnRows)
+	byEdge = BuildSegments(edge, E)
+	_, q = randF32Pair(rng, benchAttnRows, benchAttnDim)
+	_, k = randF32Pair(rng, benchAttnRows, benchAttnDim)
+	_, v = randF32Pair(rng, benchAttnRows, benchAttnDim)
+	_, ew = randF32Pair(rng, E, benchAttnDim)
+	return
+}
+
+func benchFusedAttention32(b *testing.B, layout AttnLayout) {
+	rng := rand.New(rand.NewSource(77))
+	q, k, v, ew, recv, send, edge, byRecv, _, byEdge := benchAttnInputs32(rng)
+	arena := NewArena()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		att, eo := FusedSegmentAttention32(q, k, v, ew, recv, send, edge, byRecv, byEdge, benchAttnHeads, layout, arena)
+		arena.PutF32(att)
+		arena.PutF32(eo)
+	}
+}
+
+func BenchmarkFusedAttention32HeadMajor(b *testing.B)   { benchFusedAttention32(b, LayoutHeadMajor) }
+func BenchmarkFusedAttention32Interleaved(b *testing.B) { benchFusedAttention32(b, LayoutInterleaved) }
+
+func BenchmarkFusedAttention64(b *testing.B) {
+	rng := rand.New(rand.NewSource(77))
+	q32, k32, v32, ew32, recv, send, edge, byRecv, bySend, byEdge := benchAttnInputs32(rng)
+	q, k, v, ew := q32.Upcast(), k32.Upcast(), v32.Upcast(), ew32.Upcast()
+	arena := NewArena()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FusedSegmentAttention(q, k, v, ew, recv, send, edge, byRecv, bySend, byEdge, benchAttnHeads, arena)
+	}
+}

@@ -1,0 +1,27 @@
+//go:build amd64
+
+package tensor
+
+// SSE inner loops for the float32 fast path. Plain SSE (MOVUPS/MULPS/
+// ADDPS) is part of the amd64 baseline, so there is no feature detection
+// and no dispatch cost. Each vector lane performs exactly the scalar
+// kernel's multiply-add on its own output element, in the same ascending
+// accumulation order — four independent scalar chains executed side by
+// side — so results are bit-identical to the portable fallbacks in
+// simd_generic.go (pinned by TestSIMDKernelsMatchReference). The float64
+// training path never calls these.
+
+// saxpy32 computes y[i] += alpha*x[i] for i < len(y). len(x) must be at
+// least len(y).
+//
+//go:noescape
+func saxpy32(alpha float32, x, y []float32)
+
+// matmulTile32 accumulates one 16-column register tile of an output row:
+// o[j] += Σ_p a[p]·b[p*stride+j] for j < 16, with the tile's partial
+// sums held in registers across the whole sweep of a, and rows with
+// a[p] == 0 skipped like the scalar kernels. len(o) must be at least 16
+// and len(b) at least (len(a)-1)*stride+16.
+//
+//go:noescape
+func matmulTile32(a, b, o []float32, stride int)

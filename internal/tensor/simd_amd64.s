@@ -1,0 +1,138 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func saxpy32(alpha float32, x, y []float32)
+//
+// y[i] += alpha*x[i] for i < len(y). 16 elements per main-loop iteration
+// (four 4-wide MULPS/ADDPS chains), then a 4-wide loop, then scalars.
+// Unaligned loads/stores throughout — arena buffers carry no alignment
+// guarantee beyond Go's slice allocation.
+TEXT ·saxpy32(SB), NOSPLIT, $0-56
+	MOVSS  alpha+0(FP), X0
+	SHUFPS $0x00, X0, X0
+	MOVQ   x_base+8(FP), SI
+	MOVQ   y_base+32(FP), DI
+	MOVQ   y_len+40(FP), CX
+	XORQ   AX, AX
+
+	MOVQ CX, BX
+	ANDQ $-16, BX
+	CMPQ AX, BX
+	JGE  tail4
+
+loop16:
+	MOVUPS (SI)(AX*4), X1
+	MOVUPS 16(SI)(AX*4), X2
+	MOVUPS 32(SI)(AX*4), X3
+	MOVUPS 48(SI)(AX*4), X4
+	MULPS  X0, X1
+	MULPS  X0, X2
+	MULPS  X0, X3
+	MULPS  X0, X4
+	MOVUPS (DI)(AX*4), X5
+	MOVUPS 16(DI)(AX*4), X6
+	MOVUPS 32(DI)(AX*4), X7
+	MOVUPS 48(DI)(AX*4), X8
+	ADDPS  X1, X5
+	ADDPS  X2, X6
+	ADDPS  X3, X7
+	ADDPS  X4, X8
+	MOVUPS X5, (DI)(AX*4)
+	MOVUPS X6, 16(DI)(AX*4)
+	MOVUPS X7, 32(DI)(AX*4)
+	MOVUPS X8, 48(DI)(AX*4)
+	ADDQ   $16, AX
+	CMPQ   AX, BX
+	JLT    loop16
+
+tail4:
+	MOVQ CX, BX
+	ANDQ $-4, BX
+	CMPQ AX, BX
+	JGE  tail1
+
+loop4:
+	MOVUPS (SI)(AX*4), X1
+	MULPS  X0, X1
+	MOVUPS (DI)(AX*4), X5
+	ADDPS  X1, X5
+	MOVUPS X5, (DI)(AX*4)
+	ADDQ   $4, AX
+	CMPQ   AX, BX
+	JLT    loop4
+
+tail1:
+	CMPQ AX, CX
+	JGE  done
+
+loop1:
+	MOVSS (SI)(AX*4), X1
+	MULSS X0, X1
+	MOVSS (DI)(AX*4), X5
+	ADDSS X1, X5
+	MOVSS X5, (DI)(AX*4)
+	INCQ  AX
+	CMPQ  AX, CX
+	JLT   loop1
+
+done:
+	RET
+
+// func matmulTile32(a, b, o []float32, stride int)
+//
+// o[0:16] += Σ_p a[p] * b[p*stride : p*stride+16], with the 16 partial
+// sums held in X4–X7 across the whole sweep of a. Rows with a[p] == 0
+// are skipped (UCOMISS; the parity flag sends NaN through the compute
+// path so the zero-skip matches the scalar kernels' `av == 0` test).
+TEXT ·matmulTile32(SB), NOSPLIT, $0-80
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b_base+24(FP), BX
+	MOVQ o_base+48(FP), DI
+	MOVQ stride+72(FP), R10
+	SHLQ $2, R10
+
+	MOVUPS (DI), X4
+	MOVUPS 16(DI), X5
+	MOVUPS 32(DI), X6
+	MOVUPS 48(DI), X7
+	XORPS  X9, X9
+
+	XORQ AX, AX
+	CMPQ AX, CX
+	JGE  store
+
+ploop:
+	MOVSS   (SI)(AX*4), X0
+	UCOMISS X9, X0
+	JP      compute
+	JE      next
+
+compute:
+	SHUFPS $0x00, X0, X0
+	MOVUPS (BX), X1
+	MULPS  X0, X1
+	ADDPS  X1, X4
+	MOVUPS 16(BX), X2
+	MULPS  X0, X2
+	ADDPS  X2, X5
+	MOVUPS 32(BX), X3
+	MULPS  X0, X3
+	ADDPS  X3, X6
+	MOVUPS 48(BX), X8
+	MULPS  X0, X8
+	ADDPS  X8, X7
+
+next:
+	ADDQ R10, BX
+	INCQ AX
+	CMPQ AX, CX
+	JLT  ploop
+
+store:
+	MOVUPS X4, (DI)
+	MOVUPS X5, 16(DI)
+	MOVUPS X6, 32(DI)
+	MOVUPS X7, 48(DI)
+	RET

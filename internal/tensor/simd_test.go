@@ -1,0 +1,81 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSIMDKernelsMatchReference pins whichever saxpy32/matmulTile32
+// implementation is active (SSE on amd64, portable elsewhere) against
+// plain scalar loops, bit for bit. Lengths sweep across the 16-wide,
+// 4-wide, and scalar tails; inputs include ±0 and a NaN multiplier (the
+// zero-skip must treat NaN as nonzero, like the scalar kernels' av == 0
+// test).
+func TestSIMDKernelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	fill := func(n int) []float32 {
+		v := make([]float32, n)
+		for i := range v {
+			switch rng.Intn(8) {
+			case 0:
+				v[i] = 0
+			case 1:
+				v[i] = float32(math.Copysign(0, -1))
+			default:
+				v[i] = float32(rng.NormFloat64())
+			}
+		}
+		return v
+	}
+
+	for _, n := range []int{0, 1, 3, 4, 5, 15, 16, 17, 31, 32, 33, 64, 100} {
+		for _, alpha := range []float32{0, -0.37, 2.5, float32(math.NaN())} {
+			x := fill(n)
+			got := fill(n)
+			want := append([]float32(nil), got...)
+			for i := range want {
+				want[i] += alpha * x[i]
+			}
+			saxpy32(alpha, x, got)
+			for i := range want {
+				if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+					t.Fatalf("saxpy32 n=%d alpha=%v: elem %d got %x want %x",
+						n, alpha, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+				}
+			}
+		}
+	}
+
+	for _, k := range []int{0, 1, 2, 7, 64, 128} {
+		for _, stride := range []int{16, 17, 48, 64} {
+			a := fill(k)
+			if k > 3 {
+				a[1], a[3] = 0, float32(math.NaN())
+			}
+			bsz := 16
+			if k > 0 {
+				bsz = (k-1)*stride + 16
+			}
+			b := fill(bsz)
+			got := fill(16)
+			want := append([]float32(nil), got...)
+			for p := 0; p < k; p++ {
+				av := a[p]
+				if av == 0 {
+					continue
+				}
+				for j := 0; j < 16; j++ {
+					want[j] += av * b[p*stride+j]
+				}
+			}
+			matmulTile32(a, b, got, stride)
+			for j := range want {
+				if math.Float32bits(got[j]) != math.Float32bits(want[j]) {
+					t.Fatalf("matmulTile32 k=%d stride=%d: col %d got %x want %x",
+						k, stride, j, math.Float32bits(got[j]), math.Float32bits(want[j]))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package train
+
+import (
+	"bytes"
+	"testing"
+
+	"mega/internal/datasets"
+	"mega/internal/models"
+)
+
+// TestCheckpointDowncastDeterministic pins the checkpoint→float32 pipeline:
+// loading the same checkpoint twice — and through both container versions —
+// must produce bit-identical downcast parameter snapshots. The downcast is
+// one rounding per weight at load; nothing about container framing or load
+// order may leak into the frozen f32 model.
+func TestCheckpointDowncastDeterministic(t *testing.T) {
+	for _, name := range []string{"GT", "GAT"} {
+		orig, err := NewModel(name, tinyConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta := Checkpoint{Model: name, Config: tinyConfig(), Task: datasets.TaskRegression}
+		var buf bytes.Buffer
+		if err := SaveCheckpoint(&buf, meta, orig); err != nil {
+			t.Fatal(err)
+		}
+		v2 := buf.Bytes()
+
+		// The v1 container is the same framing without the CRC trailer.
+		v1 := append([]byte(ckptMagicV1), v2[len(ckptMagic):len(v2)-ckptTrailerLen]...)
+
+		want, err := models.PrepareF32(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := want.SnapshotParams()
+		if len(ref) == 0 {
+			t.Fatal("empty f32 snapshot")
+		}
+		for _, c := range []struct {
+			container string
+			data      []byte
+		}{
+			{"MEGACKP2", v2}, {"MEGACKP2-again", v2}, {"MEGACKP1", v1},
+		} {
+			_, m, err := LoadCheckpoint(bytes.NewReader(c.data))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, c.container, err)
+			}
+			f32m, err := models.PrepareF32(m)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, c.container, err)
+			}
+			snap := f32m.SnapshotParams()
+			if len(snap) != len(ref) {
+				t.Fatalf("%s/%s: snapshot length %d, want %d", name, c.container, len(snap), len(ref))
+			}
+			for i := range snap {
+				if snap[i] != ref[i] {
+					t.Fatalf("%s/%s: downcast differs at %d: %v vs %v",
+						name, c.container, i, snap[i], ref[i])
+				}
+			}
+		}
+	}
+}
