@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race race race-short chaos chaos-short shard-check dynamic-check load-check precision-check bench bench-compute bench-attention bench-dist bench-dynamic bench-serve bench-precision fuzz fuzz-smoke experiments examples clean
+.PHONY: all check build vet test test-race race race-short chaos chaos-short dist-chaos shard-check dynamic-check load-check precision-check bench bench-compute bench-attention bench-dist bench-dynamic bench-serve bench-precision fuzz fuzz-smoke experiments examples clean
 
 all: check
 
@@ -45,6 +45,16 @@ chaos:
 
 chaos-short:
 	CHAOS_REPORT=$(CURDIR)/chaos-report.log $(GO) test -race -short -run TestChaosEndToEnd -count=1 -v ./internal/serve/
+
+# dist-chaos runs the process-level distributed chaos gate: real megashard
+# worker processes (the test binary re-exec'd), a supervisor driving batches
+# through them, and a SIGKILL delivered mid-batch. Asserts zero lost
+# responses, bit-identical answers through replica failover, wire traffic
+# exactly matching the analytical partition model, and the auto-restarted
+# worker rejoining its group. The kill/failover event log lands in
+# dist-chaos-report.log (the CI artifact).
+dist-chaos:
+	DIST_CHAOS_REPORT=$(CURDIR)/dist-chaos-report.log $(GO) test -race -run TestDistChaos -count=1 -v ./internal/dist/
 
 # shard-check runs the shard-engine equivalence gates: bit-identical
 # forward against the single engine at every worker count, k-invariant
@@ -154,6 +164,7 @@ bench-precision:
 # Short fuzzing passes over the binary decoder, the traversal, and the
 # graph hashes.
 fuzz:
+	$(GO) test ./internal/dist/ -fuzz FuzzWireRoundTrip -fuzztime 30s
 	$(GO) test ./internal/band/ -fuzz FuzzReadRep -fuzztime 30s
 	$(GO) test ./internal/band/ -fuzz FuzzTraverseRoundTrip -fuzztime 30s
 	$(GO) test ./internal/graph/ -fuzz FuzzFingerprint -fuzztime 30s
@@ -162,6 +173,7 @@ fuzz:
 # fuzz-smoke is the CI-sized pass: a few seconds per target, enough to
 # catch regressions in the properties themselves.
 fuzz-smoke:
+	$(GO) test ./internal/dist/ -fuzz FuzzWireRoundTrip -fuzztime 5s
 	$(GO) test ./internal/band/ -fuzz FuzzReadRep -fuzztime 5s
 	$(GO) test ./internal/band/ -fuzz FuzzTraverseRoundTrip -fuzztime 5s
 	$(GO) test ./internal/graph/ -fuzz FuzzFingerprint -fuzztime 5s

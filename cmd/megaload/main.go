@@ -22,7 +22,8 @@
 //	megaload [-checkpoint ckpt | -checkpoint-dir dir | (ephemeral model)]
 //	         [-addr host:port] [-phases SPEC | -rate R -duration D]
 //	         [-seed 1] [-hit-frac 0.7] [-update-frac 0] [-timeout 0]
-//	         [-faults none|cache|prepare|delay|chaos]
+//	         [-faults none|cache|prepare|delay|chaos|workerkill]
+//	         [-kill-every 2s]
 //	         [-max-batch 16] [-max-wait 2ms] [-workers 0] [-shard-workers 0]
 //	         [-cache 4096] [-queue 256] [-json]
 //	         [-autotune] [-slo-p99 20ms] [-max-error-frac 0.005]
@@ -34,6 +35,15 @@
 // trained weights, only on shapes, so the harness works out of the box.
 // -faults and -autotune require the in-process server (-addr drives a
 // server whose knobs this process cannot rebuild).
+//
+// -faults workerkill measures capacity under distributed failover: megaload
+// re-execs itself as a fleet of three megashard worker processes (one
+// replica group, auto-restarting), routes every batch through them via
+// serve's distributed shard path, and SIGKILLs a rotating worker every
+// -kill-every. Because replicas survive each kill, answers stay
+// bit-identical through failover — the BENCH_serve.json capacity number
+// from -autotune under this profile is the sustainable QPS while the fleet
+// is being shot at.
 package main
 
 import (
@@ -42,12 +52,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"mega/internal/datasets"
+	"mega/internal/dist"
 	"mega/internal/faults"
 	"mega/internal/load"
 	"mega/internal/models"
@@ -56,6 +68,10 @@ import (
 )
 
 func main() {
+	if os.Getenv("MEGALOAD_DIST_WORKER") == "1" {
+		runDistWorker()
+		return
+	}
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "megaload:", err)
 		os.Exit(1)
@@ -75,7 +91,8 @@ func run(args []string, stdout io.Writer) error {
 	hitFrac := fs.Float64("hit-frac", 0.7, "fraction of predicts aimed at the warm cache-hit pool")
 	updateFrac := fs.Float64("update-frac", 0, "fraction of requests that are /update mutations")
 	timeout := fs.Duration("timeout", 0, "per-request client deadline (0 = server policy only)")
-	faultsProfile := fs.String("faults", "none", "fault profile to arm in process: none, cache, prepare, delay, chaos")
+	faultsProfile := fs.String("faults", "none", "fault profile to arm in process: none, cache, prepare, delay, chaos, workerkill")
+	killEvery := fs.Duration("kill-every", 2*time.Second, "workerkill profile: SIGKILL cadence against the worker fleet")
 	jsonOut := fs.Bool("json", false, "emit the run report as JSON instead of text")
 
 	maxBatch := fs.Int("max-batch", 16, "in-process server: max requests per forward pass")
@@ -128,6 +145,13 @@ func run(args []string, stdout io.Writer) error {
 		QueueDepth:   *queue,
 		Engine:       models.EngineMega,
 	}.WithCacheCapacity(*cacheCap)
+	if *faultsProfile == "workerkill" {
+		cleanup, err := setupWorkerKill(&opts, *ckpt, *ckptDir, *killEvery, stdout)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+	}
 
 	mix := load.MixOptions{
 		Seed:           *seed,
@@ -260,14 +284,112 @@ func buildServer(ckpt, ckptDir string, opts serve.Options) (*serve.Server, error
 		return serve.NewFromCheckpointDir(ckptDir, opts)
 	default:
 		// Ephemeral: load characteristics depend on shapes, not weights.
-		cfg := models.Config{Dim: 32, Layers: 2, Heads: 4, NodeTypes: 8, EdgeTypes: 4, OutDim: 1, Seed: 42}
-		model, err := train.NewModel("GT", cfg)
+		model, err := train.NewModel("GT", ephemeralConfig)
 		if err != nil {
 			return nil, err
 		}
-		meta := train.Checkpoint{Model: "GT", Config: cfg, Task: datasets.TaskRegression, Dataset: "synthetic"}
+		meta := train.Checkpoint{Model: "GT", Config: ephemeralConfig, Task: datasets.TaskRegression, Dataset: "synthetic"}
 		return serve.New(model, meta, opts)
 	}
+}
+
+// ephemeralConfig is the model served when no checkpoint is given. The
+// workerkill fleet rebuilds the same model from the same seed, so server
+// and workers agree bit-exactly without shipping parameters.
+var ephemeralConfig = models.Config{Dim: 32, Layers: 2, Heads: 4, NodeTypes: 8, EdgeTypes: 4, OutDim: 1, Seed: 42}
+
+// setupWorkerKill arms the workerkill profile: spawn one auto-restarting
+// replica group of three re-exec'd worker processes, point opts.Dist at it
+// with the vertex threshold floored so every batch takes the distributed
+// path, and SIGKILL a rotating member every killEvery until cleanup.
+func setupWorkerKill(opts *serve.Options, ckpt, ckptDir string, killEvery time.Duration, stdout io.Writer) (func(), error) {
+	env := []string{"MEGALOAD_DIST_WORKER=1"}
+	if ckpt != "" {
+		env = append(env, "MEGALOAD_DIST_CKPT="+ckpt)
+	}
+	if ckptDir != "" {
+		env = append(env, "MEGALOAD_DIST_CKPTDIR="+ckptDir)
+	}
+	sp, err := dist.Spawn(3, dist.SpawnOptions{
+		Command:      []string{os.Args[0], "{addr}"},
+		Env:          env,
+		AutoRestart:  true,
+		RestartDelay: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	opts.Dist = &dist.SuperOptions{
+		Workers:          sp.Addrs(),
+		GroupSize:        3,
+		JobWorkers:       2,
+		HeartbeatEvery:   100 * time.Millisecond,
+		HeartbeatTimeout: 800 * time.Millisecond,
+	}
+	opts.ShardVertexThreshold = 1
+	fmt.Fprintf(stdout, "workerkill: fleet %v, SIGKILL every %v\n", sp.Addrs(), killEvery)
+
+	stop := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(killEvery)
+		defer tick.Stop()
+		victim := 0
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				// A restart race (victim already down) is not an error —
+				// the point is sustained fire, not precise aim.
+				sp.Kill(victim % 3)
+				victim++
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		sp.Close()
+	}, nil
+}
+
+// runDistWorker is the hidden re-exec mode behind -faults workerkill: a
+// megashard-equivalent worker process serving the same model as the parent
+// (checkpoint via env, or the deterministic ephemeral config) on the
+// address the spawner appended to argv.
+func runDistWorker() {
+	addr := os.Args[len(os.Args)-1]
+	model, err := distWorkerModel()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "megaload worker:", err)
+		os.Exit(1)
+	}
+	w, err := dist.NewWorker(dist.WorkerOptions{Model: model, RecvTimeout: 5 * time.Second})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "megaload worker:", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "megaload worker:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s%s\n", dist.ReadyPrefix, ln.Addr())
+	if err := w.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "megaload worker:", err)
+		os.Exit(1)
+	}
+}
+
+func distWorkerModel() (models.Model, error) {
+	if p := os.Getenv("MEGALOAD_DIST_CKPT"); p != "" {
+		_, model, err := train.LoadCheckpointFile(p)
+		return model, err
+	}
+	if d := os.Getenv("MEGALOAD_DIST_CKPTDIR"); d != "" {
+		_, model, _, err := train.LoadLatestCheckpoint(d)
+		return model, err
+	}
+	return train.NewModel("GT", ephemeralConfig)
 }
 
 // armFaults enables a named chaos profile (deterministic under the run
@@ -277,7 +399,7 @@ func buildServer(ckpt, ckptDir string, opts serve.Options) (*serve.Server, error
 func armFaults(profile string, seed int64) error {
 	var points []faults.PointConfig
 	switch profile {
-	case "none":
+	case "none", "workerkill": // workerkill is structural, armed by setupWorkerKill
 		return nil
 	case "cache":
 		points = []faults.PointConfig{

@@ -1,0 +1,135 @@
+// Command megashard runs one MEGA shard worker process: it loads the same
+// trained checkpoint the serving tier holds, listens on a raw TCP address
+// speaking the versioned dist wire protocol, and executes its contiguous
+// share of each distributed forward — exchanging halo rows, duplicate-group
+// folds, and edge folds directly with its peer workers. A megaserve
+// supervisor (or any dist.Supervisor) dispatches jobs to a fleet of these
+// processes; answers are bit-identical to the in-process engine at any
+// worker count, so a SIGKILLed megashard only costs a failover, never an
+// answer.
+//
+// On startup the process prints
+//
+//	MEGASHARD LISTEN <addr>
+//
+// to stdout once the listener is bound — dist.Spawn (and any process
+// supervisor) scans for that line to learn the concrete port when -addr
+// ends in :0.
+//
+// Usage:
+//
+//	megatrain -dataset ZINC -model GT -checkpoint gt.ckpt
+//	megashard -checkpoint gt.ckpt -addr 127.0.0.1:9410
+//	megashard -checkpoint-dir ckpts/ -addr 127.0.0.1:0
+//
+// Flags:
+//
+//	megashard -checkpoint file | -checkpoint-dir dir
+//	          [-addr 127.0.0.1:0] [-recv-timeout 5s] [-write-timeout 5s]
+//	          [-send-delay 0]
+//
+// -recv-timeout is the per-message peer-exchange deadline that detects a
+// dead peer mid-wave; -send-delay artificially stretches exchange waves
+// and exists for chaos drills only.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mega/internal/dist"
+	"mega/internal/models"
+	"mega/internal/train"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "megashard:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the worker. If ready is non-nil it receives the bound address
+// once listening; if stop is non-nil, closing it shuts the worker down.
+// Both hooks exist for tests; main passes nil.
+func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("megashard", flag.ContinueOnError)
+	ckpt := fs.String("checkpoint", "", "trained model checkpoint written by megatrain -checkpoint")
+	ckptDir := fs.String("checkpoint-dir", "", "megatrain checkpoint directory; loads the newest good checkpoint (alternative to -checkpoint)")
+	addr := fs.String("addr", "127.0.0.1:0", "TCP listen address for the shard wire protocol (:0 picks a port, printed on stdout)")
+	recvTimeout := fs.Duration("recv-timeout", 5*time.Second, "per-message peer exchange deadline (detects a dead peer mid-wave)")
+	writeTimeout := fs.Duration("write-timeout", 5*time.Second, "per-frame write deadline")
+	sendDelay := fs.Duration("send-delay", 0, "artificial delay before each exchange send (chaos drills only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*ckpt == "") == (*ckptDir == "") {
+		return errors.New("exactly one of -checkpoint or -checkpoint-dir is required")
+	}
+
+	var meta train.Checkpoint
+	var model models.Model
+	source := *ckpt
+	if *ckptDir != "" {
+		source = *ckptDir
+		m, mod, rep, err := train.LoadLatestCheckpoint(*ckptDir)
+		if err != nil {
+			return err
+		}
+		if len(rep.Quarantined) > 0 {
+			fmt.Fprintf(stdout, "quarantined %d corrupt checkpoint(s) while loading\n", len(rep.Quarantined))
+		}
+		meta, model = m, mod
+	} else {
+		m, mod, err := train.LoadCheckpointFile(*ckpt)
+		if err != nil {
+			return err
+		}
+		meta, model = m, mod
+	}
+
+	logger := log.New(os.Stderr, "megashard: ", log.LstdFlags)
+	w, err := dist.NewWorker(dist.WorkerOptions{
+		Model:        model,
+		RecvTimeout:  *recvTimeout,
+		WriteTimeout: *writeTimeout,
+		SendDelay:    *sendDelay,
+		Logf:         logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The ready line is the process contract: supervisors scan stdout for
+	// it to learn the concrete port.
+	fmt.Fprintf(stdout, "%s%s\n", dist.ReadyPrefix, ln.Addr())
+	fmt.Fprintf(stdout, "worker %s (%s, dim %d, %d layers) from %s\n",
+		meta.Model, meta.Dataset, meta.Config.Dim, meta.Config.Layers, source)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	sigCtx, cancelSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancelSig()
+	go func() {
+		select {
+		case <-stop: // nil channel when unused: blocks forever
+		case <-sigCtx.Done():
+		}
+		w.Close()
+	}()
+	return w.Serve(ln)
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mega/internal/datasets"
+	"mega/internal/dist"
+	"mega/internal/graph"
+	"mega/internal/models"
+	"mega/internal/train"
+	"mega/internal/traverse"
+
+	mrand "math/rand"
+)
+
+// TestMegashardServesCheckpoint boots a worker from a real checkpoint file
+// through the run() hook and drives one distributed forward through it: the
+// answer must be bit-identical to the checkpointed model's own forward.
+func TestMegashardServesCheckpoint(t *testing.T) {
+	cfg := models.Config{Dim: 16, Layers: 2, Heads: 2, NodeTypes: 4, EdgeTypes: 2, OutDim: 1, Seed: 9}
+	m := models.NewGT(cfg)
+	ckpt := filepath.Join(t.TempDir(), "gt.ckpt")
+	if err := train.SaveCheckpointFile(ckpt, train.Checkpoint{
+		Model: "GT", Config: cfg, Task: datasets.TaskRegression, Dataset: "test",
+	}, m); err != nil {
+		t.Fatal(err)
+	}
+
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		errc <- run([]string{"-checkpoint", ckpt, "-addr", "127.0.0.1:0"}, &out, ready, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("worker exited early: %v (output %q)", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never became ready")
+	}
+	defer func() {
+		close(stop)
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Errorf("worker exit: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("worker did not shut down")
+		}
+	}()
+	if !bytes.Contains(out.Bytes(), []byte(dist.ReadyPrefix)) {
+		t.Errorf("stdout missing ready line: %q", out.String())
+	}
+
+	g := graph.RandomTree(mrand.New(mrand.NewSource(4)), 40)
+	insts := []datasets.Instance{{
+		G:        g,
+		NodeFeat: make([]int32, g.NumNodes()),
+		EdgeFeat: make([]int32, g.NumEdges()),
+	}}
+	mopts := models.MegaOptions{Traverse: traverse.Options{Window: 2}}
+	refCtx, err := models.NewMegaContext(insts, mopts, nil, cfg.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Forward(refCtx)
+
+	s, err := dist.NewSupervisor(dist.SuperOptions{Workers: []string{addr}, JobWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	outc, err := s.Forward(context.Background(), insts, mopts.TraverseOptions(), cfg.Dim, g.Fingerprint())
+	if err != nil {
+		t.Fatalf("forward through megashard: %v", err)
+	}
+	got, err := m.ReadoutFromFinal(refCtx, outc.FinalH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("output[%d] = %v, want %v (must be bit-identical)", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestMegashardFlagValidation pins the checkpoint-source requirement.
+func TestMegashardFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out, nil, nil); err == nil {
+		t.Error("no checkpoint source accepted")
+	}
+	if err := run([]string{"-checkpoint", "a", "-checkpoint-dir", "b"}, &out, nil, nil); err == nil {
+		t.Error("both checkpoint sources accepted")
+	}
+}

@@ -1,0 +1,260 @@
+package dist
+
+// Process-level chaos: real worker OS processes (this test binary
+// re-exec'd in worker mode), a real supervisor, and a SIGKILL delivered
+// mid-batch. The PR gate asserts the full robustness contract: zero lost
+// responses, bit-identical answers through failover, wire traffic exactly
+// matching the analytical model, and the killed worker rejoining after
+// auto-restart. `make dist-chaos` runs this with DIST_CHAOS_REPORT set so
+// CI uploads the kill/failover event log as an artifact.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"mega/internal/band"
+	"mega/internal/datasets"
+	"mega/internal/models"
+	"mega/internal/retry"
+)
+
+// TestMain intercepts re-exec'd worker-mode invocations before the test
+// harness parses flags.
+func TestMain(m *testing.M) {
+	if os.Getenv("MEGASHARD_TEST_WORKER") == "1" {
+		runTestWorker()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runTestWorker is the re-exec'd shard worker process: same deterministic
+// model replica as the parent, listen address as the last argv element
+// (the spawner's {addr} substitution).
+func runTestWorker() {
+	log.SetOutput(os.Stderr)
+	addr := os.Args[len(os.Args)-1]
+	delay, _ := time.ParseDuration(os.Getenv("MEGASHARD_TEST_SENDDELAY"))
+	w, err := NewWorker(WorkerOptions{
+		Model:       models.NewGT(transportConfig()),
+		RecvTimeout: 2 * time.Second,
+		SendDelay:   delay,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s%s\n", ReadyPrefix, ln.Addr().String())
+	if err := w.Serve(ln); err != nil {
+		log.Fatal(err)
+	}
+	os.Exit(0)
+}
+
+// eventLog collects supervisor + spawner events and can dump them as JSON
+// lines for the CI artifact.
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (l *eventLog) sink(e Event) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+func (l *eventLog) snapshot() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+func (l *eventLog) count(kind string) int {
+	n := 0
+	for _, e := range l.snapshot() {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// writeReport dumps the event log to path as JSON lines.
+func (l *eventLog) writeReport(t *testing.T, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		t.Errorf("chaos report: %v", err)
+		return
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	for _, e := range l.snapshot() {
+		if err := enc.Encode(e); err != nil {
+			t.Errorf("chaos report: %v", err)
+			return
+		}
+	}
+	t.Logf("chaos event log: %s (%d events)", path, len(l.snapshot()))
+}
+
+// TestDistChaos SIGKILLs a real worker process mid-batch and asserts the
+// request still completes — transparently, bit-identically — via replica
+// failover, then that the auto-restarted process rejoins the group.
+func TestDistChaos(t *testing.T) {
+	if os.Getenv("MEGASHARD_TEST_WORKER") != "" {
+		t.Skip("worker mode")
+	}
+	var events eventLog
+	if path := os.Getenv("DIST_CHAOS_REPORT"); path != "" {
+		defer events.writeReport(t, path)
+	}
+
+	// SendDelay stretches each exchange wave so the SIGKILL below lands
+	// mid-batch, not between batches.
+	sp, err := Spawn(3, SpawnOptions{
+		Command:      []string{os.Args[0], "{addr}"},
+		Env:          []string{"MEGASHARD_TEST_WORKER=1", "MEGASHARD_TEST_SENDDELAY=10ms"},
+		AutoRestart:  true,
+		RestartDelay: 200 * time.Millisecond,
+		Logf:         t.Logf,
+		EventSink:    events.sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+
+	s, err := NewSupervisor(SuperOptions{
+		Workers:          sp.Addrs(),
+		GroupSize:        3,
+		JobWorkers:       2,
+		HeartbeatEvery:   100 * time.Millisecond,
+		HeartbeatTimeout: 800 * time.Millisecond,
+		JobTimeout:       15 * time.Second,
+		MaxAttempts:      4,
+		Retry:            retry.Config{Attempts: 4, Base: 20 * time.Millisecond, Max: 100 * time.Millisecond},
+		Logf:             t.Logf,
+		EventSink:        events.sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	m := models.NewGT(transportConfig())
+	cfg := transportConfig()
+	mopts := transportMegaOpts()
+	topts := mopts.TraverseOptions()
+
+	const batches = 5
+	const killAt = 2 // SIGKILL lands during this batch
+	type ref struct {
+		insts []datasets.Instance
+		want  []float64
+	}
+	refs := make([]ref, batches)
+	for i := range refs {
+		insts := []datasets.Instance{transportInstance(t, int64(i), 40)}
+		refCtx, err := models.NewMegaContext(insts, mopts, nil, transportDim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = ref{insts: insts, want: m.Forward(refCtx).Data}
+	}
+
+	lost := 0
+	for i, r := range refs {
+		if i == killAt {
+			go func() {
+				// The job is dispatched immediately; the SendDelay-stretched
+				// exchange waves are still in flight 150ms in.
+				time.Sleep(150 * time.Millisecond)
+				if err := sp.Kill(0); err != nil {
+					t.Errorf("kill: %v", err)
+				}
+			}()
+		}
+		refCtx, err := models.NewMegaContext(r.insts, mopts, nil, transportDim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := s.Forward(context.Background(), r.insts, topts, transportDim, r.insts[0].G.Fingerprint())
+		if err != nil {
+			lost++
+			t.Errorf("batch %d lost: %v", i, err)
+			continue
+		}
+		got, err := m.ReadoutFromFinal(refCtx, out.FinalH)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		bitsEqual64(t, got.Data, r.want, fmt.Sprintf("batch %d readout", i))
+
+		// Wire traffic must equal the analytical model × layers at whatever
+		// k the (possibly failed-over) job actually ran.
+		rep, _, err := band.FromGraph(r.insts[0].G, topts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ana, err := AnalyzePathPartition(rep, out.K, transportDim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		layers := int64(cfg.Layers)
+		if out.Stats.ForwardMessages() != int64(ana.Messages)*layers || out.Stats.ForwardBytes() != ana.Bytes*layers {
+			t.Errorf("batch %d (k=%d): wire traffic %d msgs/%d B, analysis predicts %d/%d × %d",
+				i, out.K, out.Stats.ForwardMessages(), out.Stats.ForwardBytes(), ana.Messages, ana.Bytes, layers)
+		}
+	}
+	if lost != 0 {
+		t.Fatalf("%d of %d responses lost; robustness contract is zero", lost, batches)
+	}
+
+	if events.count("worker_killed") == 0 {
+		t.Error("chaos never recorded a kill — the harness tested nothing")
+	}
+	if st := s.Stats(); st.Failovers == 0 && st.JobRetries == 0 {
+		t.Errorf("SIGKILL mid-batch caused no retry or failover: %+v (kill too late?)", st)
+	}
+	if st := s.Stats(); st.GroupDown != 0 {
+		t.Errorf("group went down despite live replicas: %+v", st)
+	}
+
+	// The auto-restarted process rejoins: the supervisor's heartbeat redial
+	// finds it on the same address.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.GroupsAlive()[0] < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("killed worker never rejoined: %+v", s.Health())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// And serves again: one more batch, still bit-identical.
+	r := refs[0]
+	refCtx, err := models.NewMegaContext(r.insts, mopts, nil, transportDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Forward(context.Background(), r.insts, topts, transportDim, r.insts[0].G.Fingerprint())
+	if err != nil {
+		t.Fatalf("post-rejoin batch: %v", err)
+	}
+	got, err := m.ReadoutFromFinal(refCtx, out.FinalH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitsEqual64(t, got.Data, r.want, "post-rejoin readout")
+}

@@ -1,0 +1,158 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mega/internal/faults"
+)
+
+// wireConn wraps one TCP connection with frame-atomic writes: a frame is
+// assembled in memory and written under a mutex with a write deadline, so
+// concurrent senders never interleave frames and a stuck peer cannot
+// block a sender forever.
+type wireConn struct {
+	c            net.Conn
+	wmu          sync.Mutex
+	writeTimeout time.Duration
+}
+
+func newWireConn(c net.Conn, writeTimeout time.Duration) *wireConn {
+	return &wireConn{c: c, writeTimeout: writeTimeout}
+}
+
+// write sends one frame. An injected faults.DistSend error poisons the
+// connection (closing it, so the peer's read loop sees the failure too) —
+// the same observable outcome as a peer dying mid-stream.
+func (wc *wireConn) write(m Msg) error {
+	if err := faults.Inject(faults.DistSend); err != nil {
+		wc.c.Close()
+		return fmt.Errorf("dist: send to %s: %w", wc.c.RemoteAddr(), err)
+	}
+	wc.wmu.Lock()
+	defer wc.wmu.Unlock()
+	if wc.writeTimeout > 0 {
+		wc.c.SetWriteDeadline(time.Now().Add(wc.writeTimeout))
+	}
+	if err := WriteFrame(wc.c, m); err != nil {
+		wc.c.Close()
+		return err
+	}
+	return nil
+}
+
+func (wc *wireConn) close() { wc.c.Close() }
+
+// handshake exchanges Hello frames: send ours, require a protocol-matched
+// Hello back before any other traffic.
+func (wc *wireConn) handshake(h Hello, readTimeout time.Duration) (Hello, error) {
+	if err := wc.write(h); err != nil {
+		return Hello{}, err
+	}
+	if readTimeout > 0 {
+		wc.c.SetReadDeadline(time.Now().Add(readTimeout))
+		defer wc.c.SetReadDeadline(time.Time{})
+	}
+	m, err := ReadFrame(wc.c)
+	if err != nil {
+		return Hello{}, fmt.Errorf("dist: handshake read: %w", err)
+	}
+	peer, ok := m.(Hello)
+	if !ok {
+		return Hello{}, fmt.Errorf("dist: handshake: got %T, want Hello", m)
+	}
+	if peer.Proto != ProtoVersion {
+		return Hello{}, fmt.Errorf("%w: peer speaks proto %d, we speak %d", ErrBadMagic, peer.Proto, ProtoVersion)
+	}
+	return peer, nil
+}
+
+// exchangeRouter demultiplexes incoming Exchange frames by job: frames
+// for a registered job go to its channel, frames racing ahead of the
+// job's own JobRequest are stashed, frames for completed (tombstoned)
+// jobs are dropped. All methods are safe for concurrent read loops.
+type exchangeRouter struct {
+	mu      sync.Mutex
+	jobs    map[uint64]chan Exchange
+	pending map[uint64][]Exchange
+	tombs   map[uint64]struct{}
+	tombLog []uint64 // insertion order, for bounded tombstone memory
+}
+
+// routerChanCap bounds a job's in-flight incoming exchanges. The engine's
+// per-wave message counts are far below this at serving scale; a full
+// channel therefore indicates a wedged job, and the frame is dropped —
+// the waiting Recv then fails by deadline rather than the reader loop
+// deadlocking.
+const routerChanCap = 1 << 14
+
+// routerPendingCap bounds stashed frames for a not-yet-registered job.
+const routerPendingCap = 1 << 12
+
+// routerTombs bounds remembered completed jobs.
+const routerTombs = 4096
+
+func newExchangeRouter() *exchangeRouter {
+	return &exchangeRouter{
+		jobs:    make(map[uint64]chan Exchange),
+		pending: make(map[uint64][]Exchange),
+		tombs:   make(map[uint64]struct{}),
+	}
+}
+
+// register creates the job's channel and drains any frames that arrived
+// ahead of the job request.
+func (r *exchangeRouter) register(jobID uint64) chan Exchange {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ch, ok := r.jobs[jobID]
+	if !ok {
+		ch = make(chan Exchange, routerChanCap)
+		r.jobs[jobID] = ch
+	}
+	for _, m := range r.pending[jobID] {
+		select {
+		case ch <- m:
+		default:
+		}
+	}
+	delete(r.pending, jobID)
+	return ch
+}
+
+// unregister tombstones a completed job so straggler frames are dropped.
+func (r *exchangeRouter) unregister(jobID uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.jobs, jobID)
+	delete(r.pending, jobID)
+	if _, ok := r.tombs[jobID]; !ok {
+		r.tombs[jobID] = struct{}{}
+		r.tombLog = append(r.tombLog, jobID)
+		if len(r.tombLog) > routerTombs {
+			delete(r.tombs, r.tombLog[0])
+			r.tombLog = r.tombLog[1:]
+		}
+	}
+}
+
+// route delivers one incoming exchange frame.
+func (r *exchangeRouter) route(m Exchange) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dead := r.tombs[m.JobID]; dead {
+		return
+	}
+	if ch, ok := r.jobs[m.JobID]; ok {
+		select {
+		case ch <- m:
+		default: // wedged job; Recv will time out
+		}
+		return
+	}
+	if len(r.pending[m.JobID]) < routerPendingCap {
+		r.pending[m.JobID] = append(r.pending[m.JobID], m)
+	}
+}

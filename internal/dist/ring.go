@@ -1,0 +1,56 @@
+package dist
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"mega/internal/graph"
+)
+
+// hashRing maps graph fingerprints to replica groups by consistent
+// hashing: each group contributes ringVnodes virtual points on a 64-bit
+// ring, and a fingerprint routes to the group owning the first point at
+// or after its hash. Routing is therefore stable — adding or removing a
+// group remaps only the keys adjacent to its points, so a given graph
+// keeps hitting the same group's rep caches.
+type hashRing struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint64
+	group int
+}
+
+const ringVnodes = 64
+
+func newHashRing(groups int) *hashRing {
+	r := &hashRing{points: make([]ringPoint, 0, groups*ringVnodes)}
+	for g := 0; g < groups; g++ {
+		for v := 0; v < ringVnodes; v++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "group-%d-vnode-%d", g, v)
+			r.points = append(r.points, ringPoint{hash: h.Sum64(), group: g})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].group < r.points[j].group
+	})
+	return r
+}
+
+// lookup routes a fingerprint to its replica group.
+func (r *hashRing) lookup(fp graph.Fingerprint) int {
+	h := fnv.New64a()
+	h.Write(fp[:])
+	x := h.Sum64()
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= x })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].group
+}

@@ -1,0 +1,249 @@
+package dist
+
+// Spawner launches and supervises shard worker processes. The worker
+// binary (cmd/megashard, or any process honouring the same contract)
+// must print "MEGASHARD LISTEN <addr>\n" on stdout once its listener is
+// bound; the spawner scans for that line to learn the concrete address.
+// Killed workers can auto-restart on the same address, so a supervisor
+// holding the fleet's addresses sees the member come back through its
+// normal heartbeat redial.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ReadyPrefix is the stdout line prefix a worker process prints when its
+// listener is bound, followed by the concrete address.
+const ReadyPrefix = "MEGASHARD LISTEN "
+
+// AddrPlaceholder in a SpawnOptions.Command argv is replaced with the
+// desired listen address per process.
+const AddrPlaceholder = "{addr}"
+
+// SpawnOptions configures a worker fleet launch.
+type SpawnOptions struct {
+	// Command is the argv template; every AddrPlaceholder occurrence is
+	// replaced with the process's listen address ("127.0.0.1:0" on first
+	// launch, the concrete bound address on restarts).
+	Command []string
+	// Env is extra environment ("K=V") appended to the parent's.
+	Env []string
+	// ReadyTimeout bounds the wait for the ready line (default 30s).
+	ReadyTimeout time.Duration
+	// AutoRestart relaunches a worker that exits, after RestartDelay
+	// (default 100ms), on its original address.
+	AutoRestart  bool
+	RestartDelay time.Duration
+	// Logf receives worker stderr lines and spawner progress; nil
+	// discards them.
+	Logf func(format string, args ...any)
+	// EventSink, when set, receives spawn/kill/restart events (merged by
+	// the chaos harness with the supervisor's failover events).
+	EventSink func(Event)
+}
+
+func (o *SpawnOptions) withDefaults() error {
+	if len(o.Command) == 0 {
+		return errors.New("dist: spawner needs a command")
+	}
+	if o.ReadyTimeout <= 0 {
+		o.ReadyTimeout = 30 * time.Second
+	}
+	if o.RestartDelay <= 0 {
+		o.RestartDelay = 100 * time.Millisecond
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// proc is one supervised worker process slot.
+type proc struct {
+	index int
+	addr  string // concrete address after first ready line
+
+	mu  sync.Mutex
+	cmd *exec.Cmd
+}
+
+// Spawner owns a fleet of worker processes.
+type Spawner struct {
+	opts   SpawnOptions
+	procs  []*proc
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Spawn launches n worker processes and waits until every one has
+// printed its ready line. On error, everything already started is
+// killed.
+func Spawn(n int, opts SpawnOptions) (*Spawner, error) {
+	if err := opts.withDefaults(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, errors.New("dist: spawn needs n >= 1")
+	}
+	sp := &Spawner{opts: opts}
+	for i := 0; i < n; i++ {
+		p := &proc{index: i}
+		sp.procs = append(sp.procs, p)
+		addr, err := sp.launch(p, "127.0.0.1:0")
+		if err != nil {
+			sp.Close()
+			return nil, fmt.Errorf("dist: spawn worker %d: %w", i, err)
+		}
+		p.addr = addr
+	}
+	return sp, nil
+}
+
+// launch starts one process on listenAddr and waits for its ready line.
+func (sp *Spawner) launch(p *proc, listenAddr string) (string, error) {
+	argv := make([]string, len(sp.opts.Command))
+	for i, a := range sp.opts.Command {
+		argv[i] = strings.ReplaceAll(a, AddrPlaceholder, listenAddr)
+	}
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = append(cmd.Environ(), sp.opts.Env...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return "", err
+	}
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return "", err
+	}
+	go sp.drain(p.index, "stderr", stderr)
+
+	ready := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if a, ok := strings.CutPrefix(line, ReadyPrefix); ok {
+				select {
+				case ready <- strings.TrimSpace(a):
+				default:
+				}
+				continue
+			}
+			sp.opts.Logf("dist: worker %d stdout: %s", p.index, line)
+		}
+	}()
+
+	select {
+	case addr := <-ready:
+		p.mu.Lock()
+		p.cmd = cmd
+		p.mu.Unlock()
+		sp.event(Event{Kind: "worker_spawned", Addr: addr, Group: -1, Detail: fmt.Sprintf("pid %d", cmd.Process.Pid)})
+		sp.wg.Add(1)
+		go sp.reap(p, cmd)
+		return addr, nil
+	case <-time.After(sp.opts.ReadyTimeout):
+		cmd.Process.Kill()
+		go cmd.Wait()
+		return "", fmt.Errorf("worker %d never printed %q", p.index, ReadyPrefix)
+	}
+}
+
+func (sp *Spawner) drain(index int, stream string, r io.Reader) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		sp.opts.Logf("dist: worker %d %s: %s", index, stream, sc.Text())
+	}
+}
+
+// reap waits for a process to exit and, when configured, restarts it on
+// the same address so the supervisor's fleet list stays valid.
+func (sp *Spawner) reap(p *proc, cmd *exec.Cmd) {
+	defer sp.wg.Done()
+	err := cmd.Wait()
+	sp.mu.Lock()
+	closed := sp.closed
+	sp.mu.Unlock()
+	sp.event(Event{Kind: "worker_exited", Addr: p.addr, Group: -1, Detail: fmt.Sprint(err)})
+	if closed || !sp.opts.AutoRestart {
+		return
+	}
+	time.Sleep(sp.opts.RestartDelay)
+	sp.mu.Lock()
+	closed = sp.closed
+	sp.mu.Unlock()
+	if closed {
+		return
+	}
+	if _, rerr := sp.launch(p, p.addr); rerr != nil {
+		sp.opts.Logf("dist: restart worker %d on %s failed: %v", p.index, p.addr, rerr)
+		sp.event(Event{Kind: "worker_restart_failed", Addr: p.addr, Group: -1, Detail: rerr.Error()})
+		return
+	}
+	sp.event(Event{Kind: "worker_restarted", Addr: p.addr, Group: -1})
+}
+
+func (sp *Spawner) event(e Event) {
+	e.Time = time.Now()
+	if sp.opts.EventSink != nil {
+		sp.opts.EventSink(e)
+	}
+}
+
+// Addrs returns the fleet's concrete addresses in spawn order — the
+// Workers list for SuperOptions.
+func (sp *Spawner) Addrs() []string {
+	out := make([]string, len(sp.procs))
+	for i, p := range sp.procs {
+		out[i] = p.addr
+	}
+	return out
+}
+
+// Kill SIGKILLs worker i (the chaos harness's weapon of choice). With
+// AutoRestart the process comes back on the same address.
+func (sp *Spawner) Kill(i int) error {
+	if i < 0 || i >= len(sp.procs) {
+		return fmt.Errorf("dist: kill worker %d of %d", i, len(sp.procs))
+	}
+	p := sp.procs[i]
+	p.mu.Lock()
+	cmd := p.cmd
+	p.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return fmt.Errorf("dist: worker %d not running", i)
+	}
+	sp.event(Event{Kind: "worker_killed", Addr: p.addr, Group: -1, Detail: fmt.Sprintf("pid %d SIGKILL", cmd.Process.Pid)})
+	return cmd.Process.Signal(syscall.SIGKILL)
+}
+
+// Close kills every worker process and stops restarts.
+func (sp *Spawner) Close() {
+	sp.mu.Lock()
+	if sp.closed {
+		sp.mu.Unlock()
+		return
+	}
+	sp.closed = true
+	sp.mu.Unlock()
+	for _, p := range sp.procs {
+		p.mu.Lock()
+		if p.cmd != nil && p.cmd.Process != nil {
+			p.cmd.Process.Kill()
+		}
+		p.mu.Unlock()
+	}
+	sp.wg.Wait()
+}

@@ -1,0 +1,642 @@
+package dist
+
+// Supervisor is the serve-side half of the distributed transport: it
+// holds the worker fleet (replica groups over a consistent-hash ring),
+// heartbeats every member, dispatches forward jobs to k live members of
+// the routed group, and fails over — first to the group's peer replicas
+// (possibly at a smaller k; the engine's k-invariance keeps the answer
+// bit-identical), then, only when the whole group is down, to the
+// caller's degraded path (serve's breaker → DGL fallback engine).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mega/internal/datasets"
+	"mega/internal/faults"
+	"mega/internal/graph"
+	"mega/internal/models"
+	"mega/internal/retry"
+	"mega/internal/traverse"
+)
+
+// ErrGroupDown means every replica of the routed group is dead or the
+// job failed on every failover attempt: the caller should degrade (serve
+// feeds this to its dist breaker → DGL fallback).
+var ErrGroupDown = errors.New("dist: replica group down")
+
+// ErrRemoteUnshardable wraps a worker-reported permanent job failure; it
+// matches models.ErrUnshardable via errors.Is so callers use one check
+// for local and remote plan rejections.
+type remoteUnshardableError struct{ msg string }
+
+func (e *remoteUnshardableError) Error() string { return "dist: remote: " + e.msg }
+func (e *remoteUnshardableError) Is(target error) bool {
+	return target == models.ErrUnshardable
+}
+
+// Member states.
+const (
+	stateAlive int32 = iota
+	stateDead
+)
+
+// SuperOptions configures a Supervisor.
+type SuperOptions struct {
+	// Workers lists every worker address, group-major: with GroupSize g,
+	// addresses [0,g) are replica group 0, [g,2g) group 1, and so on.
+	Workers []string
+	// GroupSize is the replica count per group; zero means one group of
+	// all workers. len(Workers) must be a multiple of it.
+	GroupSize int
+	// JobWorkers is the preferred shard fan-out k per job; it is clamped
+	// per attempt to the largest divisor of 8 that live members allow.
+	// Zero defaults to 2.
+	JobWorkers int
+
+	// HeartbeatEvery is the ping cadence (default 500ms);
+	// HeartbeatTimeout the pong age that marks a member dead (default
+	// 2s).
+	HeartbeatEvery   time.Duration
+	HeartbeatTimeout time.Duration
+	// JobTimeout bounds one job attempt end to end (default 10s).
+	JobTimeout time.Duration
+	// WriteTimeout bounds each frame write (default 5s).
+	WriteTimeout time.Duration
+	// MaxAttempts caps failover attempts per Forward call (default 3).
+	MaxAttempts int
+	// Retry configures the inter-attempt backoff and dial retries.
+	Retry retry.Config
+
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+	// EventSink, when set, receives every liveness and failover event —
+	// the chaos harness and CI artifact log tap in here.
+	EventSink func(Event)
+}
+
+// Event is one supervisor incident: worker death, job retry, failover,
+// group-down degradation.
+type Event struct {
+	Time    time.Time `json:"time"`
+	Kind    string    `json:"kind"` // dial_failed | worker_dead | worker_alive | job_retry | job_failover | group_down | job_ok
+	Addr    string    `json:"addr,omitempty"`
+	Group   int       `json:"group"`
+	JobID   uint64    `json:"job_id,omitempty"`
+	Attempt int       `json:"attempt,omitempty"`
+	Detail  string    `json:"detail,omitempty"`
+}
+
+func (o *SuperOptions) withDefaults() error {
+	if len(o.Workers) == 0 {
+		return errors.New("dist: supervisor needs at least one worker address")
+	}
+	if o.GroupSize == 0 {
+		o.GroupSize = len(o.Workers)
+	}
+	if o.GroupSize < 1 || len(o.Workers)%o.GroupSize != 0 {
+		return fmt.Errorf("dist: %d workers not divisible into groups of %d", len(o.Workers), o.GroupSize)
+	}
+	if o.JobWorkers == 0 {
+		o.JobWorkers = 2
+	}
+	if o.JobWorkers < 1 || o.JobWorkers > o.GroupSize {
+		return fmt.Errorf("dist: job workers %d outside [1, group size %d]", o.JobWorkers, o.GroupSize)
+	}
+	if o.HeartbeatEvery <= 0 {
+		o.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 4 * o.HeartbeatEvery
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 10 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 5 * time.Second
+	}
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = 3
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// member is one worker in the fleet.
+type member struct {
+	addr  string
+	group int
+
+	state    atomic.Int32
+	lastPong atomic.Int64 // unix nanos of the last Pong (or successful dial)
+	jobs     atomic.Uint64
+	failures atomic.Uint64
+
+	mu   sync.Mutex
+	conn *wireConn
+}
+
+// SuperStats is the supervisor's cumulative counters, exported on serve's
+// /metrics.
+type SuperStats struct {
+	Jobs         uint64 `json:"jobs"`
+	JobRetries   uint64 `json:"job_retries"`
+	Failovers    uint64 `json:"failovers"` // jobs that succeeded only after ≥1 failed attempt
+	GroupDown    uint64 `json:"group_down"`
+	Unshardable  uint64 `json:"unshardable"`
+	WorkerDeaths uint64 `json:"worker_deaths"`
+	PayloadBytes uint64 `json:"payload_bytes"` // summed exchange payload bytes across jobs
+}
+
+// WorkerHealth is one member's liveness for /healthz.
+type WorkerHealth struct {
+	Addr            string  `json:"addr"`
+	Group           int     `json:"group"`
+	State           string  `json:"state"`
+	LastHeartbeatMs float64 `json:"last_heartbeat_ms"` // age; -1 if never heard from
+	Jobs            uint64  `json:"jobs"`
+	Failures        uint64  `json:"failures"`
+}
+
+// Supervisor manages the worker fleet and dispatches shard jobs.
+type Supervisor struct {
+	opts    SuperOptions
+	members []*member
+	groups  [][]*member
+	ring    *hashRing
+
+	jobSeq  atomic.Uint64
+	pingSeq atomic.Uint64
+
+	pendMu  sync.Mutex
+	pending map[uint64]chan Msg
+
+	jobs         atomic.Uint64
+	jobRetries   atomic.Uint64
+	failovers    atomic.Uint64
+	groupDown    atomic.Uint64
+	unshardable  atomic.Uint64
+	workerDeaths atomic.Uint64
+	payloadBytes atomic.Uint64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewSupervisor validates opts, builds the fleet, and starts the
+// heartbeat loop. Workers are dialed lazily; a fleet whose workers are
+// still starting becomes healthy as heartbeats land.
+func NewSupervisor(opts SuperOptions) (*Supervisor, error) {
+	if err := opts.withDefaults(); err != nil {
+		return nil, err
+	}
+	s := &Supervisor{
+		opts:    opts,
+		ring:    newHashRing(len(opts.Workers) / opts.GroupSize),
+		pending: make(map[uint64]chan Msg),
+		stop:    make(chan struct{}),
+	}
+	for i, addr := range opts.Workers {
+		m := &member{addr: addr, group: i / opts.GroupSize}
+		m.lastPong.Store(0)
+		s.members = append(s.members, m)
+	}
+	s.groups = make([][]*member, len(opts.Workers)/opts.GroupSize)
+	for _, m := range s.members {
+		s.groups[m.group] = append(s.groups[m.group], m)
+	}
+	s.wg.Add(1)
+	go s.heartbeatLoop()
+	return s, nil
+}
+
+// Close stops the heartbeat loop and closes every member connection.
+func (s *Supervisor) Close() {
+	select {
+	case <-s.stop:
+		return
+	default:
+	}
+	close(s.stop)
+	// Close connections before waiting: readLoops are blocked in ReadFrame
+	// and only exit when their conn dies. A concurrent dial that slips past
+	// the stop check finishes while holding m.mu, so this loop (which also
+	// takes m.mu) always closes it afterwards.
+	for _, m := range s.members {
+		m.mu.Lock()
+		if m.conn != nil {
+			m.conn.close()
+			m.conn = nil
+		}
+		m.mu.Unlock()
+	}
+	s.wg.Wait()
+}
+
+func (s *Supervisor) event(e Event) {
+	e.Time = time.Now()
+	if s.opts.EventSink != nil {
+		s.opts.EventSink(e)
+	}
+}
+
+// Stats snapshots the cumulative counters.
+func (s *Supervisor) Stats() SuperStats {
+	return SuperStats{
+		Jobs:         s.jobs.Load(),
+		JobRetries:   s.jobRetries.Load(),
+		Failovers:    s.failovers.Load(),
+		GroupDown:    s.groupDown.Load(),
+		Unshardable:  s.unshardable.Load(),
+		WorkerDeaths: s.workerDeaths.Load(),
+		PayloadBytes: s.payloadBytes.Load(),
+	}
+}
+
+// Health reports every member's liveness, fleet order.
+func (s *Supervisor) Health() []WorkerHealth {
+	now := time.Now().UnixNano()
+	out := make([]WorkerHealth, len(s.members))
+	for i, m := range s.members {
+		h := WorkerHealth{
+			Addr: m.addr, Group: m.group,
+			Jobs: m.jobs.Load(), Failures: m.failures.Load(),
+			LastHeartbeatMs: -1,
+		}
+		if m.state.Load() == stateAlive {
+			h.State = "alive"
+		} else {
+			h.State = "dead"
+		}
+		if lp := m.lastPong.Load(); lp > 0 {
+			h.LastHeartbeatMs = float64(now-lp) / 1e6
+		}
+		out[i] = h
+	}
+	return out
+}
+
+// GroupsAlive reports, per replica group, how many members are alive.
+func (s *Supervisor) GroupsAlive() []int {
+	out := make([]int, len(s.groups))
+	for g, ms := range s.groups {
+		for _, m := range ms {
+			if m.state.Load() == stateAlive {
+				out[g]++
+			}
+		}
+	}
+	return out
+}
+
+// conn returns the member's connection, dialing (with the dist.dial
+// fault point) if needed. Dial failure marks the member dead.
+func (s *Supervisor) conn(m *member) (*wireConn, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.conn != nil {
+		return m.conn, nil
+	}
+	select {
+	case <-s.stop:
+		return nil, errors.New("dist: supervisor closed")
+	default:
+	}
+	if err := faults.Inject(faults.DistDial); err != nil {
+		s.markDead(m, err.Error())
+		return nil, err
+	}
+	c, err := net.DialTimeout("tcp", m.addr, s.opts.WriteTimeout)
+	if err != nil {
+		s.markDead(m, err.Error())
+		s.event(Event{Kind: "dial_failed", Addr: m.addr, Group: m.group, Detail: err.Error()})
+		return nil, err
+	}
+	wc := newWireConn(c, s.opts.WriteTimeout)
+	if _, err := wc.handshake(Hello{Proto: ProtoVersion, Worker: -1}, s.opts.WriteTimeout); err != nil {
+		wc.close()
+		s.markDead(m, err.Error())
+		return nil, err
+	}
+	m.conn = wc
+	s.markAlive(m)
+	s.wg.Add(1)
+	go s.readLoop(m, wc)
+	return wc, nil
+}
+
+// readLoop routes a member connection's inbound frames: Pongs refresh
+// liveness, job results and errors resolve pending jobs. A read error
+// tears the connection down and marks the member dead.
+func (s *Supervisor) readLoop(m *member, wc *wireConn) {
+	defer s.wg.Done()
+	for {
+		msg, err := ReadFrame(wc.c)
+		if err != nil {
+			m.mu.Lock()
+			if m.conn == wc {
+				m.conn = nil
+			}
+			m.mu.Unlock()
+			wc.close()
+			select {
+			case <-s.stop:
+			default:
+				if m.state.Load() == stateAlive {
+					s.markDead(m, fmt.Sprintf("connection lost: %v", err))
+					s.event(Event{Kind: "worker_dead", Addr: m.addr, Group: m.group, Detail: err.Error()})
+				}
+			}
+			return
+		}
+		switch v := msg.(type) {
+		case Pong:
+			m.lastPong.Store(time.Now().UnixNano())
+			s.markAlive(m)
+		case JobResult:
+			s.resolve(v.JobID, v)
+		case JobError:
+			s.resolve(v.JobID, v)
+		}
+	}
+}
+
+func (s *Supervisor) resolve(jobID uint64, msg Msg) {
+	s.pendMu.Lock()
+	ch := s.pending[jobID]
+	s.pendMu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- msg:
+		default:
+		}
+	}
+}
+
+func (s *Supervisor) markDead(m *member, why string) {
+	if m.state.Swap(stateDead) != stateDead {
+		s.workerDeaths.Add(1)
+		s.opts.Logf("dist: worker %s (group %d) marked dead: %s", m.addr, m.group, why)
+	}
+}
+
+func (s *Supervisor) markAlive(m *member) {
+	if m.state.Swap(stateAlive) != stateAlive {
+		s.opts.Logf("dist: worker %s (group %d) alive", m.addr, m.group)
+		s.event(Event{Kind: "worker_alive", Addr: m.addr, Group: m.group})
+	}
+}
+
+// heartbeatLoop pings every member each tick; members whose last pong is
+// older than HeartbeatTimeout are marked dead, and dead members are
+// redialed (so a restarted worker process rejoins automatically).
+func (s *Supervisor) heartbeatLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		for _, m := range s.members {
+			wc, err := s.conn(m)
+			if err != nil {
+				continue
+			}
+			seq := s.pingSeq.Add(1)
+			if err := wc.write(Ping{Seq: seq}); err != nil {
+				continue // readLoop handles the teardown
+			}
+			if lp := m.lastPong.Load(); lp > 0 &&
+				time.Since(time.Unix(0, lp)) > s.opts.HeartbeatTimeout &&
+				m.state.Load() == stateAlive {
+				s.markDead(m, "heartbeat timeout")
+				s.event(Event{Kind: "worker_dead", Addr: m.addr, Group: m.group, Detail: "heartbeat timeout"})
+				m.mu.Lock()
+				if m.conn != nil {
+					m.conn.close() // readLoop exits and clears it
+				}
+				m.mu.Unlock()
+			}
+		}
+	}
+}
+
+// probe pings m and waits briefly for a pong, refreshing liveness after a
+// job failure so the next attempt's member choice reflects reality.
+func (s *Supervisor) probe(m *member, wait time.Duration) bool {
+	wc, err := s.conn(m)
+	if err != nil {
+		return false
+	}
+	start := time.Now()
+	if err := wc.write(Ping{Seq: s.pingSeq.Add(1)}); err != nil {
+		return false
+	}
+	deadline := start.Add(wait)
+	for time.Now().Before(deadline) {
+		if lp := m.lastPong.Load(); lp > 0 && time.Unix(0, lp).After(start) {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.markDead(m, "probe timeout")
+	return false
+}
+
+// largestDivisorK returns the largest divisor of 8 that is ≤ n (and ≥ 1).
+func largestDivisorK(n int) int {
+	for _, k := range []int{8, 4, 2, 1} {
+		if k <= n {
+			return k
+		}
+	}
+	return 1
+}
+
+// JobOutcome is one successful distributed forward.
+type JobOutcome struct {
+	FinalH  []float64 // PathLen×dim assembled final embeddings
+	PathLen int
+	Dim     int
+	K       int // worker count the successful attempt ran at
+	Group   int
+	Attempt int // 1 = first try; >1 means failover happened
+	Stats   models.ShardStats
+}
+
+// Forward runs one distributed forward for a batch: route the batch
+// fingerprint to a replica group, dispatch to k live members, and on
+// failure retry on the survivors (transparent failover — the engine's
+// k-invariance keeps every answer bit-identical). Permanent failures
+// (unshardable context) return an error matching models.ErrUnshardable;
+// exhausted attempts or an empty group return ErrGroupDown.
+func (s *Supervisor) Forward(ctx context.Context, insts []datasets.Instance, topts traverse.Options, dim int, fp graph.Fingerprint) (*JobOutcome, error) {
+	group := s.ring.lookup(fp)
+	s.jobs.Add(1)
+	var lastErr error
+	for attempt := 1; attempt <= s.opts.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		live := make([]*member, 0, s.opts.GroupSize)
+		for _, m := range s.groups[group] {
+			if m.state.Load() == stateAlive {
+				live = append(live, m)
+			} else if _, err := s.conn(m); err == nil {
+				// A dead member with a fresh successful dial is back.
+				live = append(live, m)
+			}
+		}
+		if len(live) == 0 {
+			lastErr = fmt.Errorf("no live members in group %d", group)
+			break
+		}
+		k := largestDivisorK(min(s.opts.JobWorkers, len(live)))
+		out, err := s.runJob(ctx, group, live[:k], k, insts, topts, dim)
+		if err == nil {
+			out.Attempt = attempt
+			if attempt > 1 {
+				s.failovers.Add(1)
+				s.event(Event{Kind: "job_failover", Group: group, JobID: s.jobSeq.Load(), Attempt: attempt,
+					Detail: fmt.Sprintf("recovered at k=%d", k)})
+			}
+			s.payloadBytes.Add(uint64(out.Stats.ForwardBytes()))
+			return out, nil
+		}
+		if errors.Is(err, models.ErrUnshardable) {
+			s.unshardable.Add(1)
+			return nil, err
+		}
+		lastErr = err
+		s.jobRetries.Add(1)
+		s.event(Event{Kind: "job_retry", Group: group, Attempt: attempt, Detail: err.Error()})
+		// Refresh liveness before re-picking members: a mid-job SIGKILL
+		// surfaces as a recv timeout on a *surviving* worker, so probe the
+		// whole group to find the actual corpse.
+		for _, m := range s.groups[group] {
+			s.probe(m, 250*time.Millisecond)
+		}
+		if attempt < s.opts.MaxAttempts {
+			select {
+			case <-time.After(retry.Backoff(attempt, s.opts.Retry)):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+	s.groupDown.Add(1)
+	s.event(Event{Kind: "group_down", Group: group, Detail: fmt.Sprint(lastErr)})
+	return nil, fmt.Errorf("%w (group %d): %v", ErrGroupDown, group, lastErr)
+}
+
+// runJob dispatches one attempt to exactly the chosen members and
+// assembles their results.
+func (s *Supervisor) runJob(ctx context.Context, group int, members []*member, k int, insts []datasets.Instance, topts traverse.Options, dim int) (*JobOutcome, error) {
+	jobID := s.jobSeq.Add(1)
+	ch := make(chan Msg, k)
+	s.pendMu.Lock()
+	s.pending[jobID] = ch
+	s.pendMu.Unlock()
+	defer func() {
+		s.pendMu.Lock()
+		delete(s.pending, jobID)
+		s.pendMu.Unlock()
+	}()
+
+	peers := make([]string, k)
+	for i, m := range members {
+		peers[i] = m.addr
+	}
+	wireInsts := make([]WireInstance, len(insts))
+	for i, inst := range insts {
+		wireInsts[i] = FromInstance(inst)
+	}
+	abort := func() {
+		for _, m := range members {
+			m.mu.Lock()
+			wc := m.conn
+			m.mu.Unlock()
+			if wc != nil {
+				wc.write(JobAbort{JobID: jobID})
+			}
+		}
+	}
+	for i, m := range members {
+		wc, err := s.conn(m)
+		if err != nil {
+			abort()
+			return nil, fmt.Errorf("dispatch to %s: %w", m.addr, err)
+		}
+		req := JobRequest{
+			JobID: jobID, Workers: int32(k), Index: int32(i), Dim: int32(dim),
+			Peers: peers, Traverse: FromTraverse(topts), Insts: wireInsts,
+		}
+		if err := wc.write(req); err != nil {
+			m.failures.Add(1)
+			abort()
+			return nil, fmt.Errorf("dispatch to %s: %w", m.addr, err)
+		}
+		m.jobs.Add(1)
+	}
+
+	// Collect k results under the job deadline.
+	results := make([]JobResult, 0, k)
+	timer := time.NewTimer(s.opts.JobTimeout)
+	defer timer.Stop()
+	for len(results) < k {
+		select {
+		case msg := <-ch:
+			switch v := msg.(type) {
+			case JobResult:
+				results = append(results, v)
+			case JobError:
+				abort()
+				if v.Permanent {
+					return nil, &remoteUnshardableError{msg: v.Msg}
+				}
+				return nil, fmt.Errorf("job %d failed on a worker: %s", jobID, v.Msg)
+			}
+		case <-timer.C:
+			abort()
+			return nil, fmt.Errorf("job %d timed out after %v", jobID, s.opts.JobTimeout)
+		case <-ctx.Done():
+			abort()
+			return nil, ctx.Err()
+		}
+	}
+
+	// Assemble: every owned row range exactly once, full coverage.
+	pathLen := int(results[0].PathLen)
+	finalH := make([]float64, pathLen*dim)
+	covered := 0
+	var stats models.ShardStats
+	stats.Workers = k
+	for _, res := range results {
+		lo, hi := int(res.Lo), int(res.Hi)
+		if int(res.PathLen) != pathLen || lo < 0 || hi > pathLen || (hi-lo)*dim != len(res.Rows) {
+			return nil, fmt.Errorf("job %d: inconsistent result geometry", jobID)
+		}
+		copy(finalH[lo*dim:hi*dim], res.Rows)
+		covered += hi - lo
+		stats.HaloMessages += res.Stats.HaloMessages
+		stats.HaloBytes += res.Stats.HaloBytes
+		stats.SyncMessages += res.Stats.SyncMessages
+		stats.SyncBytes += res.Stats.SyncBytes
+		stats.EdgeMessages += res.Stats.EdgeMessages
+		stats.EdgeBytes += res.Stats.EdgeBytes
+	}
+	if covered != pathLen {
+		return nil, fmt.Errorf("job %d: results cover %d of %d rows", jobID, covered, pathLen)
+	}
+	return &JobOutcome{FinalH: finalH, PathLen: pathLen, Dim: dim, K: k, Group: group, Stats: stats}, nil
+}

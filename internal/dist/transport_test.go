@@ -1,0 +1,319 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"mega/internal/band"
+	"mega/internal/datasets"
+	"mega/internal/models"
+	"mega/internal/retry"
+	"mega/internal/traverse"
+)
+
+// The transport tests run real Workers on real TCP listeners (in-process,
+// so coverage and -race see both sides) under a real Supervisor, and pin
+// the tentpole contract: a remote-sharded forward is bit-identical to
+// m.Forward(ctx), and its wire traffic equals AnalyzePathPartition × layers.
+
+const transportDim = 16
+
+func transportConfig() models.Config {
+	// Deterministic seed: every worker that builds this config holds the
+	// same replica, which is what makes bit-identity meaningful without
+	// shipping a checkpoint in-process.
+	return models.Config{Dim: transportDim, Layers: 2, Heads: 2, NodeTypes: 4, EdgeTypes: 2, OutDim: 1, Seed: 7}
+}
+
+func transportMegaOpts() models.MegaOptions {
+	return models.MegaOptions{Traverse: traverse.Options{Window: 2}}
+}
+
+// transportInstance builds a revisit-heavy instance (random tree: the
+// traversal backtracks at every leaf, so duplicate groups abound).
+func transportInstance(t testing.TB, seed int64, n int) datasets.Instance {
+	t.Helper()
+	g := revisitHeavyGraph(seed, n)
+	return datasets.Instance{
+		G:        g,
+		NodeFeat: make([]int32, g.NumNodes()),
+		EdgeFeat: make([]int32, g.NumEdges()),
+		Target:   1,
+	}
+}
+
+// startWorkers runs n in-process workers on ephemeral TCP ports, each with
+// its own model replica (same config seed). Returns addresses and workers.
+func startWorkers(t testing.TB, n int, tweak func(*WorkerOptions)) ([]string, []*Worker) {
+	t.Helper()
+	addrs := make([]string, n)
+	workers := make([]*Worker, n)
+	for i := 0; i < n; i++ {
+		opts := WorkerOptions{
+			Model:       models.NewGT(transportConfig()),
+			RecvTimeout: 2 * time.Second,
+			Logf:        t.Logf,
+		}
+		if tweak != nil {
+			tweak(&opts)
+		}
+		w, err := NewWorker(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		workers[i] = w
+		go w.Serve(ln)
+		t.Cleanup(w.Close)
+	}
+	return addrs, workers
+}
+
+func fastSuperOpts(addrs []string, jobWorkers int) SuperOptions {
+	return SuperOptions{
+		Workers:          addrs,
+		GroupSize:        len(addrs),
+		JobWorkers:       jobWorkers,
+		HeartbeatEvery:   50 * time.Millisecond,
+		HeartbeatTimeout: 400 * time.Millisecond,
+		JobTimeout:       5 * time.Second,
+		MaxAttempts:      4,
+		Retry:            retry.Config{Attempts: 4, Base: 10 * time.Millisecond, Max: 50 * time.Millisecond},
+	}
+}
+
+// remoteForward runs one batch through the supervisor and reads the result
+// out through the reference model, returning the outcome alongside.
+func remoteForward(t *testing.T, s *Supervisor, m *models.GT, insts []datasets.Instance) ([]float64, *JobOutcome) {
+	t.Helper()
+	mopts := transportMegaOpts()
+	refCtx, err := models.NewMegaContext(insts, mopts, nil, transportDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Forward(context.Background(), insts, mopts.TraverseOptions(), transportDim, insts[0].G.Fingerprint())
+	if err != nil {
+		t.Fatalf("supervisor forward: %v", err)
+	}
+	got, err := m.ReadoutFromFinal(refCtx, out.FinalH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got.Data, out
+}
+
+func bitsEqual64(t *testing.T, got, want []float64, what string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: [%d] = %v (bits %x), want %v (bits %x) — must be bit-identical",
+				what, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestSupervisorForwardBitIdentical is the tentpole wire contract: a
+// forward sharded across real TCP workers returns final embeddings whose
+// readout is bit-identical to the in-process m.Forward(ctx), and the
+// summed per-worker wire traffic equals AnalyzePathPartition × layers.
+func TestSupervisorForwardBitIdentical(t *testing.T) {
+	addrs, _ := startWorkers(t, 2, nil)
+	s, err := NewSupervisor(fastSuperOpts(addrs, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	m := models.NewGT(transportConfig())
+	cfg := transportConfig()
+	topts := transportMegaOpts().TraverseOptions()
+	for seed := int64(0); seed < 3; seed++ {
+		insts := []datasets.Instance{transportInstance(t, seed, 40)}
+		refCtx, err := models.NewMegaContext(insts, transportMegaOpts(), nil, transportDim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m.Forward(refCtx)
+		got, out := remoteForward(t, s, m, insts)
+		bitsEqual64(t, got, want.Data, "remote-sharded readout")
+
+		if out.K != 2 {
+			t.Fatalf("seed %d: ran at k=%d, want 2", seed, out.K)
+		}
+		rep, _, err := band.FromGraph(insts[0].G, topts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ana, err := AnalyzePathPartition(rep, out.K, transportDim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		layers := int64(cfg.Layers)
+		if out.Stats.ForwardMessages() != int64(ana.Messages)*layers {
+			t.Errorf("seed %d: wire messages %d, analysis predicts %d × %d",
+				seed, out.Stats.ForwardMessages(), ana.Messages, layers)
+		}
+		if out.Stats.ForwardBytes() != ana.Bytes*layers {
+			t.Errorf("seed %d: wire bytes %d, analysis predicts %d × %d",
+				seed, out.Stats.ForwardBytes(), ana.Bytes, layers)
+		}
+	}
+	if st := s.Stats(); st.Jobs != 3 || st.JobRetries != 0 || st.Failovers != 0 {
+		t.Errorf("healthy fleet stats = %+v, want 3 clean jobs", st)
+	}
+}
+
+// TestSupervisorFailoverToReplica kills a worker and proves the next
+// request fails over to the surviving replicas with a bit-identical
+// answer — the engine's k-invariance doing its job across the wire.
+func TestSupervisorFailoverToReplica(t *testing.T) {
+	addrs, workers := startWorkers(t, 3, nil)
+	s, err := NewSupervisor(fastSuperOpts(addrs, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	m := models.NewGT(transportConfig())
+	insts := []datasets.Instance{transportInstance(t, 11, 40)}
+	refCtx, err := models.NewMegaContext(insts, transportMegaOpts(), nil, transportDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Forward(refCtx)
+
+	got, _ := remoteForward(t, s, m, insts)
+	bitsEqual64(t, got, want.Data, "pre-kill readout")
+
+	// Kill the first member — the one a k=2 job would be dispatched to.
+	workers[0].Close()
+
+	got, out := remoteForward(t, s, m, insts)
+	bitsEqual64(t, got, want.Data, "post-kill readout")
+	if out.K > 2 {
+		t.Errorf("post-kill job ran at k=%d with 2 survivors", out.K)
+	}
+
+	// The supervisor now knows the member is dead.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if alive := s.GroupsAlive()[0]; alive == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("supervisor never marked the killed worker dead: %+v", s.Health())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, h := range s.Health() {
+		if h.Addr == addrs[0] && h.State != "dead" {
+			t.Errorf("killed worker reported %q", h.State)
+		}
+	}
+}
+
+// TestSupervisorUnshardableIsPermanent proves a structurally unshardable
+// batch comes back as models.ErrUnshardable with no retries: the failover
+// ladder must not burn attempts on requests no replica can serve.
+func TestSupervisorUnshardableIsPermanent(t *testing.T) {
+	addrs, _ := startWorkers(t, 2, nil)
+	s, err := NewSupervisor(fastSuperOpts(addrs, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// A 3-node path graph traverses into fewer than 8 rows: unshardable.
+	g := revisitHeavyGraph(3, 3)
+	insts := []datasets.Instance{{
+		G:        g,
+		NodeFeat: make([]int32, g.NumNodes()),
+		EdgeFeat: make([]int32, g.NumEdges()),
+	}}
+	_, err = s.Forward(context.Background(), insts, transportMegaOpts().TraverseOptions(), transportDim, g.Fingerprint())
+	if !errors.Is(err, models.ErrUnshardable) {
+		t.Fatalf("got %v, want models.ErrUnshardable", err)
+	}
+	st := s.Stats()
+	if st.Unshardable != 1 {
+		t.Errorf("unshardable = %d, want 1", st.Unshardable)
+	}
+	if st.JobRetries != 0 {
+		t.Errorf("permanent failure burned %d retries", st.JobRetries)
+	}
+}
+
+// TestSupervisorGroupDown proves the bottom of the failover ladder: with
+// every replica unreachable, Forward returns ErrGroupDown (the signal
+// serve's breaker turns into a DGL degrade) instead of hanging.
+func TestSupervisorGroupDown(t *testing.T) {
+	// Grab a port, then close it: dials fail fast.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	opts := fastSuperOpts([]string{addr}, 1)
+	opts.MaxAttempts = 2
+	var events []Event
+	opts.EventSink = func(e Event) { events = append(events, e) }
+	s, err := NewSupervisor(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	insts := []datasets.Instance{transportInstance(t, 5, 40)}
+	_, err = s.Forward(context.Background(), insts, transportMegaOpts().TraverseOptions(), transportDim, insts[0].G.Fingerprint())
+	if !errors.Is(err, ErrGroupDown) {
+		t.Fatalf("got %v, want ErrGroupDown", err)
+	}
+	if st := s.Stats(); st.GroupDown != 1 {
+		t.Errorf("group_down = %d, want 1", st.GroupDown)
+	}
+	sawDown := false
+	for _, e := range events {
+		if e.Kind == "group_down" {
+			sawDown = true
+		}
+	}
+	if !sawDown {
+		t.Errorf("no group_down event emitted; events: %+v", events)
+	}
+}
+
+// TestSupervisorRejectsBadFleet pins option validation.
+func TestSupervisorRejectsBadFleet(t *testing.T) {
+	if _, err := NewSupervisor(SuperOptions{}); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := NewSupervisor(SuperOptions{Workers: []string{"a", "b", "c"}, GroupSize: 2}); err == nil {
+		t.Error("3 workers in groups of 2 accepted")
+	}
+	if _, err := NewSupervisor(SuperOptions{Workers: []string{"a"}, GroupSize: 1, JobWorkers: 2}); err == nil {
+		t.Error("job fan-out above group size accepted")
+	}
+}
+
+// TestWorkerRejectsNonGT pins the worker-side model check.
+func TestWorkerRejectsNonGT(t *testing.T) {
+	if _, err := NewWorker(WorkerOptions{Model: nil}); err == nil {
+		t.Error("nil model accepted")
+	} else if !strings.Contains(err.Error(), "shard plans") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

@@ -1,0 +1,598 @@
+package dist
+
+// Wire codec for the distributed shard transport: a length-prefixed,
+// CRC-framed binary protocol carrying the shard engine's halo / dup-sync /
+// edge-fold exchange messages plus the control plane (hello, heartbeat,
+// job dispatch, results, aborts) between the serve supervisor and
+// megashard worker processes.
+//
+// Frame layout (all integers little-endian):
+//
+//	magic   4 bytes  "MGW1" — protocol name + version
+//	length  u32      byte length of kind+payload
+//	kind    u8       message kind
+//	payload variable kind-specific body
+//	crc     u32      CRC-32 (IEEE) over kind+payload
+//
+// A torn write (process killed mid-frame) surfaces as a short read or a
+// CRC mismatch — never as a misparsed message. Float64 payloads travel as
+// raw IEEE-754 bit patterns, so NaN payloads and signed zeros survive the
+// trip and the engine's bit-identity invariant is preserved end to end.
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"mega/internal/datasets"
+	"mega/internal/graph"
+	"mega/internal/models"
+	"mega/internal/traverse"
+)
+
+// ProtoVersion is the wire protocol version; it rides in the frame magic
+// ("MGW" + version digit) and in Hello, so a mixed-version pairing fails
+// at the first frame instead of misbehaving later.
+const ProtoVersion = 1
+
+var frameMagic = [4]byte{'M', 'G', 'W', '0' + ProtoVersion}
+
+// MaxFrameLen bounds kind+payload. Frames carry at most one exchange
+// message (ω·d halo rows dominate) or one job request (a serving batch);
+// 1 GiB is far above any legitimate frame and small enough to reject a
+// garbage length prefix before allocating.
+const MaxFrameLen = 1 << 30
+
+// Codec errors. Transport-level failures (short reads, closed
+// connections) pass through as the underlying io errors.
+var (
+	ErrBadMagic      = errors.New("dist: bad frame magic (wrong protocol or version)")
+	ErrCorruptFrame  = errors.New("dist: corrupt frame (CRC mismatch or malformed payload)")
+	ErrFrameTooLarge = errors.New("dist: frame exceeds MaxFrameLen")
+	ErrUnknownKind   = errors.New("dist: unknown message kind")
+)
+
+// Message kinds.
+const (
+	kindHello byte = iota + 1
+	kindPing
+	kindPong
+	kindJobRequest
+	kindJobResult
+	kindJobError
+	kindJobAbort
+	kindExchange
+)
+
+// Msg is one decoded wire message.
+type Msg interface{ kind() byte }
+
+// Hello opens every connection: both sides announce the protocol version
+// and role so a mismatched pairing fails loudly at the first frame.
+type Hello struct {
+	Proto  uint32
+	Worker int32 // sender's worker index, -1 for the supervisor
+	Addr   string
+}
+
+// Ping is a supervisor→worker heartbeat probe.
+type Ping struct{ Seq uint64 }
+
+// Pong answers a Ping with the same sequence number.
+type Pong struct{ Seq uint64 }
+
+// WireInstance is one graph instance of a job batch: exactly the fields a
+// worker needs to rebuild the instance (and therefore, with the job's
+// traversal options, a bit-identical MEGA context).
+type WireInstance struct {
+	NumNodes int32
+	Directed bool
+	Edges    []graph.Edge
+	NodeFeat []int32
+	EdgeFeat []int32
+	Target   float64
+	Label    int32
+}
+
+// WireTraverse is the resolved traversal options of a job, shipped so
+// worker-side preprocessing reproduces the supervisor's representation
+// bit for bit.
+type WireTraverse struct {
+	Window        int32
+	EdgeCoverage  float64
+	DropEdges     float64
+	DropStrategy  int32
+	RevisitPolicy int32
+	Objective     int32
+	Start         int32
+	Seed          int64
+}
+
+// FromTraverse converts resolved traversal options to wire form.
+func FromTraverse(o traverse.Options) WireTraverse {
+	return WireTraverse{
+		Window:        int32(o.Window),
+		EdgeCoverage:  o.EdgeCoverage,
+		DropEdges:     o.DropEdges,
+		DropStrategy:  int32(o.DropStrategy),
+		RevisitPolicy: int32(o.RevisitPolicy),
+		Objective:     int32(o.Objective),
+		Start:         int32(o.Start),
+		Seed:          o.Seed,
+	}
+}
+
+// Options converts wire form back to traversal options.
+func (w WireTraverse) Options() traverse.Options {
+	return traverse.Options{
+		Window:        int(w.Window),
+		EdgeCoverage:  w.EdgeCoverage,
+		DropEdges:     w.DropEdges,
+		DropStrategy:  traverse.DropStrategy(w.DropStrategy),
+		RevisitPolicy: traverse.RevisitPolicy(w.RevisitPolicy),
+		Objective:     traverse.Objective(w.Objective),
+		Start:         graph.NodeID(w.Start),
+		Seed:          w.Seed,
+	}
+}
+
+// JobRequest dispatches one worker's share of a forward job. Every worker
+// of the job receives the same batch and plan shape plus its own index;
+// Peers lists all k worker addresses in plan order for the peer-to-peer
+// exchange mesh.
+type JobRequest struct {
+	JobID    uint64
+	Workers  int32
+	Index    int32
+	Dim      int32
+	Peers    []string
+	Traverse WireTraverse
+	Insts    []WireInstance
+}
+
+// WireStats is the send-side traffic a worker originated for one job, in
+// the shard engine's logical units (one message per halo boundary / dup
+// group / edge fold per layer; bytes are payload float64s × 8).
+type WireStats struct {
+	HaloMessages, HaloBytes int64
+	SyncMessages, SyncBytes int64
+	EdgeMessages, EdgeBytes int64
+}
+
+// JobResult returns one worker's owned final-embedding rows.
+type JobResult struct {
+	JobID   uint64
+	Lo, Hi  int32
+	PathLen int32
+	Rows    []float64
+	Stats   WireStats
+}
+
+// JobError reports a failed job. Permanent marks structural failures
+// (unshardable context, malformed batch) that no retry or failover can
+// fix; the supervisor falls back locally instead of burning replicas.
+type JobError struct {
+	JobID     uint64
+	Permanent bool
+	Msg       string
+}
+
+// JobAbort tells a worker to drop a job (a peer died; the supervisor is
+// failing the attempt over to another replica set).
+type JobAbort struct{ JobID uint64 }
+
+// Exchange carries one shard engine message between workers: the key is
+// models.ShardKey verbatim, the payload raw float64 bits.
+type Exchange struct {
+	JobID uint64
+	To    int32
+	Key   models.ShardKey
+	Data  []float64
+}
+
+func (Hello) kind() byte      { return kindHello }
+func (Ping) kind() byte       { return kindPing }
+func (Pong) kind() byte       { return kindPong }
+func (JobRequest) kind() byte { return kindJobRequest }
+func (JobResult) kind() byte  { return kindJobResult }
+func (JobError) kind() byte   { return kindJobError }
+func (JobAbort) kind() byte   { return kindJobAbort }
+func (Exchange) kind() byte   { return kindExchange }
+
+// wbuf is a little-endian append-only encoder.
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u8(v byte)   { w.b = append(w.b, v) }
+func (w *wbuf) u16(v uint16) {
+	w.b = append(w.b, byte(v), byte(v>>8))
+}
+func (w *wbuf) u32(v uint32) {
+	w.b = append(w.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+func (w *wbuf) u64(v uint64) {
+	w.u32(uint32(v))
+	w.u32(uint32(v >> 32))
+}
+func (w *wbuf) i32(v int32)   { w.u32(uint32(v)) }
+func (w *wbuf) i64(v int64)   { w.u64(uint64(v)) }
+func (w *wbuf) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *wbuf) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *wbuf) str(s string) {
+	w.u32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+func (w *wbuf) f64s(v []float64) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.f64(x)
+	}
+}
+func (w *wbuf) i32s(v []int32) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.i32(x)
+	}
+}
+
+// rbuf is the matching bounds-checked decoder. The first out-of-bounds
+// read latches err; all subsequent reads return zero values, so decoders
+// can run straight through and check err once.
+type rbuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *rbuf) fail() { r.err = ErrCorruptFrame }
+func (r *rbuf) take(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		if r.err == nil {
+			r.fail()
+		}
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+func (r *rbuf) u8() byte {
+	s := r.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+func (r *rbuf) u16() uint16 {
+	s := r.take(2)
+	if s == nil {
+		return 0
+	}
+	return uint16(s[0]) | uint16(s[1])<<8
+}
+func (r *rbuf) u32() uint32 {
+	s := r.take(4)
+	if s == nil {
+		return 0
+	}
+	return uint32(s[0]) | uint32(s[1])<<8 | uint32(s[2])<<16 | uint32(s[3])<<24
+}
+func (r *rbuf) u64() uint64 {
+	lo := r.u32()
+	hi := r.u32()
+	return uint64(lo) | uint64(hi)<<32
+}
+func (r *rbuf) i32() int32     { return int32(r.u32()) }
+func (r *rbuf) i64() int64     { return int64(r.u64()) }
+func (r *rbuf) f64() float64   { return math.Float64frombits(r.u64()) }
+func (r *rbuf) boolv() bool    { return r.u8() != 0 }
+func (r *rbuf) remaining() int { return len(r.b) - r.off }
+
+// count reads a slice length and rejects any count the remaining payload
+// cannot hold at elemSize bytes per element, so a corrupt length cannot
+// trigger a huge allocation.
+func (r *rbuf) count(elemSize int) int {
+	n := r.u32()
+	if r.err != nil {
+		return 0
+	}
+	if int64(n)*int64(elemSize) > int64(r.remaining()) {
+		r.fail()
+		return 0
+	}
+	return int(n)
+}
+func (r *rbuf) str() string {
+	n := r.count(1)
+	return string(r.take(n))
+}
+func (r *rbuf) f64s() []float64 {
+	n := r.count(8)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64()
+	}
+	return out
+}
+func (r *rbuf) i32s() []int32 {
+	n := r.count(4)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = r.i32()
+	}
+	return out
+}
+
+func encodeBody(m Msg) []byte {
+	w := &wbuf{b: make([]byte, 0, 64)}
+	w.u8(m.kind())
+	switch v := m.(type) {
+	case Hello:
+		w.u32(v.Proto)
+		w.i32(v.Worker)
+		w.str(v.Addr)
+	case Ping:
+		w.u64(v.Seq)
+	case Pong:
+		w.u64(v.Seq)
+	case JobRequest:
+		w.u64(v.JobID)
+		w.i32(v.Workers)
+		w.i32(v.Index)
+		w.i32(v.Dim)
+		w.u32(uint32(len(v.Peers)))
+		for _, p := range v.Peers {
+			w.str(p)
+		}
+		t := v.Traverse
+		w.i32(t.Window)
+		w.f64(t.EdgeCoverage)
+		w.f64(t.DropEdges)
+		w.i32(t.DropStrategy)
+		w.i32(t.RevisitPolicy)
+		w.i32(t.Objective)
+		w.i32(t.Start)
+		w.i64(t.Seed)
+		w.u32(uint32(len(v.Insts)))
+		for _, in := range v.Insts {
+			w.i32(in.NumNodes)
+			w.bool(in.Directed)
+			w.u32(uint32(len(in.Edges)))
+			for _, e := range in.Edges {
+				w.i32(e.Src)
+				w.i32(e.Dst)
+			}
+			w.i32s(in.NodeFeat)
+			w.i32s(in.EdgeFeat)
+			w.f64(in.Target)
+			w.i32(in.Label)
+		}
+	case JobResult:
+		w.u64(v.JobID)
+		w.i32(v.Lo)
+		w.i32(v.Hi)
+		w.i32(v.PathLen)
+		w.f64s(v.Rows)
+		s := v.Stats
+		w.i64(s.HaloMessages)
+		w.i64(s.HaloBytes)
+		w.i64(s.SyncMessages)
+		w.i64(s.SyncBytes)
+		w.i64(s.EdgeMessages)
+		w.i64(s.EdgeBytes)
+	case JobError:
+		w.u64(v.JobID)
+		w.bool(v.Permanent)
+		w.str(v.Msg)
+	case JobAbort:
+		w.u64(v.JobID)
+	case Exchange:
+		w.u64(v.JobID)
+		w.i32(v.To)
+		w.u8(byte(v.Key.Phase))
+		w.u16(uint16(v.Key.Layer))
+		w.u32(uint32(v.Key.ID))
+		w.u8(byte(v.Key.From))
+		w.f64s(v.Data)
+	default:
+		panic(fmt.Sprintf("dist: encodeBody: unhandled message type %T", m))
+	}
+	return w.b
+}
+
+func decodeBody(b []byte) (Msg, error) {
+	if len(b) < 1 {
+		return nil, ErrCorruptFrame
+	}
+	r := &rbuf{b: b, off: 1}
+	var m Msg
+	switch b[0] {
+	case kindHello:
+		m = Hello{Proto: r.u32(), Worker: r.i32(), Addr: r.str()}
+	case kindPing:
+		m = Ping{Seq: r.u64()}
+	case kindPong:
+		m = Pong{Seq: r.u64()}
+	case kindJobRequest:
+		v := JobRequest{JobID: r.u64(), Workers: r.i32(), Index: r.i32(), Dim: r.i32()}
+		np := r.count(4) // a peer is at least a 4-byte length prefix
+		for i := 0; i < np && r.err == nil; i++ {
+			v.Peers = append(v.Peers, r.str())
+		}
+		v.Traverse = WireTraverse{
+			Window: r.i32(), EdgeCoverage: r.f64(), DropEdges: r.f64(),
+			DropStrategy: r.i32(), RevisitPolicy: r.i32(), Objective: r.i32(),
+			Start: r.i32(), Seed: r.i64(),
+		}
+		ni := r.count(1)
+		for i := 0; i < ni && r.err == nil; i++ {
+			in := WireInstance{NumNodes: r.i32(), Directed: r.boolv()}
+			ne := r.count(8)
+			if r.err == nil {
+				in.Edges = make([]graph.Edge, ne)
+				for j := range in.Edges {
+					in.Edges[j] = graph.Edge{Src: r.i32(), Dst: r.i32()}
+				}
+			}
+			in.NodeFeat = r.i32s()
+			in.EdgeFeat = r.i32s()
+			in.Target = r.f64()
+			in.Label = r.i32()
+			v.Insts = append(v.Insts, in)
+		}
+		m = v
+	case kindJobResult:
+		v := JobResult{JobID: r.u64(), Lo: r.i32(), Hi: r.i32(), PathLen: r.i32(), Rows: r.f64s()}
+		v.Stats = WireStats{
+			HaloMessages: r.i64(), HaloBytes: r.i64(),
+			SyncMessages: r.i64(), SyncBytes: r.i64(),
+			EdgeMessages: r.i64(), EdgeBytes: r.i64(),
+		}
+		m = v
+	case kindJobError:
+		m = JobError{JobID: r.u64(), Permanent: r.boolv(), Msg: r.str()}
+	case kindJobAbort:
+		m = JobAbort{JobID: r.u64()}
+	case kindExchange:
+		v := Exchange{JobID: r.u64(), To: r.i32()}
+		v.Key = models.ShardKey{
+			Phase: int8(r.u8()), Layer: int16(r.u16()), ID: int32(r.u32()), From: int8(r.u8()),
+		}
+		v.Data = r.f64s()
+		m = v
+	default:
+		return nil, fmt.Errorf("%w: 0x%02x", ErrUnknownKind, b[0])
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(b) {
+		// Trailing garbage inside a CRC-valid frame is an encoder bug or a
+		// forged frame; reject rather than silently ignore.
+		return nil, ErrCorruptFrame
+	}
+	return m, nil
+}
+
+// EncodeFrame serialises m into a complete frame.
+func EncodeFrame(m Msg) []byte {
+	body := encodeBody(m)
+	w := &wbuf{b: make([]byte, 0, len(body)+12)}
+	w.b = append(w.b, frameMagic[:]...)
+	w.u32(uint32(len(body)))
+	w.b = append(w.b, body...)
+	w.u32(crc32.ChecksumIEEE(body))
+	return w.b
+}
+
+// DecodeFrame parses one complete frame from the front of b, returning
+// the message and the number of bytes consumed. io.ErrUnexpectedEOF means
+// b holds a prefix of a valid frame (read more); other errors mean the
+// stream is poisoned and the connection should be dropped.
+func DecodeFrame(b []byte) (Msg, int, error) {
+	if len(b) < 8 {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	if [4]byte(b[:4]) != frameMagic {
+		return nil, 0, ErrBadMagic
+	}
+	n := uint32(b[4]) | uint32(b[5])<<8 | uint32(b[6])<<16 | uint32(b[7])<<24
+	if n > MaxFrameLen {
+		return nil, 0, ErrFrameTooLarge
+	}
+	total := 8 + int(n) + 4
+	if len(b) < total {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	body := b[8 : 8+n]
+	crc := uint32(b[8+n]) | uint32(b[8+n+1])<<8 | uint32(b[8+n+2])<<16 | uint32(b[8+n+3])<<24
+	if crc32.ChecksumIEEE(body) != crc {
+		return nil, 0, ErrCorruptFrame
+	}
+	m, err := decodeBody(body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, total, nil
+}
+
+// WriteFrame writes one frame to w. The frame is assembled first so the
+// write is a single Write call — a killed peer tears the frame, never
+// interleaves it.
+func WriteFrame(w io.Writer, m Msg) error {
+	_, err := w.Write(EncodeFrame(m))
+	return err
+}
+
+// ReadFrame reads exactly one frame from r. A clean EOF at a frame
+// boundary returns io.EOF; EOF inside a frame (torn write) returns
+// io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) (Msg, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if [4]byte(hdr[:4]) != frameMagic {
+		return nil, ErrBadMagic
+	}
+	n := uint32(hdr[4]) | uint32(hdr[5])<<8 | uint32(hdr[6])<<16 | uint32(hdr[7])<<24
+	if n > MaxFrameLen {
+		return nil, ErrFrameTooLarge
+	}
+	rest := make([]byte, int(n)+4)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	body := rest[:n]
+	crc := uint32(rest[n]) | uint32(rest[n+1])<<8 | uint32(rest[n+2])<<16 | uint32(rest[n+3])<<24
+	if crc32.ChecksumIEEE(body) != crc {
+		return nil, ErrCorruptFrame
+	}
+	return decodeBody(body)
+}
+
+// FromInstance converts a dataset instance to wire form.
+func FromInstance(in datasets.Instance) WireInstance {
+	return WireInstance{
+		NumNodes: int32(in.G.NumNodes()),
+		Directed: in.G.Directed(),
+		Edges:    in.G.Edges(),
+		NodeFeat: in.NodeFeat,
+		EdgeFeat: in.EdgeFeat,
+		Target:   in.Target,
+		Label:    int32(in.Label),
+	}
+}
+
+// Instance rebuilds the dataset instance. The graph is reconstructed from
+// the exact edge list, so its fingerprint — and any MEGA preprocessing —
+// matches the sender's bit for bit.
+func (w WireInstance) Instance() (datasets.Instance, error) {
+	g, err := graph.New(int(w.NumNodes), w.Edges, w.Directed)
+	if err != nil {
+		return datasets.Instance{}, fmt.Errorf("dist: wire instance: %w", err)
+	}
+	return datasets.Instance{
+		G:        g,
+		NodeFeat: w.NodeFeat,
+		EdgeFeat: w.EdgeFeat,
+		Target:   w.Target,
+		Label:    int(w.Label),
+	}, nil
+}

@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWireRoundTrip drives the frame decoder with arbitrary bytes and
+// pins two properties: (1) the decoder never panics and never accepts a
+// frame whose re-encoding differs from the accepted bytes (so every
+// accepted message round-trips bit-identically, NaN payloads included);
+// (2) every frame the encoder produces — seeded with all message kinds,
+// including NaN/±Inf payloads — decodes back to the same bits.
+func FuzzWireRoundTrip(f *testing.F) {
+	for _, m := range wireTestMsgs() {
+		f.Add(EncodeFrame(m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte("MGW1junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, n, err := DecodeFrame(data)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("decode error %v consumed %d bytes", err, n)
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("decoded frame length %d out of range [1,%d]", n, len(data))
+		}
+		// Accepted frames must re-encode to the exact accepted bytes: the
+		// codec has one canonical encoding per message, so decode∘encode is
+		// the identity on valid frames and bit-identity is structural.
+		re := EncodeFrame(m)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encoded frame differs from accepted bytes")
+		}
+		// The streaming reader must agree with the buffer decoder.
+		got, err := ReadFrame(bytes.NewReader(data[:n]))
+		if err != nil {
+			t.Fatalf("ReadFrame rejected a frame DecodeFrame accepted: %v", err)
+		}
+		if !bytes.Equal(EncodeFrame(got), re) {
+			t.Fatalf("ReadFrame decoded different content than DecodeFrame")
+		}
+	})
+}
+
+// FuzzWireStream feeds arbitrary bytes to the streaming reader: it must
+// never panic, and must terminate with io.EOF, a codec error, or a
+// truncation error.
+func FuzzWireStream(f *testing.F) {
+	var seed bytes.Buffer
+	for _, m := range wireTestMsgs() {
+		_ = WriteFrame(&seed, m)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("MGW1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			_, err := ReadFrame(r)
+			if err == nil {
+				continue
+			}
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+				errors.Is(err, ErrBadMagic) || errors.Is(err, ErrCorruptFrame) ||
+				errors.Is(err, ErrFrameTooLarge) || errors.Is(err, ErrUnknownKind) {
+				return
+			}
+			t.Fatalf("unexpected error class: %v", err)
+		}
+	})
+}

@@ -1,0 +1,427 @@
+package dist
+
+// Worker is the shard-worker half of the distributed transport: it
+// accepts connections from the supervisor (job dispatch, heartbeats) and
+// from peer workers (shard exchange frames), runs its share of each
+// forward job via models.RunShardWorkerForward, and replies with its
+// owned final-embedding rows. cmd/megashard wraps it in a process; tests
+// also run it in-process against real TCP sockets.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mega/internal/band"
+	"mega/internal/datasets"
+	"mega/internal/faults"
+	"mega/internal/models"
+	"mega/internal/retry"
+)
+
+// errBadJob marks malformed job requests (undecodable instances, bad
+// dims): permanent — no retry or replica can fix the request itself.
+var errBadJob = errors.New("dist: malformed job request")
+
+// WorkerOptions configures a Worker.
+type WorkerOptions struct {
+	// Model is the model replica this worker serves; it must be the same
+	// checkpoint the supervisor serves or bit-identity is meaningless.
+	// Currently the shard plan supports *models.GT.
+	Model models.Model
+
+	// RecvTimeout bounds each wait for one peer exchange message; zero
+	// defaults to 5s. This is the per-message deadline that detects a
+	// dead peer mid-wave.
+	RecvTimeout time.Duration
+	// WriteTimeout bounds each frame write; zero defaults to 5s.
+	WriteTimeout time.Duration
+	// DialRetry configures peer dial retry/backoff; zero value defaults
+	// to 3 attempts from 20ms.
+	DialRetry retry.Config
+
+	// SendDelay, when positive, sleeps before every exchange send. Test
+	// hook: it stretches a job's wave so a chaos harness can SIGKILL the
+	// process reliably mid-batch. Production configs leave it zero.
+	SendDelay time.Duration
+
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o *WorkerOptions) withDefaults() {
+	if o.RecvTimeout <= 0 {
+		o.RecvTimeout = 5 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 5 * time.Second
+	}
+	if o.DialRetry.Attempts == 0 {
+		o.DialRetry = retry.Config{Attempts: 3, Base: 20 * time.Millisecond, Max: 200 * time.Millisecond}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// Worker serves shard jobs over the wire protocol.
+type Worker struct {
+	opts   WorkerOptions
+	gt     *models.GT
+	router *exchangeRouter
+
+	mu     sync.Mutex
+	aborts map[uint64]chan struct{}
+	peers  map[string]*wireConn // outbound exchange conns by peer address
+	conns  map[net.Conn]struct{}
+	ln     net.Listener
+	closed bool
+
+	prepMu sync.Mutex
+	preps  map[string]*models.PreparedRep
+}
+
+// NewWorker validates the model and builds a worker.
+func NewWorker(opts WorkerOptions) (*Worker, error) {
+	gt, ok := opts.Model.(*models.GT)
+	if !ok {
+		return nil, fmt.Errorf("dist: worker model %T does not support shard plans", opts.Model)
+	}
+	opts.withDefaults()
+	return &Worker{
+		opts:   opts,
+		gt:     gt,
+		router: newExchangeRouter(),
+		aborts: make(map[uint64]chan struct{}),
+		peers:  make(map[string]*wireConn),
+		conns:  make(map[net.Conn]struct{}),
+		preps:  make(map[string]*models.PreparedRep),
+	}, nil
+}
+
+// Serve accepts connections on ln until Close (or a listener error). It
+// blocks; run it in a goroutine for in-process use.
+func (w *Worker) Serve(ln net.Listener) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		ln.Close()
+		return errors.New("dist: worker closed")
+	}
+	w.ln = ln
+	w.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			w.mu.Lock()
+			closed := w.closed
+			w.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		w.mu.Lock()
+		w.conns[c] = struct{}{}
+		w.mu.Unlock()
+		go w.handleConn(c)
+	}
+}
+
+// Close stops the accept loop and tears down every connection.
+func (w *Worker) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	ln := w.ln
+	conns := make([]net.Conn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	peers := w.peers
+	w.peers = make(map[string]*wireConn)
+	w.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, pc := range peers {
+		pc.close()
+	}
+}
+
+// handleConn serves one inbound connection (supervisor or peer): Hello
+// handshake, then a demux loop over the control and exchange frames.
+func (w *Worker) handleConn(c net.Conn) {
+	defer func() {
+		w.mu.Lock()
+		delete(w.conns, c)
+		w.mu.Unlock()
+		c.Close()
+	}()
+	wc := newWireConn(c, w.opts.WriteTimeout)
+	c.SetReadDeadline(time.Now().Add(w.opts.RecvTimeout))
+	first, err := ReadFrame(c)
+	if err != nil {
+		return
+	}
+	hello, ok := first.(Hello)
+	if !ok || hello.Proto != ProtoVersion {
+		w.opts.Logf("dist: worker: rejecting conn from %s: bad hello", c.RemoteAddr())
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+	if err := wc.write(Hello{Proto: ProtoVersion, Worker: -2}); err != nil {
+		return
+	}
+	for {
+		m, err := ReadFrame(c)
+		if err != nil {
+			return
+		}
+		switch v := m.(type) {
+		case Ping:
+			if err := wc.write(Pong{Seq: v.Seq}); err != nil {
+				return
+			}
+		case JobRequest:
+			in := w.router.register(v.JobID)
+			abort := make(chan struct{})
+			w.mu.Lock()
+			w.aborts[v.JobID] = abort
+			w.mu.Unlock()
+			go w.runJob(wc, v, in, abort)
+		case JobAbort:
+			w.mu.Lock()
+			if ch, ok := w.aborts[v.JobID]; ok {
+				delete(w.aborts, v.JobID)
+				close(ch)
+			}
+			w.mu.Unlock()
+		case Exchange:
+			w.router.route(v)
+		default:
+			// Unknown-but-valid control traffic is ignored for forward
+			// compatibility within a protocol version.
+		}
+	}
+}
+
+// runJob executes one job and replies on the dispatching connection.
+func (w *Worker) runJob(reply *wireConn, req JobRequest, in chan Exchange, abort chan struct{}) {
+	res, err := w.execJob(req, in, abort)
+	w.router.unregister(req.JobID)
+	w.mu.Lock()
+	delete(w.aborts, req.JobID)
+	w.mu.Unlock()
+	if err != nil {
+		perm := errors.Is(err, models.ErrUnshardable) || errors.Is(err, errBadJob)
+		w.opts.Logf("dist: worker: job %d failed (permanent=%v): %v", req.JobID, perm, err)
+		reply.write(JobError{JobID: req.JobID, Permanent: perm, Msg: err.Error()})
+		return
+	}
+	reply.write(JobResult{
+		JobID: req.JobID,
+		Lo:    int32(res.Lo), Hi: int32(res.Hi), PathLen: int32(res.PathLen),
+		Rows: res.Rows,
+		Stats: WireStats{
+			HaloMessages: res.Stats.HaloMessages, HaloBytes: res.Stats.HaloBytes,
+			SyncMessages: res.Stats.SyncMessages, SyncBytes: res.Stats.SyncBytes,
+			EdgeMessages: res.Stats.EdgeMessages, EdgeBytes: res.Stats.EdgeBytes,
+		},
+	})
+}
+
+func (w *Worker) execJob(req JobRequest, in chan Exchange, abort chan struct{}) (models.ShardWorkerResult, error) {
+	var zero models.ShardWorkerResult
+	if int(req.Workers) != len(req.Peers) || req.Index < 0 || req.Index >= req.Workers {
+		return zero, fmt.Errorf("%w: %d peers for k=%d index %d", errBadJob, len(req.Peers), req.Workers, req.Index)
+	}
+	if len(req.Insts) == 0 {
+		return zero, fmt.Errorf("%w: empty batch", errBadJob)
+	}
+	batch, preps, err := w.prepareBatch(req)
+	if err != nil {
+		return zero, err
+	}
+	ctx, err := models.NewMegaContextFromReps(batch, preps, nil, int(req.Dim))
+	if err != nil {
+		return zero, fmt.Errorf("%w: %v", errBadJob, err)
+	}
+	link := &remoteLink{
+		w: w, jobID: req.JobID, self: int(req.Index), peers: req.Peers,
+		in: in, abort: abort,
+		stash:   make(map[models.ShardKey][]float64),
+		timeout: w.opts.RecvTimeout, sendDelay: w.opts.SendDelay,
+	}
+	return models.RunShardWorkerForward(w.gt, ctx, int(req.Workers), int(req.Index), link)
+}
+
+// prepareBatch rebuilds the job's instances and their path
+// representations, caching reps by (graph fingerprint, traversal
+// options) — the worker-side analogue of serve's rep cache, and the
+// reason repeated traffic for the same graph skips preprocessing.
+func (w *Worker) prepareBatch(req JobRequest) ([]datasets.Instance, []*models.PreparedRep, error) {
+	topts := req.Traverse.Options()
+	optKey := fmt.Sprintf("|w%d c%g d%g s%d r%d o%d st%d sd%d",
+		topts.Window, topts.EdgeCoverage, topts.DropEdges, topts.DropStrategy,
+		topts.RevisitPolicy, topts.Objective, topts.Start, topts.Seed)
+	insts := make([]datasets.Instance, len(req.Insts))
+	preps := make([]*models.PreparedRep, len(req.Insts))
+	for i, win := range req.Insts {
+		inst, err := win.Instance()
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", errBadJob, err)
+		}
+		insts[i] = inst
+		fp := inst.G.Fingerprint()
+		key := string(fp[:]) + optKey
+		w.prepMu.Lock()
+		prep := w.preps[key]
+		w.prepMu.Unlock()
+		if prep == nil {
+			rep, res, err := band.FromGraph(inst.G, topts)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: preprocessing: %v", errBadJob, err)
+			}
+			prep = &models.PreparedRep{Rep: rep, Res: res}
+			w.prepMu.Lock()
+			w.preps[key] = prep
+			w.prepMu.Unlock()
+		}
+		preps[i] = prep
+	}
+	return insts, preps, nil
+}
+
+// peerConn returns a cached outbound exchange connection to addr, dialing
+// (with retry/backoff and the dist.dial fault point) on first use. Peer
+// connections are unidirectional: each worker writes its own sends on its
+// own outbound conns, and the accept side routes them — no rendezvous.
+func (w *Worker) peerConn(addr string) (*wireConn, error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil, errors.New("dist: worker closed")
+	}
+	if pc, ok := w.peers[addr]; ok {
+		w.mu.Unlock()
+		return pc, nil
+	}
+	w.mu.Unlock()
+	var pc *wireConn
+	err := retry.Do(context.Background(), w.opts.DialRetry, func() error {
+		if err := faults.Inject(faults.DistDial); err != nil {
+			return err
+		}
+		c, err := net.DialTimeout("tcp", addr, w.opts.WriteTimeout)
+		if err != nil {
+			return err
+		}
+		wc := newWireConn(c, w.opts.WriteTimeout)
+		if _, err := wc.handshake(Hello{Proto: ProtoVersion, Worker: -2}, w.opts.RecvTimeout); err != nil {
+			wc.close()
+			return err
+		}
+		// Drain the peer's side of the conn so its write of Pong/etc never
+		// blocks; exchange conns only ever receive Hello back.
+		go func() {
+			for {
+				if _, err := ReadFrame(c); err != nil {
+					return
+				}
+			}
+		}()
+		pc = wc
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dist: dial peer %s: %w", addr, err)
+	}
+	w.mu.Lock()
+	if cached, ok := w.peers[addr]; ok {
+		w.mu.Unlock()
+		pc.close()
+		return cached, nil
+	}
+	w.peers[addr] = pc
+	w.mu.Unlock()
+	return pc, nil
+}
+
+// dropPeer invalidates a cached peer connection after a send failure so
+// the next job redials.
+func (w *Worker) dropPeer(addr string, pc *wireConn) {
+	w.mu.Lock()
+	if w.peers[addr] == pc {
+		delete(w.peers, addr)
+	}
+	w.mu.Unlock()
+	pc.close()
+}
+
+// errJobAborted is returned from Recv when the supervisor aborts a job.
+var errJobAborted = errors.New("dist: job aborted by supervisor")
+
+// remoteLink is the models.ShardLink over the wire: sends go to peer
+// workers' exchange connections, receives drain this job's routed channel
+// with a per-message deadline.
+type remoteLink struct {
+	w         *Worker
+	jobID     uint64
+	self      int
+	peers     []string
+	in        chan Exchange
+	abort     chan struct{}
+	stash     map[models.ShardKey][]float64
+	timeout   time.Duration
+	sendDelay time.Duration
+}
+
+func (l *remoteLink) Send(to int, key models.ShardKey, data []float64) error {
+	if to < 0 || to >= len(l.peers) {
+		return fmt.Errorf("dist: send to worker %d of %d", to, len(l.peers))
+	}
+	if l.sendDelay > 0 {
+		time.Sleep(l.sendDelay)
+	}
+	pc, err := l.w.peerConn(l.peers[to])
+	if err != nil {
+		return err
+	}
+	if err := pc.write(Exchange{JobID: l.jobID, To: int32(to), Key: key, Data: data}); err != nil {
+		l.w.dropPeer(l.peers[to], pc)
+		return err
+	}
+	return nil
+}
+
+func (l *remoteLink) Recv(key models.ShardKey) ([]float64, error) {
+	if d, ok := l.stash[key]; ok {
+		delete(l.stash, key)
+		return d, nil
+	}
+	timer := time.NewTimer(l.timeout)
+	defer timer.Stop()
+	for {
+		select {
+		case m := <-l.in:
+			if m.Key == key {
+				return m.Data, nil
+			}
+			l.stash[m.Key] = m.Data
+		case <-l.abort:
+			return nil, errJobAborted
+		case <-timer.C:
+			return nil, fmt.Errorf("dist: worker %d: no %+v within %v (peer dead?)", l.self, key, l.timeout)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package faults
+
+// TB is the subset of testing.TB that ArmT needs. Declaring it locally
+// keeps package faults free of a testing import, which would otherwise
+// drag test flags into every production binary carrying the hooks.
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+	Cleanup(func())
+}
+
+// ArmT enables plan for the duration of one test and guards the
+// registry's process-global footgun: it fails fast if another plan is
+// already armed (two tests sharing the registry silently corrupt each
+// other's fire patterns and counters) and auto-Disables on cleanup, so a
+// failing or panicking test can no longer leak an armed plan into the
+// rest of the package run. Tests that arm faults must not run in
+// parallel with each other; ArmT turns the collision into an immediate,
+// attributable failure instead of a flaky downstream test.
+func ArmT(t TB, plan Plan) {
+	t.Helper()
+	if Enabled() {
+		t.Fatalf("faults: ArmT: a fault plan is already armed (missing Disable in a previous test, or two fault-arming tests running in parallel)")
+	}
+	Enable(plan)
+	t.Cleanup(Disable)
+}

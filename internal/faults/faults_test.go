@@ -173,3 +173,48 @@ func BenchmarkInjectDisabled(b *testing.B) {
 		Inject(ServeForward)
 	}
 }
+
+// fakeTB records ArmT's fatal path without killing the real test.
+type fakeTB struct {
+	fatal   bool
+	cleanup []func()
+}
+
+func (f *fakeTB) Helper()               {}
+func (f *fakeTB) Fatalf(string, ...any) { f.fatal = true }
+func (f *fakeTB) Cleanup(fn func())     { f.cleanup = append(f.cleanup, fn) }
+func (f *fakeTB) runCleanups() {
+	for i := len(f.cleanup) - 1; i >= 0; i-- {
+		f.cleanup[i]()
+	}
+}
+
+func TestArmTArmsAndCleansUp(t *testing.T) {
+	Disable()
+	tb := &fakeTB{}
+	ArmT(tb, Plan{Seed: 1, Points: []PointConfig{{Name: ServeForward, Prob: 1}}})
+	if tb.fatal {
+		t.Fatal("ArmT failed on a clean registry")
+	}
+	if !Enabled() {
+		t.Fatal("ArmT did not enable the plan")
+	}
+	if err := Inject(ServeForward); !IsInjected(err) {
+		t.Fatalf("armed point did not fire: %v", err)
+	}
+	tb.runCleanups()
+	if Enabled() {
+		t.Fatal("ArmT cleanup did not disable the plan")
+	}
+}
+
+func TestArmTFailsFastWhenAlreadyArmed(t *testing.T) {
+	Disable()
+	Enable(Plan{Seed: 1})
+	defer Disable()
+	tb := &fakeTB{}
+	ArmT(tb, Plan{Seed: 2})
+	if !tb.fatal {
+		t.Fatal("ArmT did not fail fast on an already-armed registry")
+	}
+}

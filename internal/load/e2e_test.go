@@ -67,13 +67,12 @@ func TestEndToEndLoadWithFaults(t *testing.T) {
 		BreakerThreshold: 3, BreakerCooldown: 20 * time.Millisecond,
 	})
 
-	faults.Enable(faults.Plan{Seed: 99, Points: []faults.PointConfig{
+	faults.ArmT(t, faults.Plan{Seed: 99, Points: []faults.PointConfig{
 		{Name: faults.ServeCacheGet, Prob: 0.2, Action: faults.ActError},
 		{Name: faults.ServeCachePut, Prob: 0.2, Action: faults.ActError},
 		{Name: faults.ServePrepare, Prob: 0.1, Action: faults.ActError},
 		{Name: faults.ServeForward, Prob: 0.1, Action: faults.ActDelay, Delay: 2 * time.Millisecond},
 	}})
-	defer faults.Disable()
 
 	rep, err := Run(InProcess{S: s}, RunOptions{
 		Seed: 11,

@@ -1,0 +1,174 @@
+package models
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// chanLink is a minimal in-process ShardLink: one mailbox per worker, every
+// worker holds the same mailbox table. It exercises exactly the code path a
+// remote transport uses (link-routed send/recv, per-worker runs in separate
+// engine instances) without a process boundary.
+type chanLink struct {
+	self  int
+	boxes []chan shardMsg
+	stash map[ShardKey][]float64
+}
+
+func newChanLinks(k int) []*chanLink {
+	boxes := make([]chan shardMsg, k)
+	for i := range boxes {
+		boxes[i] = make(chan shardMsg, 1<<14)
+	}
+	links := make([]*chanLink, k)
+	for i := range links {
+		links[i] = &chanLink{self: i, boxes: boxes, stash: make(map[ShardKey][]float64)}
+	}
+	return links
+}
+
+func (l *chanLink) Send(to int, key ShardKey, data []float64) error {
+	select {
+	case l.boxes[to] <- shardMsg{key: key, data: data}:
+		return nil
+	default:
+		return errors.New("chanLink: mailbox full")
+	}
+}
+
+func (l *chanLink) Recv(key ShardKey) ([]float64, error) {
+	if d, ok := l.stash[key]; ok {
+		delete(l.stash, key)
+		return d, nil
+	}
+	for m := range l.boxes[l.self] {
+		if m.key == key {
+			return m.data, nil
+		}
+		l.stash[m.key] = m.data
+	}
+	return nil, errors.New("chanLink: closed")
+}
+
+// failLink errors on the first Send to prove link failures surface as
+// errors, not panics or hangs.
+type failLink struct{}
+
+func (failLink) Send(int, ShardKey, []float64) error {
+	return errors.New("failLink: injected send failure")
+}
+func (failLink) Recv(ShardKey) ([]float64, error) {
+	return nil, errors.New("failLink: injected recv failure")
+}
+
+// TestShardWorkerForwardOverLink pins the distribution contract: k
+// independent RunShardWorkerForward calls — each building its own engine,
+// talking only through a ShardLink — assemble final embeddings and a
+// readout bit-identical to m.Forward(ctx), and their summed send-side
+// traffic equals the in-process engine's totals.
+func TestShardWorkerForwardOverLink(t *testing.T) {
+	m, ctx := shardTestSetup(t, 6)
+	want := m.Forward(ctx)
+
+	ref, err := NewShardEngine(m, ctx, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Forward()
+	refStats := ref.Stats()
+
+	for _, k := range []int{1, 2, 4, 8} {
+		links := newChanLinks(k)
+		results := make([]ShardWorkerResult, k)
+		errs := make([]error, k)
+		var wg sync.WaitGroup
+		for w := 0; w < k; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				results[w], errs[w] = RunShardWorkerForward(m, ctx, k, w, links[w])
+			}(w)
+		}
+		wg.Wait()
+		for w, e := range errs {
+			if e != nil {
+				t.Fatalf("k=%d worker %d: %v", k, w, e)
+			}
+		}
+
+		finalH := make([]float64, ctx.NumRows*m.cfg.Dim)
+		var msgs, bytes int64
+		for _, res := range results {
+			copy(finalH[res.Lo*m.cfg.Dim:res.Hi*m.cfg.Dim], res.Rows)
+			msgs += res.Stats.ForwardMessages()
+			bytes += res.Stats.ForwardBytes()
+		}
+		got, err := m.ReadoutFromFinal(ctx, finalH)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !bitsEqual(got.Data, want.Data) {
+			t.Errorf("k=%d: link-distributed output differs from m.Forward", k)
+		}
+		if k == 4 {
+			if msgs != refStats.ForwardMessages() || bytes != refStats.ForwardBytes() {
+				t.Errorf("k=4: summed link traffic %d msgs/%d B, in-process engine %d/%d",
+					msgs, bytes, refStats.ForwardMessages(), refStats.ForwardBytes())
+			}
+		}
+	}
+}
+
+// TestShardWorkerForwardLinkError pins failure semantics: a broken link
+// yields an error (carrying the link's message), never a panic.
+func TestShardWorkerForwardLinkError(t *testing.T) {
+	m, ctx := shardTestSetup(t, 6)
+	_, err := RunShardWorkerForward(m, ctx, 2, 0, failLink{})
+	if err == nil {
+		t.Fatal("expected error from failing link")
+	}
+	if want := "injected send failure"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not mention %q", err, want)
+	}
+	if _, err := RunShardWorkerForward(m, ctx, 2, 5, nil); err == nil {
+		t.Error("expected error for out-of-range worker index")
+	}
+}
+
+// TestReadoutFromFinalMatchesEngine pins the root-tape tail against the
+// in-process engine's own collection.
+func TestReadoutFromFinalMatchesEngine(t *testing.T) {
+	m, ctx := shardTestSetup(t, 4)
+	eng, err := NewShardEngine(m, ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := eng.Forward()
+	got, err := m.ReadoutFromFinal(ctx, eng.FinalEmbeddings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitsEqual(got.Data, want.Data) {
+		t.Error("ReadoutFromFinal differs from ShardEngine.Forward")
+	}
+	if _, err := m.ReadoutFromFinal(ctx, make([]float64, 3)); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+}
+
+// TestErrUnshardableClassification pins which constructor failures are
+// structural (ErrUnshardable — fall back / don't retry) and which are
+// configuration errors.
+func TestErrUnshardableClassification(t *testing.T) {
+	m, ctx := shardTestSetup(t, 6)
+	if _, err := NewShardEngine(m, &Context{NumRows: 4}, 2); !errors.Is(err, ErrUnshardable) {
+		t.Errorf("non-MEGA context: got %v, want ErrUnshardable", err)
+	}
+	if _, err := NewShardEngine(m, ctx, 3); err == nil {
+		t.Error("expected error for k=3")
+	} else if errors.Is(err, ErrUnshardable) {
+		t.Error("worker-count mismatch must not be ErrUnshardable")
+	}
+}

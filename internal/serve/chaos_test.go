@@ -43,10 +43,9 @@ func TestChaosEndToEnd(t *testing.T) {
 
 	// --- Phase 1: train with checkpointing under checkpoint-save faults.
 	dir := t.TempDir()
-	faults.Enable(faults.Plan{Seed: 7, Points: []faults.PointConfig{
+	faults.ArmT(t, faults.Plan{Seed: 7, Points: []faults.PointConfig{
 		{Name: faults.TrainCkptSave, Prob: 0.2, Action: faults.ActError},
 	}})
-	defer faults.Disable()
 	ds := datasets.ZINC(datasets.Config{TrainSize: 16, ValSize: 8, TestSize: 1, Seed: 11})
 	res, err := train.Run(ds, train.Options{
 		Model: "GT", Engine: models.EngineMega,
@@ -101,6 +100,8 @@ func TestChaosEndToEnd(t *testing.T) {
 	}
 
 	// --- Phase 3: concurrent clients against every serve fault point.
+	// Plain Enable: phase 1's ArmT already owns the cleanup hook, and its
+	// plan was explicitly disabled above, so re-arming here is safe.
 	faults.Enable(faults.Plan{Seed: 1234, Points: []faults.PointConfig{
 		{Name: faults.ServeCacheGet, Prob: 0.3, Action: faults.ActError},
 		{Name: faults.ServeCachePut, Prob: 0.3, Action: faults.ActError},

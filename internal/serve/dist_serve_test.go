@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"math"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mega/internal/datasets"
+	"mega/internal/dist"
+	"mega/internal/models"
+	"mega/internal/retry"
+	"mega/internal/train"
+)
+
+// startDistWorkers boots n in-process shard workers (the same dist.Worker
+// that cmd/megashard wraps) serving model over real TCP loopback listeners.
+func startDistWorkers(t *testing.T, n int, model models.Model) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		w, err := dist.NewWorker(dist.WorkerOptions{Model: model, RecvTimeout: 2 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		go w.Serve(ln)
+		t.Cleanup(func() { w.Close() })
+	}
+	return addrs
+}
+
+// distSuperOpts are test-speed supervisor knobs over the given fleet.
+func distSuperOpts(addrs []string, jobWorkers int) *dist.SuperOptions {
+	return &dist.SuperOptions{
+		Workers:          addrs,
+		GroupSize:        len(addrs),
+		JobWorkers:       jobWorkers,
+		HeartbeatEvery:   50 * time.Millisecond,
+		HeartbeatTimeout: 500 * time.Millisecond,
+		JobTimeout:       10 * time.Second,
+		MaxAttempts:      3,
+		Retry:            retry.Config{Attempts: 3, Base: 10 * time.Millisecond, Max: 50 * time.Millisecond},
+	}
+}
+
+// distServer trains the same tiny GT as trainedServer, round-trips it
+// through a checkpoint, points a worker fleet at the loaded model, and
+// serves with Options.Dist — the full megatrain → megashard → megaserve
+// pipeline in one process.
+func distServer(t *testing.T, workers int, tweak func(*Options)) (*Server, *datasets.Dataset, models.Model) {
+	t.Helper()
+	ds := datasets.ZINC(datasets.Config{TrainSize: 16, ValSize: 12, TestSize: 1, Seed: 11})
+	res, err := train.Run(ds, train.Options{
+		Model: "GT", Engine: models.EngineMega,
+		Dim: 16, Layers: 1, Heads: 2, BatchSize: 8, Epochs: 1, Seed: 11,
+	})
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "gt.ckpt")
+	if err := train.SaveCheckpointFile(path, res.Checkpoint(ds.Name), res.Model); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	meta, model, err := train.LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	addrs := startDistWorkers(t, workers, model)
+	opts := Options{
+		MaxBatch:             1,
+		ShardVertexThreshold: 1,
+		Dist:                 distSuperOpts(addrs, min(workers, 2)),
+	}
+	if tweak != nil {
+		tweak(&opts)
+	}
+	s, err := New(model, meta, opts)
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s, ds, model
+}
+
+// TestDistServingBitIdentical pins the tentpole serving contract: answers
+// routed through the remote megashard fleet are bit-identical to the
+// in-process forward of the same checkpoint.
+func TestDistServingBitIdentical(t *testing.T) {
+	s, ds, model := distServer(t, 2, nil)
+	for _, inst := range ds.Val[:4] {
+		pred, err := s.Predict(inst)
+		if err != nil {
+			t.Fatalf("predict: %v", err)
+		}
+		if pred.Degraded {
+			t.Fatalf("live fleet must not degrade: %+v", pred)
+		}
+		want := directForward(t, model, models.EngineMega, inst, s.Meta().Config.Dim)
+		for i := range want {
+			if math.Float64bits(pred.Output[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("remote output[%d] = %v, direct = %v (must be bit-identical)",
+					i, pred.Output[i], want[i])
+			}
+		}
+	}
+	snap := s.MetricsSnapshot(false)
+	if snap.Dist == nil {
+		t.Fatal("metrics snapshot missing dist stats")
+	}
+	if snap.Dist.Jobs == 0 {
+		t.Errorf("no job reached the fleet: %+v", snap.Dist)
+	}
+	if snap.Dist.GroupDown != 0 {
+		t.Errorf("group down with a live fleet: %+v", snap.Dist)
+	}
+	// Every batch either ran remotely (counted as a sharded batch with its
+	// wire traffic) or was structurally unshardable and served exactly by
+	// the local fallback, counted per-reason.
+	if snap.ShardedBatches+snap.ShardFallbackReasons["unshardable"] < 4 {
+		t.Errorf("batches unaccounted for: sharded %d, unshardable %d",
+			snap.ShardedBatches, snap.ShardFallbackReasons["unshardable"])
+	}
+	if snap.ShardedBatches > 0 && (snap.ShardMessages == 0 || snap.ShardBytes == 0) {
+		t.Errorf("remote batches recorded no wire traffic: %d msgs, %d bytes",
+			snap.ShardMessages, snap.ShardBytes)
+	}
+
+	h := s.HealthSnapshot()
+	if len(h.DistWorkers) != 2 || len(h.DistGroupsAlive) != 1 {
+		t.Errorf("healthz fleet view = %d workers, %d groups; want 2, 1",
+			len(h.DistWorkers), len(h.DistGroupsAlive))
+	}
+	if h.Status != "ok" {
+		t.Errorf("healthy fleet, status %q", h.Status)
+	}
+}
+
+// TestDistUnshardableServesExactLocal pins the middle rung of the failover
+// ladder: a graph whose path cannot be cut into 8 µchunks is a property of
+// the request, not the fleet — it is served exactly by the local MEGA
+// forward, never degraded, and counted under its own fallback reason.
+func TestDistUnshardableServesExactLocal(t *testing.T) {
+	s, _, model := distServer(t, 1, func(o *Options) {
+		o.Dist.JobWorkers = 1
+	})
+	tri, err := graphFromPairs(3, [][2]int32{{0, 1}, {1, 2}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := datasets.Instance{G: tri, NodeFeat: make([]int32, 3), EdgeFeat: make([]int32, 3)}
+	pred, err := s.Predict(inst)
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	if pred.Degraded {
+		t.Fatalf("unshardable must stay exact, not degraded: %+v", pred)
+	}
+	want := directForward(t, model, models.EngineMega, inst, s.Meta().Config.Dim)
+	for i := range want {
+		if math.Float64bits(pred.Output[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("local fallback output[%d] = %v, direct = %v", i, pred.Output[i], want[i])
+		}
+	}
+	snap := s.MetricsSnapshot(false)
+	if snap.ShardFallbackReasons["unshardable"] < 1 {
+		t.Errorf("shard_fallback_reasons = %v, want unshardable >= 1", snap.ShardFallbackReasons)
+	}
+	if s.BreakerState() != BreakerClosed || s.distBreaker.State() != BreakerClosed {
+		t.Error("unshardable request must not count against any breaker")
+	}
+}
+
+// TestDistGroupDownDegradesToDGL pins the last rung: when the whole replica
+// group is unreachable, eligible batches degrade to the DGL fallback engine
+// — a marked, exact-for-that-engine answer, never a lost response — and the
+// dist breaker plus /healthz surface the outage.
+func TestDistGroupDownDegradesToDGL(t *testing.T) {
+	// A listener opened and immediately closed yields an address nothing
+	// serves on.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	s, ds, _ := distServer(t, 1, func(o *Options) {
+		o.Dist = distSuperOpts([]string{deadAddr}, 1)
+		o.Dist.MaxAttempts = 1
+		o.Dist.Retry = retry.Config{Attempts: 1, Base: 5 * time.Millisecond, Max: 5 * time.Millisecond}
+		o.BreakerThreshold = 1
+	})
+	pred, err := s.Predict(ds.Val[0])
+	if err != nil {
+		t.Fatalf("group down must degrade, not fail: %v", err)
+	}
+	if !pred.Degraded {
+		t.Fatalf("dead fleet answer not marked degraded: %+v", pred)
+	}
+	snap := s.MetricsSnapshot(false)
+	if snap.ShardFallbackReasons["group_down"] < 1 {
+		t.Errorf("shard_fallback_reasons = %v, want group_down >= 1", snap.ShardFallbackReasons)
+	}
+	if snap.Dist == nil || snap.Dist.GroupDown == 0 {
+		t.Errorf("dist stats missed the group-down: %+v", snap.Dist)
+	}
+
+	// BreakerThreshold 1: the first group failure opens the dist breaker,
+	// so the next eligible batch short-circuits to the degrade without
+	// stalling on fleet timeouts, and /healthz reports the outage.
+	if s.distBreaker.State() != BreakerOpen {
+		t.Errorf("dist breaker = %v after group failure, want open", s.distBreaker.State())
+	}
+	pred, err = s.Predict(ds.Val[1])
+	if err != nil || !pred.Degraded {
+		t.Fatalf("breaker-open batch: pred %+v, err %v (want degraded answer)", pred, err)
+	}
+	if h := s.HealthSnapshot(); h.Status != "degraded" {
+		t.Errorf("healthz status %q with the fleet down, want degraded", h.Status)
+	}
+}
+
+// TestDistOptionsRejected pins constructor-time validation: distributed
+// serving is a MEGA/GT construct and refuses anything else outright.
+func TestDistOptionsRejected(t *testing.T) {
+	bad := Options{Engine: models.EngineDGL, Dist: &dist.SuperOptions{Workers: []string{"x"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("DGL engine with Dist accepted")
+	}
+	cfg := models.Config{Dim: 8, Layers: 1, Heads: 2, NodeTypes: 4, EdgeTypes: 2, OutDim: 1, Seed: 1}
+	gat := models.NewGAT(cfg)
+	_, err := New(gat, train.Checkpoint{Model: "GAT", Config: cfg, Task: datasets.TaskRegression},
+		Options{Dist: &dist.SuperOptions{Workers: []string{"127.0.0.1:1"}}})
+	if err == nil {
+		t.Error("non-GT model with Dist accepted")
+	}
+}

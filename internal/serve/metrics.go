@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mega/internal/dist"
 	"mega/internal/models"
 	"mega/internal/tensor"
 )
@@ -207,6 +208,12 @@ type Metrics struct {
 	shardBytes     atomic.Uint64 // exchange payload bytes across sharded batches
 	shardMu        sync.Mutex
 	shardWorkerNs  []int64 // cumulative forward wall time per shard worker
+	// shardFallbackReasons breaks shardFallbacks down by cause (PR 9):
+	// "unshardable" (path too short / window too wide), "f32_suppressed"
+	// (float32 fast path takes precedence), "group_down" (distributed
+	// fleet unavailable — the batch degraded to the fallback engine).
+	shardFallbackMu      sync.Mutex
+	shardFallbackReasons map[string]uint64
 
 	// Mutation-subsystem counters (PR 7): POST /update traffic and how its
 	// incremental repairs resolved. repairSplices vs repairRebuilds is the
@@ -242,6 +249,19 @@ func (m *Metrics) observeBatch(size int, forward time.Duration) {
 	}
 	m.batchMu.Unlock()
 	m.forward.observe(forward)
+}
+
+// shardFallback counts one shard-eligible batch that fell back, both in
+// the total and under its reason — the per-reason breakdown surfaces the
+// fallbacks that used to be silent.
+func (m *Metrics) shardFallback(reason string) {
+	m.shardFallbacks.Add(1)
+	m.shardFallbackMu.Lock()
+	if m.shardFallbackReasons == nil {
+		m.shardFallbackReasons = make(map[string]uint64)
+	}
+	m.shardFallbackReasons[reason]++
+	m.shardFallbackMu.Unlock()
 }
 
 // observeShard records one batch served by the shard-parallel engine.
@@ -295,6 +315,12 @@ type Snapshot struct {
 	// ShardWorkerMs is the cumulative forward wall time per shard worker,
 	// for spotting load imbalance across the partition.
 	ShardWorkerMs []float64 `json:"shard_worker_ms,omitempty"`
+	// ShardFallbackReasons breaks ShardFallbacks down by cause.
+	ShardFallbackReasons map[string]uint64 `json:"shard_fallback_reasons,omitempty"`
+
+	// Dist is the distributed shard supervisor's counters (jobs, retries,
+	// failovers, group-down degradations); nil unless Options.Dist is set.
+	Dist *dist.SuperStats `json:"dist,omitempty"`
 
 	// Mutation-subsystem counters (zero unless /update is exercised).
 	Updates          uint64 `json:"updates"`
@@ -387,5 +413,13 @@ func (m *Metrics) Snapshot(cache CacheStats, withBuckets bool) Snapshot {
 		}
 	}
 	m.shardMu.Unlock()
+	m.shardFallbackMu.Lock()
+	if len(m.shardFallbackReasons) > 0 {
+		s.ShardFallbackReasons = make(map[string]uint64, len(m.shardFallbackReasons))
+		for k, v := range m.shardFallbackReasons {
+			s.ShardFallbackReasons[k] = v
+		}
+	}
+	m.shardFallbackMu.Unlock()
 	return s
 }

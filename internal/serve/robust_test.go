@@ -24,8 +24,7 @@ import (
 
 func enableFaults(t *testing.T, points ...faults.PointConfig) {
 	t.Helper()
-	faults.Enable(faults.Plan{Seed: 1, Points: points})
-	t.Cleanup(faults.Disable)
+	faults.ArmT(t, faults.Plan{Seed: 1, Points: points})
 }
 
 func TestPredictDeadlineExceeded(t *testing.T) {

@@ -13,6 +13,7 @@ import (
 
 	"mega/internal/compute"
 	"mega/internal/datasets"
+	"mega/internal/dist"
 	"mega/internal/dynamic"
 	"mega/internal/faults"
 	"mega/internal/graph"
@@ -82,6 +83,16 @@ type Options struct {
 	// before sharding kicks in; below it the per-batch worker handoff
 	// costs more than it saves. Default 256 when ShardWorkers > 1.
 	ShardVertexThreshold int
+	// Dist enables distributed shard serving: when non-nil, shard-eligible
+	// MEGA batches (GT checkpoints, total vertices ≥ ShardVertexThreshold)
+	// are dispatched to the megashard worker fleet it describes through a
+	// dist.Supervisor — consistent-hash replica routing, heartbeats, and
+	// transparent failover to peer replicas. Answers stay bit-identical to
+	// the in-process forward. Only when a whole replica group is down does
+	// the dist circuit breaker degrade those batches to the DGL fallback
+	// engine. Takes precedence over the in-process ShardWorkers engine for
+	// eligible batches.
+	Dist *dist.SuperOptions
 	// MutationSessions bounds the POST /update session pool: how many
 	// mutable graph lineages (live maintainers with WL trackers) stay
 	// resident between updates. Evicted lineages re-adopt from their last
@@ -140,6 +151,9 @@ func (o Options) Validate() error {
 	default:
 		return fmt.Errorf("%w: Precision %q (want %q or %q)", ErrBadOptions, o.Precision, PrecisionF64, PrecisionF32)
 	}
+	if o.Dist != nil && o.Engine != 0 && o.Engine != models.EngineMega {
+		return fmt.Errorf("%w: distributed shard serving requires the MEGA engine", ErrBadOptions)
+	}
 	return nil
 }
 
@@ -185,7 +199,7 @@ func (o Options) withDefaults() Options {
 	if o.ShutdownGrace <= 0 {
 		o.ShutdownGrace = 5 * time.Second
 	}
-	if o.ShardWorkers > 1 && o.ShardVertexThreshold <= 0 {
+	if (o.ShardWorkers > 1 || o.Dist != nil) && o.ShardVertexThreshold <= 0 {
 		o.ShardVertexThreshold = 256
 	}
 	if o.MutationSessions <= 0 {
@@ -235,6 +249,15 @@ type Server struct {
 	batcher  *batcher
 	breaker  *breaker
 	mutators *mutatorPool
+	// super dispatches shard-eligible batches to the megashard worker
+	// fleet (Options.Dist); nil when distributed serving is disabled.
+	super *dist.Supervisor
+	// distBreaker trips after consecutive whole-group failures on the
+	// distributed path, short-circuiting eligible batches straight to the
+	// DGL degrade instead of stalling each one on fleet timeouts. A
+	// structural ErrUnshardable never counts against it — that is a
+	// property of the graph, not the fleet.
+	distBreaker *breaker
 	// arena pools fused-attention scratch across batches; shared by all
 	// workers (Arena is concurrency-safe), so steady-state serving stops
 	// allocating in the attention path.
@@ -286,6 +309,16 @@ func New(model models.Model, meta train.Checkpoint, opts Options) (*Server, erro
 			return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
 		}
 	}
+	var super *dist.Supervisor
+	if opts.Dist != nil {
+		if _, ok := model.(*models.GT); !ok {
+			return nil, fmt.Errorf("%w: distributed shard serving requires a GT checkpoint (got %s)", ErrBadOptions, meta.Model)
+		}
+		var err error
+		if super, err = dist.NewSupervisor(*opts.Dist); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
+		}
+	}
 	compute.SetMaxThreads(opts.ComputeBudget)
 	s := &Server{
 		model:        model,
@@ -296,10 +329,17 @@ func New(model models.Model, meta train.Checkpoint, opts Options) (*Server, erro
 		metrics:      NewMetrics(),
 		batcher:      newBatcher(opts.MaxBatch, opts.MaxWait, opts.QueueDepth, opts.Clock),
 		mutators:     newMutatorPool(opts.MutationSessions),
+		super:        super,
 		arena:        tensor.NewArena(),
 		shutdownDone: make(chan struct{}),
 	}
 	s.breaker = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, func(from, to BreakerState) {
+		s.metrics.breakerTransitions.Add(1)
+		if to == BreakerOpen {
+			s.metrics.breakerOpens.Add(1)
+		}
+	})
+	s.distBreaker = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, func(from, to BreakerState) {
 		s.metrics.breakerTransitions.Add(1)
 		if to == BreakerOpen {
 			s.metrics.breakerOpens.Add(1)
@@ -395,6 +435,10 @@ func (s *Server) MetricsSnapshot(withBuckets bool) Snapshot {
 	snap.QueueDepth = len(s.batcher.in)
 	snap.QueueCapacity = cap(s.batcher.in)
 	snap.Workers = s.opts.Workers
+	if s.super != nil {
+		st := s.super.Stats()
+		snap.Dist = &st
+	}
 	return snap
 }
 
@@ -428,6 +472,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			s.abortDrain(drained)
 		case <-ctx.Done():
 			s.abortDrain(drained)
+		}
+		if s.super != nil {
+			s.super.Close()
 		}
 		close(s.shutdownDone)
 	})
@@ -697,16 +744,35 @@ func (s *Server) forward(batch []*pending, engine models.EngineKind) (preds []Pr
 	var out *tensor.Tensor
 	precision := ""
 	if engine == models.EngineMega && s.modelF32 != nil {
-		// Float32 fast path. The shard engine is a float64 construct;
-		// batches that would have sharded count as fallbacks so capacity
-		// dashboards see the trade explicitly.
-		if s.opts.ShardWorkers > 1 && batchVertices(insts) >= s.opts.ShardVertexThreshold {
-			s.metrics.shardFallbacks.Add(1)
+		// Float32 fast path. The shard engines (in-process and
+		// distributed) are float64 constructs; batches that would have
+		// sharded count as fallbacks so capacity dashboards see the trade
+		// explicitly.
+		if (s.opts.ShardWorkers > 1 || s.super != nil) && batchVertices(insts) >= s.opts.ShardVertexThreshold {
+			s.metrics.shardFallback("f32_suppressed")
 		}
 		f32out := s.modelF32.Forward(ctx, s.arena)
 		out = f32out.Upcast()
 		s.arena.PutF32(f32out)
 		precision = PrecisionF32
+	} else if s.super != nil && engine == models.EngineMega && batchVertices(insts) >= s.opts.ShardVertexThreshold {
+		out, err = s.distForward(ctx, insts)
+		if err != nil {
+			// The whole replica group is down (or the dist breaker is
+			// open): degrade this batch to the DGL fallback engine — a
+			// different attention layout, never a lost response.
+			s.metrics.shardFallback("group_down")
+			if ctx, err = models.NewDGLContext(insts, nil, s.meta.Config.Dim); err != nil {
+				return nil, err
+			}
+			ctx.Scratch = s.arena
+			for _, p := range batch {
+				if !p.degraded {
+					s.degrade(p)
+				}
+			}
+			out = s.model.Forward(ctx)
+		}
 	} else if eng := s.shardEngine(ctx, engine, insts); eng != nil {
 		out = eng.Forward()
 		s.metrics.observeShard(eng.Stats())
@@ -734,6 +800,40 @@ func (s *Server) forward(batch []*pending, engine models.EngineKind) (preds []Pr
 	return preds, nil
 }
 
+// distForward runs one shard-eligible MEGA batch through the megashard
+// worker fleet and assembles the answer from the returned final embeddings.
+// The failover ladder inside the supervisor (retry on the same replica,
+// transparent failover to a peer, only then ErrGroupDown) keeps answers
+// bit-identical to the in-process forward; this method adds the serve-side
+// rungs: a structural ErrUnshardable falls back to the exact local MEGA
+// forward (counted per-reason on /metrics, never against the dist breaker),
+// and any fleet error feeds the dist breaker so the caller degrades to DGL.
+func (s *Server) distForward(ctx *models.Context, insts []datasets.Instance) (*tensor.Tensor, error) {
+	if !s.distBreaker.allow() {
+		return nil, fmt.Errorf("%w: dist breaker open", ErrGroupDegraded)
+	}
+	gt := s.model.(*models.GT) // guaranteed by New when Options.Dist is set
+	outcome, err := s.super.Forward(context.Background(), insts, s.opts.Mega.TraverseOptions(), s.meta.Config.Dim, insts[0].G.Fingerprint())
+	if err != nil {
+		if errors.Is(err, models.ErrUnshardable) {
+			// A property of the graph, not the fleet: serve the exact
+			// answer locally and leave the breaker alone.
+			s.metrics.shardFallback("unshardable")
+			return s.model.Forward(ctx), nil
+		}
+		s.distBreaker.failure()
+		return nil, err
+	}
+	s.distBreaker.success()
+	s.metrics.observeShard(outcome.Stats)
+	return gt.ReadoutFromFinal(ctx, outcome.FinalH)
+}
+
+// ErrGroupDegraded reports that the distributed shard path was unavailable
+// (whole replica group down, or the dist breaker open after consecutive
+// group failures) and the batch was served by the DGL fallback engine.
+var ErrGroupDegraded = errors.New("serve: distributed shard group unavailable")
+
 // shardEngine decides whether a batch is large enough to run through the
 // shard-parallel execution engine and builds one over the batch context if
 // so. It returns nil whenever the batch should take the plain
@@ -755,7 +855,7 @@ func (s *Server) shardEngine(ctx *models.Context, engine models.EngineKind, inst
 	}
 	eng, err := models.NewShardEngine(gt, ctx, s.opts.ShardWorkers)
 	if err != nil {
-		s.metrics.shardFallbacks.Add(1)
+		s.metrics.shardFallback("unshardable")
 		return nil
 	}
 	return eng
@@ -821,6 +921,13 @@ type Health struct {
 	// automatic replacement); WorkerRestarts counts replacements.
 	Workers        int    `json:"workers"`
 	WorkerRestarts uint64 `json:"worker_restarts"`
+	// DistWorkers lists per-worker liveness for the megashard fleet
+	// (distributed serving only): address, replica group, alive/dead, time
+	// since the last heartbeat, and per-worker job/failure counts.
+	DistWorkers []dist.WorkerHealth `json:"dist_workers,omitempty"`
+	// DistGroupsAlive counts live members per replica group; a zero entry
+	// means that group's batches are degrading to the fallback engine.
+	DistGroupsAlive []int `json:"dist_groups_alive,omitempty"`
 }
 
 // HealthSnapshot builds the /healthz document.
@@ -832,6 +939,16 @@ func (s *Server) HealthSnapshot() Health {
 		Workers:        s.opts.Workers,
 		WorkerRestarts: s.metrics.workerRestarts.Load(),
 	}
+	groupDown := false
+	if s.super != nil {
+		h.DistWorkers = s.super.Health()
+		h.DistGroupsAlive = s.super.GroupsAlive()
+		for _, alive := range h.DistGroupsAlive {
+			if alive == 0 {
+				groupDown = true
+			}
+		}
+	}
 	s.mu.RLock()
 	closed := s.closed
 	s.mu.RUnlock()
@@ -839,6 +956,8 @@ func (s *Server) HealthSnapshot() Health {
 	case closed:
 		h.Status = "stopping"
 	case h.Breaker != string(BreakerClosed):
+		h.Status = "degraded"
+	case groupDown || s.distBreaker.State() != BreakerClosed:
 		h.Status = "degraded"
 	default:
 		h.Status = "ok"

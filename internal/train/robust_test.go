@@ -152,11 +152,10 @@ func TestLoadLatestQuarantinesCorruptAndRecovers(t *testing.T) {
 // land. The final checkpoint name must never hold a torn file, and the
 // next load must get the previous good checkpoint.
 func TestCrashDuringSaveLeavesPreviousGood(t *testing.T) {
-	defer faults.Disable()
 	dir := t.TempDir()
 	writeCkpt(t, dir, 1, 3)
 
-	faults.Enable(faults.Plan{Seed: 1, Points: []faults.PointConfig{
+	faults.ArmT(t, faults.Plan{Seed: 1, Points: []faults.PointConfig{
 		{Name: faults.TrainCkptSave, Prob: 1},
 	}})
 	cfg := tinyConfig()
@@ -186,11 +185,10 @@ func TestCrashDuringSaveLeavesPreviousGood(t *testing.T) {
 // with prob < 1 are retried rather than quarantining a perfectly good
 // file.
 func TestLoadLatestRetriesTransientFaults(t *testing.T) {
-	defer faults.Disable()
 	dir := t.TempDir()
 	writeCkpt(t, dir, 3, 3)
 	// Budget 1: the first load attempt fails, the retry succeeds.
-	faults.Enable(faults.Plan{Seed: 1, Points: []faults.PointConfig{
+	faults.ArmT(t, faults.Plan{Seed: 1, Points: []faults.PointConfig{
 		{Name: faults.TrainCkptLoad, Prob: 1, Budget: 1},
 	}})
 	meta, _, rep, err := LoadLatestCheckpoint(dir)
