@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race race race-short chaos chaos-short dist-chaos shard-check dynamic-check load-check precision-check bench bench-compute bench-attention bench-dist bench-dynamic bench-serve bench-precision fuzz fuzz-smoke experiments examples clean
+.PHONY: all check build vet test test-race race race-short chaos chaos-short dist-chaos shard-check dynamic-check load-check precision-check sparsify-check bench bench-compute bench-attention bench-dist bench-dynamic bench-serve bench-precision bench-sparsify fuzz fuzz-smoke experiments examples clean
 
 all: check
 
@@ -99,6 +99,21 @@ precision-check:
 	$(GO) test ./internal/train/ -run 'TestCheckpointDowncast' -count=1
 	$(GO) test ./internal/serve/ -run 'TestOptionsPrecisionValidate|TestPrecision' -count=1
 
+# sparsify-check runs the effective-resistance sparsification gates: the
+# scorer/sampler unit suite (bridge dominance, determinism across thread
+# counts, salt independence of the drop and sparsify streams), traversal
+# composition (drop+sparsify order bit-identity, independent streams,
+# two-sided revisit bound, band shrinkage, options digest), the composite
+# rep-cache key regression tests, the sharded-forward bit-identity suite
+# over sparsified reps, and the dynamic-package rejection.
+sparsify-check:
+	$(GO) test ./internal/sparsify/ -count=1
+	$(GO) test ./internal/traverse/ -run 'Sparsif|TestOptionsDigest' -count=1
+	$(GO) test ./internal/serve/ -run 'TestRepCacheKeyCoversOptions|TestServerRepKeyIncludesSparsify|TestRepCache' -count=1
+	$(GO) test ./internal/models/ -run 'Sparsified' -count=1
+	$(GO) test ./internal/train/ -run 'TestShardFallback' -count=1
+	$(GO) test ./internal/dynamic/ -run 'TestUnsupportedConfigurations' -count=1
+
 # Benchmark records. Each BENCH_*.json in the repo root is regenerated by
 # exactly one target below, on demand — never by `make test` or CI PR
 # gates (numbers are machine-relative; every record carries its host):
@@ -109,9 +124,10 @@ precision-check:
 #   BENCH_dynamic.json    bench-dynamic    incremental repair vs full re-preprocess
 #   BENCH_serve.json      bench-serve      p99-SLO serving capacity autotune
 #   BENCH_precision.json  bench-precision  serve-side f32-vs-f64 speedup + ULP envelope
+#   BENCH_sparsify.json   bench-sparsify   effective-resistance keep-fraction matrix
 #
 # bench regenerates all of them.
-bench: bench-compute bench-attention bench-dist bench-dynamic bench-serve bench-precision
+bench: bench-compute bench-attention bench-dist bench-dynamic bench-serve bench-precision bench-sparsify
 
 # bench-compute regenerates the tensor-kernel numbers recorded in
 # BENCH_tensor.json: serial-vs-parallel float64 baselines plus the float32
@@ -161,6 +177,16 @@ bench-serve:
 bench-precision:
 	BENCH_PRECISION_OUT=$(CURDIR)/BENCH_precision.json $(GO) test ./internal/serve/ -run TestWriteBenchPrecision -count=1 -v -timeout 30m
 
+# bench-sparsify regenerates the effective-resistance sparsification
+# matrix recorded in BENCH_sparsify.json: band half-width, revisits, path
+# expansion, surviving edges, and simulated GTX1080 cycles per dataset ×
+# keep fraction, plus the convergence shape at keep 0.5 vs unsparsified on
+# ZINC. The keep-0.5 acceptance bar (band no wider, cycles strictly lower)
+# and fixed-seed bit-reproducibility are asserted on every run.
+# BENCH_SPARSIFY_FAST=1 (the CI smoke) shrinks the scale.
+bench-sparsify:
+	BENCH_SPARSIFY_OUT=$(CURDIR)/BENCH_sparsify.json $(GO) test ./internal/experiments/ -run TestWriteBenchSparsify -count=1 -v -timeout 30m
+
 # Short fuzzing passes over the binary decoder, the traversal, and the
 # graph hashes.
 fuzz:
@@ -169,6 +195,7 @@ fuzz:
 	$(GO) test ./internal/band/ -fuzz FuzzTraverseRoundTrip -fuzztime 30s
 	$(GO) test ./internal/graph/ -fuzz FuzzFingerprint -fuzztime 30s
 	$(GO) test ./internal/traverse/ -fuzz FuzzTraverse -fuzztime 30s
+	$(GO) test ./internal/traverse/ -fuzz FuzzSparsifiedTraverse -fuzztime 30s
 
 # fuzz-smoke is the CI-sized pass: a few seconds per target, enough to
 # catch regressions in the properties themselves.
@@ -178,6 +205,7 @@ fuzz-smoke:
 	$(GO) test ./internal/band/ -fuzz FuzzTraverseRoundTrip -fuzztime 5s
 	$(GO) test ./internal/graph/ -fuzz FuzzFingerprint -fuzztime 5s
 	$(GO) test ./internal/traverse/ -fuzz FuzzTraverse -fuzztime 5s
+	$(GO) test ./internal/traverse/ -fuzz FuzzSparsifiedTraverse -fuzztime 5s
 
 # Regenerate every paper table and figure at interactive scale.
 experiments:

@@ -23,6 +23,7 @@
 //	          [-dist-workers addr,addr,...] [-dist-group-size 0]
 //	          [-dist-job-workers 2]
 //	          [-mutation-sessions 64]
+//	          [-sparsify f] [-sparsify-seed s]
 //
 // -checkpoint-dir serves the newest good checkpoint from a megatrain
 // checkpoint directory (corrupt files are quarantined, not fatal) instead
@@ -54,6 +55,14 @@
 // of the float64 forward (see BENCH_precision.json); degraded fallback
 // answers always run float64. Only GT and GAT checkpoints qualify.
 //
+// -sparsify serves every MEGA representation from an effective-resistance
+// sparsified copy of each posted graph: about that fraction of edges
+// survives seeded importance sampling (-sparsify-seed), shrinking the
+// attention band and the path. Cached reps are keyed by topology AND a
+// digest of the traverse/sparsify options, so servers with different
+// preprocessing never alias. Sparsified serving rejects POST /update
+// (incremental repair assumes the full topology).
+//
 // POST /update maintains path representations incrementally for evolving
 // graphs: a batch of edge inserts/deletes against a cached fingerprint
 // repairs the representation in place of a full re-preprocess and publishes
@@ -79,6 +88,7 @@ import (
 	"mega/internal/dist"
 	"mega/internal/models"
 	"mega/internal/serve"
+	"mega/internal/traverse"
 )
 
 func main() {
@@ -115,6 +125,8 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 	distGroupSize := fs.Int("dist-group-size", 0, "replica count per megashard group (0 = one group of all workers)")
 	distJobWorkers := fs.Int("dist-job-workers", 2, "shard fan-out per distributed job (clamped to live replicas)")
 	mutationSessions := fs.Int("mutation-sessions", 64, "resident /update mutation sessions (graph lineages kept warm)")
+	sparsify := fs.Float64("sparsify", 0, "effective-resistance keep fraction in (0,1] for MEGA preprocessing (0 = off)")
+	sparsifySeed := fs.Int64("sparsify-seed", 1, "sparsifier seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -138,6 +150,12 @@ func run(args []string, stdout io.Writer, ready chan<- string, stop <-chan struc
 		MutationSessions:     *mutationSessions,
 		Precision:            *precision,
 	}.WithCacheCapacity(*cacheCap)
+	if *sparsify > 0 {
+		opts.Mega = models.MegaOptions{Traverse: traverse.Options{
+			EdgeCoverage: 1, Start: -1,
+			SparsifyFraction: *sparsify, SparsifySeed: *sparsifySeed,
+		}}
+	}
 	if *distWorkers != "" {
 		opts.Dist = &dist.SuperOptions{
 			Workers:    strings.Split(*distWorkers, ","),

@@ -6,7 +6,8 @@
 //
 //	megatrain [-dataset ZINC] [-model GCN|GT] [-engine dgl|mega]
 //	          [-dim d] [-layers L] [-batch B] [-epochs E] [-lr r]
-//	          [-train n] [-val n] [-drop f] [-seed s] [-profile]
+//	          [-train n] [-val n] [-drop f] [-sparsify f] [-sparsify-seed s]
+//	          [-seed s] [-profile]
 //	          [-shards k] [-attention fused|staged] [-checkpoint model.ckpt]
 //	          [-checkpoint-dir dir] [-checkpoint-every 1] [-resume]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -19,6 +20,9 @@
 // -shards runs each batch's forward/backward across k shard workers
 // (GT + mega engine; k must divide 8) with real halo/duplicate-sync/edge
 // exchange; the trained parameters are bit-identical to -shards 1.
+// -sparsify keeps only that fraction of edges via effective-resistance
+// importance sampling (mega engine) before traversal; -sparsify-seed pins
+// the sampler independently of -seed (default: same value as -seed).
 // -cpuprofile/-memprofile write Go pprof profiles covering the training
 // run (see DESIGN.md, "Profiling the Go implementation").
 package main
@@ -57,6 +61,8 @@ func run(args []string) error {
 	trainN := fs.Int("train", 256, "train instances (0 = paper size)")
 	valN := fs.Int("val", 64, "validation instances (0 = paper size)")
 	drop := fs.Float64("drop", 0, "edge-drop fraction (mega engine)")
+	sparsify := fs.Float64("sparsify", 0, "effective-resistance keep fraction in (0,1] (mega engine; 0 = off)")
+	sparsifySeed := fs.Int64("sparsify-seed", 0, "sparsifier seed (0 = use -seed)")
 	seed := fs.Int64("seed", 1, "seed")
 	profile := fs.Bool("profile", true, "attach the GPU simulator")
 	shards := fs.Int("shards", 0, "shard-parallel workers per batch (GT + mega engine; must divide 8; disables -profile)")
@@ -131,15 +137,23 @@ func run(args []string) error {
 		fmt.Println("megatrain: -shards set, disabling the GPU simulator")
 		opts.Profile = false
 	}
-	if *drop > 0 {
+	if *drop > 0 || *sparsify > 0 {
+		ss := *sparsifySeed
+		if ss == 0 {
+			ss = *seed
+		}
 		opts.Mega.Traverse = traverse.Options{
 			EdgeCoverage: 1, DropEdges: *drop, Start: -1, Seed: *seed,
+			SparsifyFraction: *sparsify, SparsifySeed: ss,
 		}
 	}
 
 	res, err := train.Run(ds, opts)
 	if err != nil {
 		return err
+	}
+	if res.ShardFallbacks > 0 {
+		fmt.Printf("shard fallbacks: %d (reasons %v)\n", res.ShardFallbacks, res.ShardFallbackReasons)
 	}
 
 	if *ckpt != "" {

@@ -34,8 +34,9 @@ import (
 
 // ProtoVersion is the wire protocol version; it rides in the frame magic
 // ("MGW" + version digit) and in Hello, so a mixed-version pairing fails
-// at the first frame instead of misbehaving later.
-const ProtoVersion = 1
+// at the first frame instead of misbehaving later. Version 2 added the
+// sparsify fields to WireTraverse.
+const ProtoVersion = 2
 
 var frameMagic = [4]byte{'M', 'G', 'W', '0' + ProtoVersion}
 
@@ -100,41 +101,47 @@ type WireInstance struct {
 // worker-side preprocessing reproduces the supervisor's representation
 // bit for bit.
 type WireTraverse struct {
-	Window        int32
-	EdgeCoverage  float64
-	DropEdges     float64
-	DropStrategy  int32
-	RevisitPolicy int32
-	Objective     int32
-	Start         int32
-	Seed          int64
+	Window           int32
+	EdgeCoverage     float64
+	DropEdges        float64
+	DropStrategy     int32
+	RevisitPolicy    int32
+	Objective        int32
+	Start            int32
+	Seed             int64
+	SparsifyFraction float64
+	SparsifySeed     int64
 }
 
 // FromTraverse converts resolved traversal options to wire form.
 func FromTraverse(o traverse.Options) WireTraverse {
 	return WireTraverse{
-		Window:        int32(o.Window),
-		EdgeCoverage:  o.EdgeCoverage,
-		DropEdges:     o.DropEdges,
-		DropStrategy:  int32(o.DropStrategy),
-		RevisitPolicy: int32(o.RevisitPolicy),
-		Objective:     int32(o.Objective),
-		Start:         int32(o.Start),
-		Seed:          o.Seed,
+		Window:           int32(o.Window),
+		EdgeCoverage:     o.EdgeCoverage,
+		DropEdges:        o.DropEdges,
+		DropStrategy:     int32(o.DropStrategy),
+		RevisitPolicy:    int32(o.RevisitPolicy),
+		Objective:        int32(o.Objective),
+		Start:            int32(o.Start),
+		Seed:             o.Seed,
+		SparsifyFraction: o.SparsifyFraction,
+		SparsifySeed:     o.SparsifySeed,
 	}
 }
 
 // Options converts wire form back to traversal options.
 func (w WireTraverse) Options() traverse.Options {
 	return traverse.Options{
-		Window:        int(w.Window),
-		EdgeCoverage:  w.EdgeCoverage,
-		DropEdges:     w.DropEdges,
-		DropStrategy:  traverse.DropStrategy(w.DropStrategy),
-		RevisitPolicy: traverse.RevisitPolicy(w.RevisitPolicy),
-		Objective:     traverse.Objective(w.Objective),
-		Start:         graph.NodeID(w.Start),
-		Seed:          w.Seed,
+		Window:           int(w.Window),
+		EdgeCoverage:     w.EdgeCoverage,
+		DropEdges:        w.DropEdges,
+		DropStrategy:     traverse.DropStrategy(w.DropStrategy),
+		RevisitPolicy:    traverse.RevisitPolicy(w.RevisitPolicy),
+		Objective:        traverse.Objective(w.Objective),
+		Start:            graph.NodeID(w.Start),
+		Seed:             w.Seed,
+		SparsifyFraction: w.SparsifyFraction,
+		SparsifySeed:     w.SparsifySeed,
 	}
 }
 
@@ -204,7 +211,7 @@ func (Exchange) kind() byte   { return kindExchange }
 // wbuf is a little-endian append-only encoder.
 type wbuf struct{ b []byte }
 
-func (w *wbuf) u8(v byte)   { w.b = append(w.b, v) }
+func (w *wbuf) u8(v byte) { w.b = append(w.b, v) }
 func (w *wbuf) u16(v uint16) {
 	w.b = append(w.b, byte(v), byte(v>>8))
 }
@@ -366,6 +373,8 @@ func encodeBody(m Msg) []byte {
 		w.i32(t.Objective)
 		w.i32(t.Start)
 		w.i64(t.Seed)
+		w.f64(t.SparsifyFraction)
+		w.i64(t.SparsifySeed)
 		w.u32(uint32(len(v.Insts)))
 		for _, in := range v.Insts {
 			w.i32(in.NumNodes)
@@ -436,6 +445,7 @@ func decodeBody(b []byte) (Msg, error) {
 			Window: r.i32(), EdgeCoverage: r.f64(), DropEdges: r.f64(),
 			DropStrategy: r.i32(), RevisitPolicy: r.i32(), Objective: r.i32(),
 			Start: r.i32(), Seed: r.i64(),
+			SparsifyFraction: r.f64(), SparsifySeed: r.i64(),
 		}
 		ni := r.count(1)
 		for i := 0; i < ni && r.err == nil; i++ {

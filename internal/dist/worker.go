@@ -271,9 +271,12 @@ func (w *Worker) execJob(req JobRequest, in chan Exchange, abort chan struct{}) 
 // reason repeated traffic for the same graph skips preprocessing.
 func (w *Worker) prepareBatch(req JobRequest) ([]datasets.Instance, []*models.PreparedRep, error) {
 	topts := req.Traverse.Options()
-	optKey := fmt.Sprintf("|w%d c%g d%g s%d r%d o%d st%d sd%d",
-		topts.Window, topts.EdgeCoverage, topts.DropEdges, topts.DropStrategy,
-		topts.RevisitPolicy, topts.Objective, topts.Start, topts.Seed)
+	// The canonical options digest covers every field (including the
+	// sparsify knobs) under a versioned encoding — the same keying
+	// discipline as serve's RepKey, so a hand-rolled format string can
+	// never silently miss a new option.
+	optDigest := topts.Digest()
+	optKey := string(optDigest[:])
 	insts := make([]datasets.Instance, len(req.Insts))
 	preps := make([]*models.PreparedRep, len(req.Insts))
 	for i, win := range req.Insts {

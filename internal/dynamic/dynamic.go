@@ -209,6 +209,12 @@ func newShell(g *graph.Graph, opts traverse.Options, policy Policy) (*Maintainer
 	if opts.DropEdges != 0 {
 		return nil, fmt.Errorf("%w: edge dropping", ErrUnsupported)
 	}
+	if opts.SparsifyFraction != 0 && opts.SparsifyFraction != 1 {
+		// Incremental repair replays against the full topology; a
+		// sparsified rep would need the sampler re-run per mutation, which
+		// the splice machinery does not model.
+		return nil, fmt.Errorf("%w: sparsification", ErrUnsupported)
+	}
 	m := &Maintainer{
 		opts:     opts,
 		policy:   policy.resolved(),

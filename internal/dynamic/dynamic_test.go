@@ -280,6 +280,9 @@ func TestUnsupportedConfigurations(t *testing.T) {
 	if _, err := NewMaintainer(graph.Cycle(5), traverse.Options{DropEdges: 0.2}); !errors.Is(err, ErrUnsupported) {
 		t.Errorf("edge dropping: %v", err)
 	}
+	if _, err := NewMaintainer(graph.Cycle(5), traverse.Options{SparsifyFraction: 0.5}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("sparsification: %v", err)
+	}
 	dg, err := graph.New(3, []graph.Edge{{Src: 0, Dst: 1}}, true)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"mega/internal/models"
+	"mega/internal/train"
+)
+
+// TestWriteBenchSparsify regenerates BENCH_sparsify.json: the
+// effective-resistance sparsification matrix over the synthetic suites.
+// Per dataset × keep fraction it records mean band half-width, revisits,
+// path expansion, surviving edges, and simulated GTX1080 cycles of a
+// profiled training step, plus the convergence shape at keep 0.5 vs the
+// unsparsified baseline on ZINC. Acceptance is asserted on every run: at
+// keep 0.5 the band is no wider and the simulated cycles are strictly
+// lower than unsparsified on every dataset, with the band strictly
+// narrower on at least one, and the whole sparsified measurement is
+// bit-reproducible for a fixed seed. BENCH_SPARSIFY_FAST=1 shrinks the
+// scale for the CI smoke.
+func TestWriteBenchSparsify(t *testing.T) {
+	out := os.Getenv("BENCH_SPARSIFY_OUT")
+	if out == "" {
+		t.Skip("set BENCH_SPARSIFY_OUT=<path> to run the sparsify bench (make bench-sparsify)")
+	}
+	fast := os.Getenv("BENCH_SPARSIFY_FAST") != ""
+
+	s := Scale{Train: 96, Val: 24, Test: 24, Epochs: 6, Dim: 32, Batch: 24, MaxBatches: 2, Seed: 7}
+	if fast {
+		s = Quick()
+	}
+
+	type row struct {
+		Dataset   string  `json:"dataset"`
+		Keep      float64 `json:"keep_fraction"`
+		Window    float64 `json:"mean_window"`
+		Revisits  float64 `json:"mean_revisits"`
+		Expansion float64 `json:"mean_expansion"`
+		KeptEdges float64 `json:"mean_kept_edges"`
+		Cycles    float64 `json:"sim_cycles"`
+	}
+	var rows []row
+
+	for _, dsName := range []string{"ZINC", "AQSOL", "CSL"} {
+		ds, err := loadDataset(dsName, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := buildModel("GCN", ds, s.Dim, s.Seed)
+		var base, half sparsifyStats
+		for _, frac := range sparsifyKeepFractions {
+			st, err := measureSparsify(ds, model, frac, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows = append(rows, row{
+				Dataset: dsName, Keep: frac,
+				Window: st.MeanWindow, Revisits: st.MeanRevisits,
+				Expansion: st.MeanExpansion, KeptEdges: st.MeanKeptEdges,
+				Cycles: st.Cycles,
+			})
+			t.Logf("%-6s keep %.2f  window %6.2f  revisits %8.2f  expansion %6.2f  edges %7.1f  cycles %12.0f",
+				dsName, frac, st.MeanWindow, st.MeanRevisits, st.MeanExpansion, st.MeanKeptEdges, st.Cycles)
+			switch frac {
+			case 1.0:
+				base = st
+			case 0.5:
+				half = st
+			}
+		}
+		// Acceptance: sparsified preprocessing must buy a narrower (or at
+		// worst equal) band and strictly fewer simulated cycles.
+		if half.MeanWindow > base.MeanWindow {
+			t.Errorf("%s: keep 0.5 widened the band (%.2f > %.2f)", dsName, half.MeanWindow, base.MeanWindow)
+		}
+		if half.Cycles >= base.Cycles {
+			t.Errorf("%s: keep 0.5 did not reduce sim cycles (%.0f vs %.0f)", dsName, half.Cycles, base.Cycles)
+		}
+	}
+	narrower := 0
+	for _, r := range rows {
+		if r.Keep != 0.5 {
+			continue
+		}
+		for _, b := range rows {
+			if b.Dataset == r.Dataset && b.Keep == 1.0 && r.Window < b.Window {
+				narrower++
+			}
+		}
+	}
+	if narrower == 0 {
+		t.Error("acceptance: keep 0.5 narrowed the band on no dataset")
+	}
+
+	// Bit-reproducibility of the whole sparsified measurement: identical
+	// seed, identical dataset, identical aggregates to the last bit.
+	{
+		ds, err := loadDataset("ZINC", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := buildModel("GCN", ds, s.Dim, s.Seed)
+		a, err := measureSparsify(ds, model, 0.5, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := measureSparsify(ds, model, 0.5, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("sparsified measurement not bit-reproducible: %+v vs %+v", a, b)
+		}
+	}
+
+	// Convergence shape on ZINC: per-epoch val metric at keep 1.0 and 0.5.
+	ds, err := loadDataset("ZINC", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv := map[string]any{}
+	for _, frac := range []float64{1.0, 0.5} {
+		res, err := train.Run(ds, train.Options{
+			Model: "GCN", Engine: models.EngineMega,
+			Dim: s.Dim, Layers: 4, BatchSize: s.Batch, LR: 1e-3,
+			Epochs: s.Epochs, Seed: s.Seed, Profile: true,
+			Mega: sparsifyMegaOptions(frac, s.Seed),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := make([]float64, len(res.Stats))
+		for i, ep := range res.Stats {
+			vals[i] = ep.ValMetric
+		}
+		last := res.Stats[len(res.Stats)-1]
+		key := "keep_1.0"
+		if frac != 1.0 {
+			key = "keep_0.5"
+		}
+		conv[key] = map[string]any{
+			"val_metric_per_epoch": vals,
+			"final_val_metric":     last.ValMetric,
+			"sim_time_ms":          last.SimTime.Seconds() * 1e3,
+		}
+		t.Logf("ZINC %s: final val %.4f, sim %.3fms", key, last.ValMetric, last.SimTime.Seconds()*1e3)
+	}
+
+	doc := map[string]any{
+		"schema_version": 1,
+		"description": "Effective-resistance sparsification matrix over the synthetic ZINC/AQSOL/CSL " +
+			"suites. Edges are scored by an approximate effective-resistance sketch (signed random " +
+			"probes through fixed-iteration CG solves of the regularized Laplacian), then kept by " +
+			"seeded importance sampling at the given keep fraction with 1/p reweighting. Per " +
+			"dataset × fraction: mean band half-width of the maintained path representation, mean " +
+			"revisit count, path expansion, surviving edges, and simulated GTX1080 cycles of a " +
+			"profiled MEGA training step. Convergence rows train the same GCN at keep 1.0 and 0.5. " +
+			"Every run asserts the acceptance bar (keep 0.5: band no wider everywhere, strictly " +
+			"narrower somewhere, strictly fewer sim cycles everywhere) and bit-reproducibility of " +
+			"the sparsified measurement under a fixed seed. Regenerate with `make bench-sparsify`.",
+		"machine": map[string]any{
+			"goos":       runtime.GOOS,
+			"goarch":     runtime.GOARCH,
+			"cpu":        sparsCPUModel(),
+			"num_cpu":    runtime.NumCPU(),
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"go_version": runtime.Version(),
+		},
+		"scale": map[string]any{
+			"train": s.Train, "val": s.Val, "test": s.Test, "epochs": s.Epochs,
+			"dim": s.Dim, "batch": s.Batch, "seed": s.Seed,
+		},
+		"results":     rows,
+		"convergence": conv,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
+
+func sparsCPUModel() string {
+	buf, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(buf), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}

@@ -36,6 +36,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "dist",
 		"ext-reorder", "ext-hetero", "ext-dynamic", "ext-drop", "ext-imbalance",
+		"ext-sparsify",
 	}
 	got := All()
 	if len(got) != len(want) {
@@ -247,7 +248,7 @@ func TestExtensionExperimentsRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("extension experiments are slow")
 	}
-	for _, id := range []string{"ext-reorder", "ext-hetero", "ext-dynamic", "ext-drop", "ext-imbalance"} {
+	for _, id := range []string{"ext-reorder", "ext-hetero", "ext-dynamic", "ext-drop", "ext-imbalance", "ext-sparsify"} {
 		t.Run(id, func(t *testing.T) {
 			runQuick(t, id)
 		})

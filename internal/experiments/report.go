@@ -126,6 +126,7 @@ func All() []struct {
 		{ID: "ext-dynamic", Run: ExtDynamic},
 		{ID: "ext-drop", Run: ExtDropStrategy},
 		{ID: "ext-imbalance", Run: ExtImbalance},
+		{ID: "ext-sparsify", Run: ExtSparsify},
 	}
 }
 

@@ -16,23 +16,36 @@ import (
 
 	"mega/internal/graph"
 	"mega/internal/models"
+	"mega/internal/traverse"
 )
 
-// RepCache is a thread-safe LRU mapping graph fingerprints to prepared
-// path representations. A zero or negative capacity disables caching
-// (every Get misses, Put is a no-op).
+// RepKey identifies one prepared path representation: the canonical
+// topology fingerprint plus a digest of the traverse/sparsify options the
+// rep was built under. The options digest is load-bearing — a rep is a
+// pure function of (topology, options), so keying by topology alone (the
+// original design) would silently serve a rep built under different
+// preprocessing options whenever two configurations ever met the same
+// graph bytes.
+type RepKey struct {
+	Topo graph.Fingerprint
+	Opts traverse.OptionsDigest
+}
+
+// RepCache is a thread-safe LRU mapping (topology fingerprint, options
+// digest) keys to prepared path representations. A zero or negative
+// capacity disables caching (every Get misses, Put is a no-op).
 type RepCache struct {
 	mu        sync.Mutex
 	capacity  int
 	order     *list.List // front = most recently used
-	items     map[graph.Fingerprint]*list.Element
+	items     map[RepKey]*list.Element
 	hits      uint64
 	misses    uint64
 	evictions uint64
 }
 
 type cacheEntry struct {
-	key  graph.Fingerprint
+	key  RepKey
 	prep *models.PreparedRep
 }
 
@@ -41,14 +54,14 @@ func NewRepCache(capacity int) *RepCache {
 	return &RepCache{
 		capacity: capacity,
 		order:    list.New(),
-		items:    make(map[graph.Fingerprint]*list.Element),
+		items:    make(map[RepKey]*list.Element),
 	}
 }
 
 // Get returns the cached representation for key, marking it most recently
 // used. The returned PreparedRep is shared; callers must treat it as
 // immutable.
-func (c *RepCache) Get(key graph.Fingerprint) (*models.PreparedRep, bool) {
+func (c *RepCache) Get(key RepKey) (*models.PreparedRep, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -63,7 +76,7 @@ func (c *RepCache) Get(key graph.Fingerprint) (*models.PreparedRep, bool) {
 
 // Put inserts or refreshes key, evicting the least recently used entry
 // when the cache is full.
-func (c *RepCache) Put(key graph.Fingerprint, prep *models.PreparedRep) {
+func (c *RepCache) Put(key RepKey, prep *models.PreparedRep) {
 	if c.capacity <= 0 {
 		return
 	}

@@ -7,13 +7,14 @@ import (
 
 	"mega/internal/graph"
 	"mega/internal/models"
+	"mega/internal/traverse"
 )
 
-func fp(seed int64) graph.Fingerprint {
+func fp(seed int64) RepKey {
 	g := graph.MustNew(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: graph.NodeID(2)}}, false)
 	f := g.Fingerprint()
 	f[0] = byte(seed) // distinct synthetic keys for structural tests
-	return f
+	return RepKey{Topo: f, Opts: traverse.Options{}.Digest()}
 }
 
 func TestRepCacheEvictionOrder(t *testing.T) {
@@ -85,7 +86,7 @@ func TestRepCacheCounters(t *testing.T) {
 // -race this is the data-race check the worker pool depends on.
 func TestRepCacheConcurrent(t *testing.T) {
 	c := NewRepCache(8)
-	keys := make([]graph.Fingerprint, 16)
+	keys := make([]RepKey, 16)
 	for i := range keys {
 		keys[i] = fp(int64(i))
 	}
@@ -132,12 +133,13 @@ func TestRepCacheHitMatchesFreshReorganize(t *testing.T) {
 		t.Fatalf("prepare: %v", err)
 	}
 	c := NewRepCache(4)
-	c.Put(g.Fingerprint(), cached)
+	optsDigest := opts.TraverseOptions().Digest()
+	c.Put(RepKey{Topo: g.Fingerprint(), Opts: optsDigest}, cached)
 
 	// A byte-identical graph (rebuilt from scratch) must hit and match a
 	// fresh traversal exactly.
 	g2 := g.Clone()
-	got, ok := c.Get(g2.Fingerprint())
+	got, ok := c.Get(RepKey{Topo: g2.Fingerprint(), Opts: optsDigest})
 	if !ok {
 		t.Fatal("byte-identical graph should hit the cache")
 	}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"testing"
+
+	"mega/internal/graph"
+	"mega/internal/models"
+	"mega/internal/traverse"
+)
+
+// TestRepCacheKeyCoversOptions is the regression test for the
+// topology-only cache-key bug: two different traverse/sparsify option
+// sets over the SAME graph bytes must map to different cache keys, so one
+// configuration can never be served a rep built under another.
+func TestRepCacheKeyCoversOptions(t *testing.T) {
+	g := graph.MustNew(8, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 4},
+		{Src: 4, Dst: 5}, {Src: 5, Dst: 6}, {Src: 6, Dst: 7}, {Src: 7, Dst: 0},
+		{Src: 0, Dst: 4}, {Src: 2, Dst: 6},
+	}, false)
+	fp := g.Fingerprint()
+
+	optionSets := []traverse.Options{
+		{EdgeCoverage: 1, Start: -1},
+		{EdgeCoverage: 1, Start: -1, Window: 3},
+		{EdgeCoverage: 1, Start: -1, DropEdges: 0.2, Seed: 7},
+		{EdgeCoverage: 1, Start: -1, SparsifyFraction: 0.5, SparsifySeed: 7},
+		{EdgeCoverage: 1, Start: -1, SparsifyFraction: 0.5, SparsifySeed: 8},
+		{EdgeCoverage: 1, Start: -1, DropEdges: 0.2, Seed: 7, SparsifyFraction: 0.5, SparsifySeed: 7},
+	}
+	keys := make(map[RepKey]int, len(optionSets))
+	for i, o := range optionSets {
+		k := RepKey{Topo: fp, Opts: o.Digest()}
+		if prev, dup := keys[k]; dup {
+			t.Fatalf("option sets %d and %d share a cache key on the same topology", prev, i)
+		}
+		keys[k] = i
+	}
+
+	// All entries coexist in one cache: a Put under one option set never
+	// overwrites or serves another's slot.
+	c := NewRepCache(len(optionSets))
+	preps := make([]*models.PreparedRep, len(optionSets))
+	for i, o := range optionSets {
+		preps[i] = &models.PreparedRep{}
+		c.Put(RepKey{Topo: fp, Opts: o.Digest()}, preps[i])
+	}
+	if c.Len() != len(optionSets) {
+		t.Fatalf("cache holds %d entries, want %d distinct per-option entries", c.Len(), len(optionSets))
+	}
+	for i, o := range optionSets {
+		got, ok := c.Get(RepKey{Topo: fp, Opts: o.Digest()})
+		if !ok || got != preps[i] {
+			t.Fatalf("option set %d did not get back its own rep", i)
+		}
+	}
+}
+
+// TestServerRepKeyIncludesSparsify pins the server-level wiring: two
+// servers differing only in SparsifyFraction compute different rep-cache
+// keys for the same graph.
+func TestServerRepKeyIncludesSparsify(t *testing.T) {
+	plain := Options{Mega: models.MegaOptions{Traverse: traverse.Options{EdgeCoverage: 1, Start: -1}}}
+	spars := Options{Mega: models.MegaOptions{Traverse: traverse.Options{
+		EdgeCoverage: 1, Start: -1, SparsifyFraction: 0.5, SparsifySeed: 3}}}
+	a := &Server{repOpts: plain.Mega.TraverseOptions().Digest()}
+	b := &Server{repOpts: spars.Mega.TraverseOptions().Digest()}
+	g := graph.MustNew(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}, false)
+	if a.repKey(g.Fingerprint()) == b.repKey(g.Fingerprint()) {
+		t.Fatal("servers with different sparsify options share a rep cache key")
+	}
+	if a.repKey(g.Fingerprint()) != a.repKey(g.Fingerprint()) {
+		t.Fatal("rep key not deterministic")
+	}
+}

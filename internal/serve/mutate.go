@@ -242,7 +242,7 @@ func (s *Server) update(req UpdateRequest) (UpdateResponse, error) {
 	// snapshot shares no mutable state with the session: repairs always
 	// build fresh reps and swap pointers.
 	next := sess.m.Fingerprint()
-	s.cache.Put(next, &models.PreparedRep{Rep: sess.m.Rep(), Res: sess.m.Result()})
+	s.cache.Put(s.repKey(next), &models.PreparedRep{Rep: sess.m.Rep(), Res: sess.m.Result()})
 	s.mutators.put(next, sess)
 	return resp, nil
 }
@@ -264,7 +264,7 @@ func (s *Server) resolveSession(req UpdateRequest) (*mutSession, bool, error) {
 		if sess, ok := s.mutators.take(fp); ok {
 			return sess, false, nil
 		}
-		prep, ok := s.cache.Get(fp)
+		prep, ok := s.cache.Get(s.repKey(fp))
 		if !ok {
 			return nil, false, fmt.Errorf("%w: %s", ErrUnknownFingerprint, req.Fingerprint)
 		}
@@ -285,12 +285,12 @@ func (s *Server) resolveSession(req UpdateRequest) (*mutSession, bool, error) {
 		return sess, false, nil
 	}
 	var m *dynamic.Maintainer
-	if prep, ok := s.cache.Get(fp); ok {
+	if prep, ok := s.cache.Get(s.repKey(fp)); ok {
 		m, err = dynamic.Adopt(prep.Rep, prep.Res, s.opts.Mega.TraverseOptions(), s.opts.MutationPolicy)
 	} else {
 		m, err = dynamic.NewMaintainerPolicy(inst.G, s.opts.Mega.TraverseOptions(), s.opts.MutationPolicy)
 		if err == nil {
-			s.cache.Put(fp, &models.PreparedRep{Rep: m.Rep(), Res: m.Result()})
+			s.cache.Put(s.repKey(fp), &models.PreparedRep{Rep: m.Rep(), Res: m.Result()})
 		}
 	}
 	if err != nil {

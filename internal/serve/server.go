@@ -20,6 +20,7 @@ import (
 	"mega/internal/models"
 	"mega/internal/tensor"
 	"mega/internal/train"
+	"mega/internal/traverse"
 )
 
 // Options tunes the inference service.
@@ -67,9 +68,11 @@ type Options struct {
 	// in-flight requests before failing the rest with ErrShuttingDown
 	// (default 5s).
 	ShutdownGrace time.Duration
-	// Mega configures traversal options for the MEGA engine. Must match
-	// across the server's lifetime: cache keys cover topology only, so
-	// options are per-server, not per-request.
+	// Mega configures traversal options for the MEGA engine (including
+	// effective-resistance sparsification via SparsifyFraction). Options
+	// are per-server, not per-request; cache keys cover both topology and
+	// a digest of these options, so servers with different preprocessing
+	// can never alias each other's reps.
 	Mega models.MegaOptions
 	// ShardWorkers enables the shard-parallel execution engine for large
 	// MEGA batches: when > 1 (it must divide 8) and the batch's total
@@ -153,6 +156,9 @@ func (o Options) Validate() error {
 	}
 	if o.Dist != nil && o.Engine != 0 && o.Engine != models.EngineMega {
 		return fmt.Errorf("%w: distributed shard serving requires the MEGA engine", ErrBadOptions)
+	}
+	if f := o.Mega.TraverseOptions().SparsifyFraction; f < 0 || f > 1 {
+		return fmt.Errorf("%w: SparsifyFraction %v outside [0, 1]", ErrBadOptions, f)
 	}
 	return nil
 }
@@ -245,6 +251,10 @@ type Server struct {
 	meta     train.Checkpoint
 	opts     Options
 	cache    *RepCache
+	// repOpts is the digest of the effective traverse/sparsify options,
+	// computed once; combined with each graph's topology fingerprint it
+	// forms the rep-cache key.
+	repOpts  traverse.OptionsDigest
 	metrics  *Metrics
 	batcher  *batcher
 	breaker  *breaker
@@ -326,6 +336,7 @@ func New(model models.Model, meta train.Checkpoint, opts Options) (*Server, erro
 		meta:         meta,
 		opts:         opts,
 		cache:        NewRepCache(opts.CacheCapacity),
+		repOpts:      opts.Mega.TraverseOptions().Digest(),
 		metrics:      NewMetrics(),
 		batcher:      newBatcher(opts.MaxBatch, opts.MaxWait, opts.QueueDepth, opts.Clock),
 		mutators:     newMutatorPool(opts.MutationSessions),
@@ -584,7 +595,7 @@ func (s *Server) requestContext(ctx context.Context) (context.Context, context.C
 // (served by the GAT-free engine without a path representation). The
 // request always proceeds; degradation is visible in the Prediction.
 func (s *Server) prepare(p *pending) {
-	key := p.inst.G.Fingerprint()
+	key := s.repKey(p.inst.G.Fingerprint())
 	if faults.Inject(faults.ServeCacheGet) == nil {
 		if prep, ok := s.cache.Get(key); ok {
 			p.prep, p.cacheHit = prep, true
@@ -1045,4 +1056,10 @@ func httpError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// repKey combines a graph's topology fingerprint with the server's
+// traverse/sparsify options digest — the full identity of a prepared rep.
+func (s *Server) repKey(fp graph.Fingerprint) RepKey {
+	return RepKey{Topo: fp, Opts: s.repOpts}
 }

@@ -104,8 +104,17 @@ func TestShardFallbackCountedAndLogged(t *testing.T) {
 	if res.ShardFallbacks != 2 {
 		t.Errorf("ShardFallbacks = %d, want 2 (every context)", res.ShardFallbacks)
 	}
+	// The structural rejection (path shorter than 8 µchunks) must be
+	// attributed, not hidden: per-reason counts mirror serve's
+	// shard_fallback_reasons taxonomy.
+	if got := res.ShardFallbackReasons["unshardable"]; got != 2 {
+		t.Errorf("ShardFallbackReasons[unshardable] = %d, want 2 (got %v)", got, res.ShardFallbackReasons)
+	}
 	if n := strings.Count(logged.String(), "fell back to the monolithic engine"); n != 1 {
 		t.Errorf("fallback logged %d times, want exactly once:\n%s", n, logged.String())
+	}
+	if !strings.Contains(logged.String(), "unshardable") {
+		t.Errorf("fallback log line does not name the reason:\n%s", logged.String())
 	}
 
 	// Shardable runs must not report fallbacks.
@@ -115,6 +124,9 @@ func TestShardFallbackCountedAndLogged(t *testing.T) {
 	}
 	if full.ShardFallbacks != 0 {
 		t.Errorf("shardable run reported %d fallbacks", full.ShardFallbacks)
+	}
+	if full.ShardFallbackReasons != nil {
+		t.Errorf("shardable run reported fallback reasons: %v", full.ShardFallbackReasons)
 	}
 }
 

@@ -165,6 +165,12 @@ type Result struct {
 	// (path too short to cut into µchunks); those contexts trained through
 	// the monolithic path instead. Only meaningful when Options.Shards > 0.
 	ShardFallbacks int
+	// ShardFallbackReasons breaks ShardFallbacks down by cause, mirroring
+	// serve's shard_fallback_reasons taxonomy: "unshardable" for
+	// structural rejections (models.ErrUnshardable — path too short, band
+	// wider than a µchunk), "error" for anything else. nil when nothing
+	// fell back.
+	ShardFallbackReasons map[string]int
 }
 
 // FinalMetric returns the last epoch's validation metric.
@@ -277,6 +283,7 @@ func Run(ds *datasets.Dataset, opts Options) (*Result, error) {
 	// context falls back identically at every worker count.
 	var shardEngines []*models.ShardEngine
 	shardFallbacks := 0
+	var shardFallbackReasons map[string]int
 	if shardGT != nil {
 		shardEngines = make([]*models.ShardEngine, len(trainCtxs))
 		var fallbackErr error
@@ -286,14 +293,23 @@ func Run(ds *datasets.Dataset, opts Options) (*Result, error) {
 			} else {
 				shardFallbacks++
 				fallbackErr = err
+				reason := "error"
+				if errors.Is(err, models.ErrUnshardable) {
+					reason = "unshardable"
+				}
+				if shardFallbackReasons == nil {
+					shardFallbackReasons = make(map[string]int)
+				}
+				shardFallbackReasons[reason]++
 			}
 		}
 		if shardFallbacks > 0 {
 			// One line for the whole run, not one per context: the
 			// rejection criteria are chunk-level and static, so every epoch
-			// would repeat the same message.
-			log.Printf("train: %d/%d contexts fell back to the monolithic engine (shards=%d): %v",
-				shardFallbacks, len(trainCtxs), opts.Shards, fallbackErr)
+			// would repeat the same message. The reasons map mirrors serve's
+			// shard_fallback_reasons so the fallback is never silent.
+			log.Printf("train: %d/%d contexts fell back to the monolithic engine (shards=%d, reasons=%v): %v",
+				shardFallbacks, len(trainCtxs), opts.Shards, shardFallbackReasons, fallbackErr)
 		}
 	}
 
@@ -303,6 +319,7 @@ func Run(ds *datasets.Dataset, opts Options) (*Result, error) {
 		Model: model, ModelName: opts.Model, Config: cfg,
 		QuarantinedCheckpoints: quarantined,
 		ShardFallbacks:         shardFallbacks,
+		ShardFallbackReasons:   shardFallbackReasons,
 	}
 	if startEpoch > 1 {
 		res.ResumedEpoch = startEpoch - 1

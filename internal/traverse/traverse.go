@@ -36,6 +36,7 @@ import (
 	"sort"
 
 	"mega/internal/graph"
+	"mega/internal/sparsify"
 )
 
 // Options configures a traversal.
@@ -76,6 +77,18 @@ type Options struct {
 	Start graph.NodeID
 	// Seed seeds edge dropping. Traversal itself is deterministic.
 	Seed int64
+	// SparsifyFraction enables effective-resistance sparsification
+	// (package sparsify) as a second, independent edge filter: the sampler
+	// keeps about this fraction of edges, preferring structurally
+	// irreplaceable ones. 0 disables; 1 is a validated no-op. Composes
+	// with DropEdges: both filters decide against the ORIGINAL edge list
+	// and the keep-masks are intersected, so the two samplers never couple
+	// and their application order cannot matter.
+	SparsifyFraction float64
+	// SparsifySeed seeds the sparsifier. It is deliberately separate from
+	// Seed, and the sparsify sampler hashes per edge under a distinct salt,
+	// so even SparsifySeed == Seed cannot correlate the two filters.
+	SparsifySeed int64
 }
 
 // DefaultOptions returns the options used by the end-to-end experiments:
@@ -105,15 +118,28 @@ type Result struct {
 	CoveredEdges int
 	// TotalEdges is the number of edges after dropping.
 	TotalEdges int
-	// DroppedEdges is the number of edges removed by the DropEdges option.
+	// DroppedEdges is the number of edges the DropEdges filter rejected
+	// (counted against the original edge list, independent of whether the
+	// sparsifier would also have rejected them).
 	DroppedEdges int
+	// SparsifiedEdges is the number of edges the SparsifyFraction filter
+	// removed beyond DropEdges: original edges the drop filter kept but
+	// the sparsifier rejected. TotalEdges + DroppedEdges + SparsifiedEdges
+	// equals the original edge count.
+	SparsifiedEdges int
+	// SparsifyWeights holds the importance-sampling reweighting (1/pₑ)
+	// aligned with Graph's edge list when SparsifyFraction was active, nil
+	// otherwise. Downstream consumers that want the Laplacian-preserving
+	// estimator scale edge contributions by these.
+	SparsifyWeights []float64
 	// Revisits is len(Path) minus the number of distinct vertices.
 	Revisits int
 	// VirtualEdges counts true entries of Virtual.
 	VirtualEdges int
 	// Graph is the graph the traversal actually walked: the input graph,
-	// or the edge-dropped copy when DropEdges was set. Downstream band
-	// construction must use this graph so dropped edges stay dropped.
+	// or the filtered copy when DropEdges/SparsifyFraction were set.
+	// Downstream band construction must use this graph so removed edges
+	// stay removed.
 	Graph *graph.Graph
 }
 
@@ -239,14 +265,16 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 //
 // A Walker is single-use: Replay zero or more steps, then Complete once.
 type Walker struct {
-	t       *traversal
-	work    *graph.Graph
-	omega   int
-	start   graph.NodeID
-	target  int
-	dropped int
-	sources []StepSource
-	done    bool
+	t            *traversal
+	work         *graph.Graph
+	omega        int
+	start        graph.NodeID
+	target       int
+	dropped      int
+	sparsified   int
+	sparsWeights []float64
+	sources      []StepSource
+	done         bool
 }
 
 // NewWalker validates options, applies edge dropping, and resolves the
@@ -268,12 +296,66 @@ func NewWalker(g *graph.Graph, opts Options) (*Walker, error) {
 			return nil, fmt.Errorf("%w: drop fraction %v", ErrBadOptions, opts.DropEdges)
 		}
 	}
+	if opts.SparsifyFraction < 0 || opts.SparsifyFraction > 1 {
+		return nil, fmt.Errorf("%w: sparsify fraction %v", ErrBadOptions, opts.SparsifyFraction)
+	}
 
 	work := g
-	dropped := 0
-	if opts.DropEdges > 0 {
+	dropped, sparsified := 0, 0
+	var sparsWeights []float64
+	dropOn := opts.DropEdges > 0
+	sparsOn := opts.SparsifyFraction > 0 && opts.SparsifyFraction < 1
+	if dropOn || sparsOn {
+		// Both filters decide against the original edge list, then the
+		// keep-masks are intersected. Evaluating each filter on g (never on
+		// the other's output) is what makes the composition commute
+		// bit-for-bit and keeps either filter's random stream fixed when the
+		// other is toggled.
+		edges := g.Edges()
+		keep := make([]bool, len(edges))
+		for i := range keep {
+			keep[i] = true
+		}
+		if dropOn {
+			for i, k := range dropKeepMask(g, opts.DropEdges, opts.DropStrategy, opts.Seed) {
+				if !k {
+					keep[i] = false
+					dropped++
+				}
+			}
+		}
+		var plan *sparsify.Plan
+		if sparsOn {
+			var err error
+			plan, err = sparsify.New(g, sparsify.Options{Fraction: opts.SparsifyFraction, Seed: opts.SparsifySeed})
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadOptions, err)
+			}
+			for i := range keep {
+				if !plan.Keep[i] {
+					if keep[i] {
+						sparsified++
+					}
+					keep[i] = false
+				}
+			}
+		}
+		kept := make([]graph.Edge, 0, len(edges)-dropped-sparsified)
+		for i, e := range edges {
+			if keep[i] {
+				kept = append(kept, e)
+			}
+		}
+		if sparsOn {
+			sparsWeights = make([]float64, 0, len(kept))
+			for i := range keep {
+				if keep[i] {
+					sparsWeights = append(sparsWeights, plan.Weight[i])
+				}
+			}
+		}
 		var err error
-		work, dropped, err = dropEdges(g, opts.DropEdges, opts.DropStrategy, opts.Seed)
+		work, err = graph.New(g.NumNodes(), kept, g.Directed())
 		if err != nil {
 			return nil, err
 		}
@@ -294,12 +376,14 @@ func NewWalker(g *graph.Graph, opts Options) (*Walker, error) {
 		return nil, fmt.Errorf("%w: start vertex %d out of range", ErrBadOptions, start)
 	}
 	return &Walker{
-		t:       t,
-		work:    work,
-		omega:   omega,
-		start:   start,
-		target:  int(opts.EdgeCoverage * float64(work.NumEdges())),
-		dropped: dropped,
+		t:            t,
+		work:         work,
+		omega:        omega,
+		start:        start,
+		target:       int(opts.EdgeCoverage * float64(work.NumEdges())),
+		dropped:      dropped,
+		sparsified:   sparsified,
+		sparsWeights: sparsWeights,
 	}, nil
 }
 
@@ -431,14 +515,16 @@ func (w *Walker) runLoop() {
 func (w *Walker) result() *Result {
 	t := w.t
 	res := &Result{
-		Path:         t.path,
-		Virtual:      t.virtual,
-		Source:       w.sources,
-		Window:       w.omega,
-		CoveredEdges: t.covered,
-		TotalEdges:   w.work.NumEdges(),
-		DroppedEdges: w.dropped,
-		Graph:        w.work,
+		Path:            t.path,
+		Virtual:         t.virtual,
+		Source:          w.sources,
+		Window:          w.omega,
+		CoveredEdges:    t.covered,
+		TotalEdges:      w.work.NumEdges(),
+		DroppedEdges:    w.dropped,
+		SparsifiedEdges: w.sparsified,
+		SparsifyWeights: w.sparsWeights,
+		Graph:           w.work,
 	}
 	seen := make(map[graph.NodeID]bool, w.work.NumNodes())
 	for _, v := range t.path {
@@ -782,43 +868,43 @@ func (s DropStrategy) String() string {
 	return "random"
 }
 
-// dropEdges removes approximately frac of g's edges per the strategy.
-func dropEdges(g *graph.Graph, frac float64, strategy DropStrategy, seed int64) (*graph.Graph, int, error) {
+// dropKeepMask computes the DropEdges filter's per-edge keep decisions
+// over g's original edge list (true = survives). Returning a mask rather
+// than a rebuilt graph lets NewWalker intersect this filter with the
+// sparsifier's: each decides against the original list, so neither can
+// perturb the other's stream. The DropRandom stream (one sequential
+// rng.Float64 per original edge, seeded seed^0xD20B) is the pre-existing
+// pinned behaviour and must not change.
+func dropKeepMask(g *graph.Graph, frac float64, strategy DropStrategy, seed int64) []bool {
 	rng := rand.New(rand.NewSource(seed ^ 0xD20B))
 	edges := g.Edges()
-	var kept []graph.Edge
+	keep := make([]bool, len(edges))
 	switch strategy {
 	case DropRedundant:
 		target := int(frac * float64(len(edges)))
 		// Score = deg(u)*deg(v) with a small random perturbation so
 		// equal-score edges drop in varying order across seeds.
 		type scored struct {
-			e     graph.Edge
+			idx   int
 			score float64
 		}
 		ranked := make([]scored, len(edges))
 		for i, e := range edges {
 			ranked[i] = scored{
-				e:     e,
+				idx:   i,
 				score: float64(g.Degree(e.Src)*g.Degree(e.Dst)) * (1 + 0.01*rng.Float64()),
 			}
 		}
 		sort.Slice(ranked, func(a, b int) bool { return ranked[a].score > ranked[b].score })
-		kept = make([]graph.Edge, 0, len(edges)-target)
 		for _, s := range ranked[target:] {
-			kept = append(kept, s.e)
+			keep[s.idx] = true
 		}
 	default:
-		kept = make([]graph.Edge, 0, len(edges))
-		for _, e := range edges {
+		for i := range edges {
 			if rng.Float64() >= frac {
-				kept = append(kept, e)
+				keep[i] = true
 			}
 		}
 	}
-	out, err := graph.New(g.NumNodes(), kept, g.Directed())
-	if err != nil {
-		return nil, 0, err
-	}
-	return out, g.NumEdges() - len(kept), nil
+	return keep
 }
